@@ -1,0 +1,168 @@
+// Command rcbcast runs a single ε-BROADCAST simulation and prints the
+// outcome: delivery, latency, per-device costs, and the adversary's spend.
+//
+// Usage:
+//
+//	rcbcast [flags]
+//
+//	-n 1024          correct nodes
+//	-k 2             protocol parameter k >= 2
+//	-seed 1          RNG seed
+//	-adversary full  null | full | random | bursty | blocker | partition |
+//	                 spoofer | reactive
+//	-pool 16384      adversary energy pool (0 = unlimited)
+//	-decoy           enable the §4.1 decoy defence
+//	-engine fast     fast | actors
+//	-phases          print the per-phase trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+	"rcbcast/internal/engine"
+	"rcbcast/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rcbcast:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rcbcast", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 1024, "number of correct nodes")
+		k       = fs.Int("k", 2, "protocol parameter k >= 2")
+		seed    = fs.Uint64("seed", 1, "RNG seed")
+		adv     = fs.String("adversary", "full", "null|full|random|bursty|blocker|partition|spoofer|reactive")
+		pool    = fs.Int64("pool", 1<<14, "adversary energy pool (0 = unlimited)")
+		jamP    = fs.Float64("jam-p", 0.5, "per-slot probability for -adversary random")
+		strand  = fs.Float64("strand", 0.05, "stranded fraction for -adversary partition")
+		decoy   = fs.Bool("decoy", false, "enable the §4.1 decoy defence")
+		eng     = fs.String("engine", "fast", "fast|actors")
+		phases  = fs.Bool("phases", false, "print the per-phase trace")
+		traceTo = fs.String("trace", "", "write an event trace: 'text' or 'json' to stdout, or a .ndjson file path")
+		paper   = fs.Bool("paper", false, "use PaperParams instead of PracticalParams")
+		budgets = fs.Bool("budgets", false, "enforce the paper's device budgets (C=8)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var params core.Params
+	if *paper {
+		params = core.PaperParams(*n, *k)
+	} else {
+		params = core.PracticalParams(*n, *k)
+	}
+	if *decoy {
+		params.Decoy = true
+		params.DecoyProb = 0.75 / float64(*n)
+		params.ListenBoost = 4
+	}
+
+	opts := engine.Options{
+		Params:       params,
+		Seed:         *seed,
+		RecordPhases: *phases,
+	}
+	switch {
+	case *traceTo == "":
+	case *traceTo == "text":
+		opts.Tracer = trace.NewText(out)
+	case *traceTo == "json":
+		opts.Tracer = trace.NewJSON(out)
+	default:
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts.Tracer = trace.NewJSON(f)
+	}
+	if *pool > 0 {
+		opts.Pool = energy.NewPool(*pool)
+	}
+	if *budgets {
+		bm := energy.DefaultBudgets(8, *k)
+		opts.NodeBudget = bm.Node(*n)
+		opts.AliceBudget = bm.Alice(*n)
+	}
+
+	switch *adv {
+	case "null":
+		opts.Strategy = adversary.Null{}
+	case "full":
+		opts.Strategy = adversary.FullJam{}
+	case "random":
+		opts.Strategy = adversary.RandomJam{P: *jamP}
+	case "bursty":
+		opts.Strategy = adversary.Bursty{Burst: 32, Gap: 32}
+	case "blocker":
+		opts.Strategy = adversary.PhaseBlocker{
+			BlockInform: true, BlockPropagate: true, Params: &params,
+		}
+	case "partition":
+		limit := int(*strand * float64(*n))
+		opts.Strategy = &adversary.PartitionBlocker{
+			Stranded: func(node int) bool { return node < limit },
+		}
+	case "spoofer":
+		opts.Strategy = &adversary.NackSpoofer{Rate: 0.5}
+	case "reactive":
+		opts.Strategy = adversary.ReactiveJammer{}
+		opts.AllowReactive = true
+		params.MaxRound = params.StartRound + 6
+		opts.Params = params
+	default:
+		return fmt.Errorf("unknown adversary %q", *adv)
+	}
+
+	var res *engine.Result
+	var err error
+	switch *eng {
+	case "fast":
+		res, err = engine.Run(opts)
+	case "actors":
+		res, err = engine.RunActors(opts)
+	default:
+		return fmt.Errorf("unknown engine %q", *eng)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "protocol:   ε-BROADCAST k=%d n=%d (%s, start round %d)\n",
+		params.K, params.N, params.Variant, params.StartRound)
+	fmt.Fprintf(out, "adversary:  %s (spent T=%d: %d jams, %d spoofs)\n",
+		res.StrategyName, res.AdversarySpent, res.AdversaryJams, res.AdversaryInjections)
+	fmt.Fprintf(out, "delivery:   %d/%d informed (%.1f%%), %d stranded, %d dead, %d still active\n",
+		res.Informed, res.N, 100*res.InformedFrac(), res.Stranded, res.Dead, res.ActiveAtEnd)
+	fmt.Fprintf(out, "latency:    %d slots over %d rounds (completed=%t)\n",
+		res.SlotsSimulated, res.Rounds, res.Completed)
+	fmt.Fprintf(out, "alice:      cost %d (%d sends, %d listens), terminated=%t round=%d\n",
+		res.Alice.Cost, res.Alice.Sends, res.Alice.Listens, res.Alice.Terminated, res.Alice.Round)
+	fmt.Fprintf(out, "node cost:  min %d / median %d / mean %.1f / max %d\n",
+		res.NodeCost.Min, res.NodeCost.Median, res.NodeCost.Mean, res.NodeCost.Max)
+	if res.AdversarySpent > 0 && res.NodeCost.Median > 0 {
+		fmt.Fprintf(out, "competitive: Carol paid %.1fx the median node (paper: node ~ T^{1/%d})\n",
+			float64(res.AdversarySpent)/float64(res.NodeCost.Median), params.K+1)
+	}
+	if *phases {
+		fmt.Fprintln(out, "\nper-phase trace:")
+		for _, ph := range res.Phases {
+			fmt.Fprintf(out, "  %-28s aliceSends=%-5d relays=%-6d nacks=%-6d decoys=%-6d jams=%-7d informed=%-5d active=%d\n",
+				ph.Phase.String(), ph.AliceSends, ph.NodeDataSends, ph.NodeNacks,
+				ph.NodeDecoys, ph.JammedSlots, ph.InformedAfter, ph.ActiveAfter)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf strings.Builder
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestCLIBasicRun(t *testing.T) {
+	out := runCLI(t, "-n", "128", "-pool", "2048", "-seed", "5")
+	for _, want := range []string{"ε-BROADCAST k=2 n=128", "full-jam", "informed", "competitive"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIAdversaries(t *testing.T) {
+	for _, adv := range []string{"null", "random", "bursty", "blocker", "partition", "spoofer", "reactive"} {
+		out := runCLI(t, "-n", "64", "-adversary", adv, "-pool", "1024")
+		if !strings.Contains(out, "delivery:") {
+			t.Fatalf("adversary %s produced no report:\n%s", adv, out)
+		}
+	}
+}
+
+func TestCLIUnknownAdversary(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-adversary", "nope"}, &buf); err == nil {
+		t.Fatal("unknown adversary must error")
+	}
+}
+
+func TestCLIUnknownEngine(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-engine", "warp"}, &buf); err == nil {
+		t.Fatal("unknown engine must error")
+	}
+}
+
+func TestCLIActorsEngine(t *testing.T) {
+	out := runCLI(t, "-n", "64", "-engine", "actors", "-adversary", "null", "-pool", "0")
+	if !strings.Contains(out, "informed (100.0%)") {
+		t.Fatalf("actors engine output:\n%s", out)
+	}
+}
+
+func TestCLIPhasesAndTraceText(t *testing.T) {
+	out := runCLI(t, "-n", "64", "-adversary", "null", "-pool", "0", "-phases", "-trace", "text")
+	if !strings.Contains(out, "per-phase trace:") || !strings.Contains(out, "run complete") {
+		t.Fatalf("trace output incomplete:\n%s", out)
+	}
+}
+
+func TestCLITraceJSON(t *testing.T) {
+	out := runCLI(t, "-n", "64", "-adversary", "null", "-pool", "0", "-trace", "json")
+	if !strings.Contains(out, `"event":"phase_start"`) {
+		t.Fatalf("json trace missing:\n%s", out)
+	}
+}
+
+func TestCLIBudgetsAndDecoy(t *testing.T) {
+	out := runCLI(t, "-n", "64", "-adversary", "null", "-pool", "0", "-budgets", "-decoy")
+	if !strings.Contains(out, "delivery:") {
+		t.Fatalf("budgeted decoy run:\n%s", out)
+	}
+}
+
+func TestCLIPaperParams(t *testing.T) {
+	out := runCLI(t, "-n", "64", "-adversary", "null", "-pool", "0", "-paper")
+	if !strings.Contains(out, "k2-exact") {
+		t.Fatalf("paper mode must use Figure 1:\n%s", out)
+	}
+}

@@ -1,0 +1,92 @@
+// Command rcexp runs the reproduction experiments E1–E11 (DESIGN.md §4)
+// and prints their tables and findings. It is the tool that regenerates
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	rcexp                 run every experiment at full scale
+//	rcexp -id E1          run one experiment
+//	rcexp -quick          small sweeps (the test-suite scale)
+//	rcexp -markdown       emit GitHub-flavored markdown tables
+//	rcexp -list           list experiments with their claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"rcbcast/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rcexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rcexp", flag.ContinueOnError)
+	var (
+		id       = fs.String("id", "", "run a single experiment (e.g. E1)")
+		quick    = fs.Bool("quick", false, "small sweeps")
+		markdown = fs.Bool("markdown", false, "emit markdown tables")
+		list     = fs.Bool("list", false, "list experiments")
+		seeds    = fs.Int("seeds", 0, "seeds per sweep point (0 = default)")
+		n        = fs.Int("n", 0, "network size override (0 = default)")
+		baseSeed = fs.Uint64("seed", 1, "base seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Fprintf(out, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	cfg := experiment.Config{
+		Quick:    *quick,
+		Seeds:    *seeds,
+		N:        *n,
+		BaseSeed: *baseSeed,
+	}
+
+	var exps []experiment.Experiment
+	if *id != "" {
+		e, ok := experiment.ByID(*id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *id)
+		}
+		exps = []experiment.Experiment{e}
+	} else {
+		exps = experiment.All()
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		rep, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *markdown {
+			fmt.Fprintf(out, "### %s — %s\n\n*Claim:* %s\n\n", rep.ID, rep.Title, rep.Claim)
+			for _, t := range rep.Tables {
+				fmt.Fprintln(out, t.Markdown())
+			}
+			for _, f := range rep.Findings {
+				fmt.Fprintf(out, "- %s\n", f)
+			}
+			fmt.Fprintf(out, "- wall time: %v\n\n", time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Fprintln(out, rep.Render())
+			fmt.Fprintf(out, "wall time: %v\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

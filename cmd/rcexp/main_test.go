@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRcexpList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E12"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRcexpSingleQuick(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-id", "E9", "-quick", "-n", "128", "-seeds", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E9") || !strings.Contains(buf.String(), "wall time") {
+		t.Fatalf("report incomplete:\n%s", buf.String())
+	}
+}
+
+func TestRcexpMarkdown(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-id", "E9", "-quick", "-n", "128", "-seeds", "1", "-markdown"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "### E9") || !strings.Contains(buf.String(), "|---|") {
+		t.Fatalf("markdown output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRcexpUnknownID(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-id", "E99"}, &buf); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}

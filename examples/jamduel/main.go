@@ -1,0 +1,49 @@
+// Jamduel: sweep the jammer's energy budget and watch the paper's
+// resource-competitive trade emerge — Carol's spend T grows by 4x per
+// step, but each correct device's cost grows only ~T^{1/3} (Theorem 1).
+// The naive and KSY'11 baselines run against the same jam for contrast.
+//
+//	go run ./examples/jamduel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"rcbcast"
+)
+
+func main() {
+	const n = 1024
+	fmt.Println("ε-BROADCAST vs full jammer, n =", n)
+	fmt.Printf("%10s  %12s  %12s  %12s  %12s  %10s\n",
+		"T (Carol)", "ours: node", "ours: alice", "naive: node", "KSY: alice", "T^(1/3)")
+
+	for pool := int64(1 << 10); pool <= 1<<16; pool *= 4 {
+		res, err := rcbcast.Run(rcbcast.Options{
+			Params:   rcbcast.PracticalParams(n, 2),
+			Seed:     42,
+			Strategy: rcbcast.FullJam{},
+			Pool:     rcbcast.NewPool(pool),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := res.AdversarySpent
+
+		naive := rcbcast.RunNaive(t, 1<<30)
+		ksy := rcbcast.RunKSY(42, t, 1<<30, rcbcast.KSYParams{})
+
+		fmt.Printf("%10d  %12d  %12d  %12d  %12d  %10.0f\n",
+			t, res.NodeCost.Median, res.Alice.Cost,
+			naive.NodeCost, ksy.AliceCost, math.Pow(float64(t), 1.0/3))
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - naive listeners pay ~T (they match Carol 1:1 — she wins)")
+	fmt.Println("  - KSY's Alice pays ~T^0.62 but its listeners still pay ~T")
+	fmt.Println("  - ours is load balanced: everyone pays ~T^(1/3) (+ a fixed base)")
+	fmt.Println("  so delaying m forces Carol to deplete her energy polynomially")
+	fmt.Println("  faster than anyone else — making the evildoer pay.")
+}

@@ -1,0 +1,72 @@
+// Multihop: the paper's §5 open question, explored. A message crosses a
+// path of single-hop clusters; each hop reruns ε-BROADCAST with an
+// informed node of the previous cluster acting as the sender (m still
+// carries Alice's authenticator, so relays verify). Carol may concentrate
+// her entire budget on any one cluster — and buys exactly the delay she
+// would have bought in a single-hop network.
+//
+//	go run ./examples/multihop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcbcast"
+)
+
+func main() {
+	const (
+		n    = 512 // nodes per cluster
+		hops = 5
+	)
+
+	fmt.Printf("relaying m across %d clusters of %d nodes each\n\n", hops, n)
+
+	// Benign pipeline.
+	benign, err := rcbcast.RunMultiHop(rcbcast.MultiHopOptions{
+		Params: rcbcast.PracticalParams(n, 2),
+		Hops:   hops,
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("— benign pipeline —")
+	printHops(benign)
+
+	// Carol drops a 16k pool entirely on the middle cluster.
+	attacked, err := rcbcast.RunMultiHop(rcbcast.MultiHopOptions{
+		Params: rcbcast.PracticalParams(n, 2),
+		Hops:   hops,
+		Seed:   1,
+		StrategyFor: func(hop int) rcbcast.Strategy {
+			if hop == hops/2 {
+				return rcbcast.FullJam{}
+			}
+			return nil
+		},
+		Pool: rcbcast.NewPool(1 << 14),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n— full jammer concentrated on cluster %d (pool 16384) —\n", hops/2)
+	printHops(attacked)
+
+	fmt.Printf("\nend-to-end: %d → %d slots; only the attacked cluster slowed down,\n",
+		benign.TotalSlots, attacked.TotalSlots)
+	fmt.Println("and its delay matches what the same pool buys against a single-hop")
+	fmt.Println("network — hop-by-hop relaying gives Carol no amplification (E12).")
+}
+
+func printHops(res *rcbcast.MultiHopResult) {
+	fmt.Printf("%5s  %10s  %8s  %10s  %12s  %8s\n",
+		"hop", "informed", "rounds", "slots", "sender cost", "T spent")
+	for _, h := range res.Hops {
+		fmt.Printf("%5d  %9.1f%%  %8d  %10d  %12d  %8d\n",
+			h.Hop, 100*h.InformedFrac, h.Rounds, h.Slots, h.SenderCost, h.AdversarySpent)
+	}
+	fmt.Printf("total: %d slots, reached=%t, end-to-end delivery %.1f%%\n",
+		res.TotalSlots, res.Reached, 100*res.EndToEndFrac)
+}

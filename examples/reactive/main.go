@@ -1,0 +1,58 @@
+// Reactive: the §4.1 scenario. A reactive Carol senses channel activity
+// within the current slot (RSSI) and jams exactly the used slots — she
+// never wastes energy on silence. Undefended, she matches the network's
+// spend ~1:1 and can stall it for its whole lifetime. The defence is to
+// "make your own noise": every node transmits decoy chaff, and because
+// RSSI reveals nothing about content, Carol must now pay for a constant
+// fraction of *all* slots.
+//
+//	go run ./examples/reactive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcbcast"
+)
+
+func main() {
+	const n = 1024
+	pool := rcbcast.DefaultBudgets(8, 2).AdversaryPool(n, 1.0/25) // f < 1/24, Lemma 19
+
+	fmt.Printf("reactive jammer with a %d-unit pool (f = 1/25), n = %d\n\n", pool.Budget(), n)
+
+	run := func(label string, decoy bool) *rcbcast.Result {
+		params := rcbcast.PracticalParams(n, 2)
+		params.MaxRound = params.StartRound + 8
+		if decoy {
+			params.Decoy = true
+			params.DecoyProb = 0.75 / float64(n) // ~half of all slots carry chaff
+			params.ListenBoost = 4               // compensate decoy collisions
+		}
+		res, err := rcbcast.Run(rcbcast.Options{
+			Params:        params,
+			Seed:          7,
+			Strategy:      rcbcast.ReactiveJammer{},
+			Pool:          rcbcast.DefaultBudgets(8, 2).AdversaryPool(n, 1.0/25),
+			AllowReactive: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("— %s —\n", label)
+		fmt.Printf("informed:        %d/%d (%.1f%%)\n", res.Informed, res.N, 100*res.InformedFrac())
+		fmt.Printf("delay achieved:  %d slots over %d rounds\n", res.SlotsSimulated, res.Rounds)
+		fmt.Printf("carol spent:     %d of her pool\n", res.AdversarySpent)
+		fmt.Printf("node median:     %d\n\n", res.NodeCost.Median)
+		return res
+	}
+
+	bare := run("no defence: she jams only real transmissions", false)
+	decoy := run("decoy defence on: chaff makes every slot suspect", true)
+
+	fmt.Printf("with decoys Carol burned her pool %.1fx faster, cutting the delay from %d to %d slots\n",
+		float64(bare.SlotsSimulated)/float64(decoy.SlotsSimulated),
+		bare.SlotsSimulated, decoy.SlotsSimulated)
+	fmt.Println("(the per-round economics — exponent ~1 vs ~1/3 — are measured in experiment E7)")
+}

@@ -1,0 +1,223 @@
+package adversary
+
+import (
+	"fmt"
+
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+	"rcbcast/internal/msg"
+	"rcbcast/internal/rng"
+)
+
+// DataSpoofer injects forged copies of "m" during inform and propagation
+// phases. The frames fail Alice's authentication (§1.1: her messages can
+// be authenticated), so correct nodes discard them — but each injection
+// still occupies the channel, colliding with genuine transmissions. This
+// strategy exercises the partially-authenticated Byzantine model: spoofing
+// Alice is detectable, yet it still costs bandwidth.
+type DataSpoofer struct {
+	// Rate is the per-slot injection probability (default 0.25).
+	Rate float64
+}
+
+// Name implements Strategy.
+func (s DataSpoofer) Name() string { return "data-spoofer" }
+
+// PlanPhase implements Strategy.
+func (s DataSpoofer) PlanPhase(ph core.Phase, _ *History, pool *energy.Pool, st *rng.Stream) *Plan {
+	if ph.Kind == core.PhaseRequest {
+		return nil
+	}
+	rate := s.Rate
+	if rate <= 0 {
+		rate = 0.25
+	}
+	budget := affordableJams(pool, int64(ph.Length))
+	if budget <= 0 {
+		return nil
+	}
+	p := NewPlan(ph.Length)
+	var planned int64
+	slot := 0
+	for planned < budget {
+		g := st.Geometric(rate)
+		if g >= ph.Length-slot {
+			break
+		}
+		slot += g
+		p.Inject(slot, msg.SpoofData(-2000-int(planned), []byte("forged m")))
+		planned++
+		slot++
+		if slot >= ph.Length {
+			break
+		}
+	}
+	if planned == 0 {
+		return nil
+	}
+	return p
+}
+
+// SweepJammer rotates a jamming window across each phase: it jams a
+// contiguous Fraction of the phase, advancing the window's position each
+// round. Models scanning-style interference hardware.
+type SweepJammer struct {
+	// Fraction of each phase jammed (default 0.5).
+	Fraction float64
+	offset   float64
+}
+
+// Name implements Strategy.
+func (s *SweepJammer) Name() string { return fmt.Sprintf("sweep(%.2g)", s.fraction()) }
+
+func (s *SweepJammer) fraction() float64 {
+	if s.Fraction <= 0 || s.Fraction > 1 {
+		return 0.5
+	}
+	return s.Fraction
+}
+
+// PlanPhase implements Strategy.
+func (s *SweepJammer) PlanPhase(ph core.Phase, _ *History, pool *energy.Pool, _ *rng.Stream) *Plan {
+	frac := s.fraction()
+	want := int64(frac * float64(ph.Length))
+	want = affordableJams(pool, want)
+	if want <= 0 {
+		return nil
+	}
+	p := NewPlan(ph.Length)
+	start := int(s.offset * float64(ph.Length))
+	for j := int64(0); j < want; j++ {
+		p.Jam((start + int(j)) % ph.Length)
+	}
+	// Advance the window by a golden-ratio step so positions cycle
+	// without ever aligning to phase boundaries.
+	s.offset += 0.6180339887498949
+	for s.offset >= 1 {
+		s.offset--
+	}
+	return p
+}
+
+// GreedyAdaptive is a history-driven Carol: each round she reallocates her
+// per-round allowance to the phase kind that, per the public history, is
+// making the most progress against her — inform phases while few nodes
+// are informed, propagation once a seed set exists, request phases once
+// delivery looks complete (to stall termination). She demonstrates that
+// the protocol's guarantees do not depend on the adversary following a
+// fixed script.
+type GreedyAdaptive struct {
+	// PerRound is her jam allowance per round (default: the phase
+	// length, i.e. she can fully block one phase per round).
+	PerRound int64
+	spentIn  map[int]int64
+}
+
+// Name implements Strategy.
+func (s *GreedyAdaptive) Name() string { return "greedy-adaptive" }
+
+// PlanPhase implements Strategy.
+func (s *GreedyAdaptive) PlanPhase(ph core.Phase, hist *History, pool *energy.Pool, _ *rng.Stream) *Plan {
+	if s.spentIn == nil {
+		s.spentIn = make(map[int]int64)
+	}
+	allowance := s.PerRound
+	if allowance <= 0 {
+		allowance = int64(ph.Length)
+	}
+	remaining := allowance - s.spentIn[ph.Round]
+	if remaining <= 0 {
+		return nil
+	}
+
+	// Decide whether this phase is the round's best target.
+	informed, active := 0, hist.N
+	if last, ok := hist.Last(); ok {
+		informed, active = last.InformedAfter, last.ActiveAfter
+	}
+	target := core.PhaseInform
+	switch {
+	case informed == 0:
+		target = core.PhaseInform
+	case informed < hist.N && informed > 0:
+		target = core.PhasePropagate
+	case active > 0:
+		target = core.PhaseRequest
+	}
+	if ph.Kind != target {
+		return nil
+	}
+
+	want := affordableJams(pool, minI64(remaining, int64(ph.Length)))
+	if want <= 0 {
+		return nil
+	}
+	s.spentIn[ph.Round] += want
+	p := NewPlan(ph.Length)
+	p.JamRange(0, int(want))
+	return p
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Composite runs several strategies at once, unioning their jam sets and
+// concatenating injections — e.g. a phase blocker plus a NACK spoofer.
+// Budget advice is shared: each sub-strategy sees the same pool, and the
+// engine's charging truncates the combined plan if they collectively
+// overdraw.
+type Composite struct {
+	Parts []Strategy
+}
+
+// Name implements Strategy.
+func (s Composite) Name() string {
+	name := "composite("
+	for i, p := range s.Parts {
+		if i > 0 {
+			name += "+"
+		}
+		name += p.Name()
+	}
+	return name + ")"
+}
+
+// PlanPhase implements Strategy.
+func (s Composite) PlanPhase(ph core.Phase, hist *History, pool *energy.Pool, st *rng.Stream) *Plan {
+	var merged *Plan
+	for i, part := range s.Parts {
+		sub := part.PlanPhase(ph, hist, pool, st.Derive(uint64(i)))
+		if sub == nil {
+			continue
+		}
+		if merged == nil {
+			merged = NewPlan(ph.Length)
+		}
+		for slot := 0; slot < ph.Length; slot++ {
+			if sub.Jammed(slot) {
+				merged.Jam(slot)
+			}
+		}
+		for _, inj := range sub.Injections() {
+			merged.Inject(inj.Slot, inj.Frame)
+		}
+		if sub.disrupt != nil {
+			// Last targeting predicate wins; composites of multiple
+			// n-uniform targeters should express the union themselves.
+			merged.SetDisrupt(sub.disrupt)
+		}
+	}
+	return merged
+}
+
+// Compile-time interface checks.
+var (
+	_ Strategy = DataSpoofer{}
+	_ Strategy = (*SweepJammer)(nil)
+	_ Strategy = (*GreedyAdaptive)(nil)
+	_ Strategy = Composite{}
+)

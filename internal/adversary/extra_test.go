@@ -1,0 +1,159 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+	"rcbcast/internal/msg"
+	"rcbcast/internal/rng"
+)
+
+func TestDataSpooferInjectsForgedData(t *testing.T) {
+	inform, _ := phaseFor(t, core.PhaseInform)
+	request, _ := phaseFor(t, core.PhaseRequest)
+	s := DataSpoofer{Rate: 0.25}
+	if plan := s.PlanPhase(request, &History{}, nil, rng.New(1)); plan != nil {
+		t.Fatal("data spoofer must skip request phases")
+	}
+	plan := s.PlanPhase(inform, &History{}, nil, rng.New(1))
+	if plan == nil {
+		t.Fatal("data spoofer must plan in inform phases")
+	}
+	auth := msg.NewAuthenticator(99)
+	for _, inj := range plan.Injections() {
+		if inj.Frame.Kind != msg.KindSpoof {
+			t.Fatalf("injected kind = %v", inj.Frame.Kind)
+		}
+		if auth.Verify(inj.Frame) {
+			t.Fatal("forged m must never verify")
+		}
+	}
+	rate := float64(len(plan.Injections())) / float64(inform.Length)
+	if rate < 0.15 || rate > 0.35 {
+		t.Fatalf("injection rate = %v, want ~0.25", rate)
+	}
+}
+
+func TestDataSpooferBudget(t *testing.T) {
+	inform, _ := phaseFor(t, core.PhaseInform)
+	pool := energy.NewPool(5)
+	plan := DataSpoofer{Rate: 1}.PlanPhase(inform, &History{}, pool, rng.New(1))
+	if plan == nil || len(plan.Injections()) != 5 {
+		t.Fatal("data spoofer must respect budget advice")
+	}
+}
+
+func TestSweepJammerWindowMovesAcrossRounds(t *testing.T) {
+	inform, _ := phaseFor(t, core.PhaseInform)
+	s := &SweepJammer{Fraction: 0.25}
+	first := s.PlanPhase(inform, &History{}, nil, rng.New(1))
+	second := s.PlanPhase(inform, &History{}, nil, rng.New(1))
+	if first == nil || second == nil {
+		t.Fatal("sweep jammer must plan")
+	}
+	wantJams := int64(0.25 * float64(inform.Length))
+	if int64(first.JamCount()) != wantJams {
+		t.Fatalf("jam count = %d, want %d", first.JamCount(), wantJams)
+	}
+	// The window must have moved: the two jam sets differ somewhere.
+	same := true
+	for slot := 0; slot < inform.Length; slot++ {
+		if first.Jammed(slot) != second.Jammed(slot) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("sweep window must advance between phases")
+	}
+}
+
+func TestSweepJammerDefaultsAndBudget(t *testing.T) {
+	inform, _ := phaseFor(t, core.PhaseInform)
+	s := &SweepJammer{}
+	plan := s.PlanPhase(inform, &History{}, energy.NewPool(10), rng.New(1))
+	if plan == nil || plan.JamCount() != 10 {
+		t.Fatalf("budgeted sweep plan = %v", plan)
+	}
+	if s.Name() == "" {
+		t.Fatal("name must be nonempty")
+	}
+}
+
+func TestGreedyAdaptiveTargetsPhaseByProgress(t *testing.T) {
+	inform, params := phaseFor(t, core.PhaseInform)
+	prop := core.Phase{}
+	request := core.Phase{}
+	for _, ph := range params.Round(8) {
+		switch ph.Kind {
+		case core.PhasePropagate:
+			prop = ph
+		case core.PhaseRequest:
+			request = ph
+		}
+	}
+	// No history → nothing informed → she hits the inform phase.
+	s := &GreedyAdaptive{}
+	if plan := s.PlanPhase(inform, &History{N: 100}, nil, rng.New(1)); plan == nil {
+		t.Fatal("with nothing informed she must block the inform phase")
+	}
+	// Partially informed → she hits propagation.
+	s = &GreedyAdaptive{}
+	hist := &History{N: 100, Outcomes: []PhaseOutcome{{InformedAfter: 40, ActiveAfter: 100}}}
+	if plan := s.PlanPhase(inform, hist, nil, rng.New(1)); plan != nil {
+		t.Fatal("partially informed: inform phase is no longer her target")
+	}
+	if plan := s.PlanPhase(prop, hist, nil, rng.New(1)); plan == nil {
+		t.Fatal("partially informed: she must block propagation")
+	}
+	// Fully informed but active → she stalls the request phase.
+	s = &GreedyAdaptive{}
+	hist = &History{N: 100, Outcomes: []PhaseOutcome{{InformedAfter: 100, ActiveAfter: 60}}}
+	if plan := s.PlanPhase(request, hist, nil, rng.New(1)); plan == nil {
+		t.Fatal("fully informed: she must stall the request phase")
+	}
+}
+
+func TestGreedyAdaptivePerRoundAllowance(t *testing.T) {
+	inform, _ := phaseFor(t, core.PhaseInform)
+	s := &GreedyAdaptive{PerRound: 10}
+	plan := s.PlanPhase(inform, &History{N: 100}, nil, rng.New(1))
+	if plan == nil || plan.JamCount() != 10 {
+		t.Fatalf("allowance ignored: %v", plan)
+	}
+	// Same round again: allowance exhausted.
+	if plan := s.PlanPhase(inform, &History{N: 100}, nil, rng.New(1)); plan != nil {
+		t.Fatal("per-round allowance must be enforced")
+	}
+}
+
+func TestCompositeUnionsPlans(t *testing.T) {
+	request, params := phaseFor(t, core.PhaseRequest)
+	comp := Composite{Parts: []Strategy{
+		PhaseBlocker{BlockRequest: true, Fraction: 0.3, Params: params},
+		&NackSpoofer{Rate: 0.2},
+	}}
+	if !strings.Contains(comp.Name(), "phase-blocker") || !strings.Contains(comp.Name(), "nack-spoofer") {
+		t.Fatalf("composite name = %q", comp.Name())
+	}
+	plan := comp.PlanPhase(request, &History{}, nil, rng.New(1))
+	if plan == nil {
+		t.Fatal("composite must plan")
+	}
+	if plan.JamCount() == 0 {
+		t.Fatal("composite must carry the blocker's jams")
+	}
+	if len(plan.Injections()) == 0 {
+		t.Fatal("composite must carry the spoofer's injections")
+	}
+}
+
+func TestCompositeEmpty(t *testing.T) {
+	inform, _ := phaseFor(t, core.PhaseInform)
+	comp := Composite{Parts: []Strategy{Null{}, Null{}}}
+	if plan := comp.PlanPhase(inform, &History{}, nil, rng.New(1)); plan != nil {
+		t.Fatal("all-null composite must plan nothing")
+	}
+}

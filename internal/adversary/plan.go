@@ -1,0 +1,201 @@
+// Package adversary implements Carol and her f·n Byzantine devices.
+//
+// Carol plans one phase at a time. Before each phase the engine hands the
+// installed Strategy the phase descriptor plus the public history of the
+// execution so far (she is *adaptive*: full information about past
+// behaviour, §1.1). A strategy that also implements Reactive is shown the
+// current phase's RSSI activity bitmap — which slots carry correct-side
+// transmissions, but never their content — matching the §4.1 reactive
+// model. The plan it returns commits, for every slot of the phase, whether
+// to jam, which listeners the jam disrupts (n-uniform targeting), and any
+// spoofed frames to inject.
+//
+// Energy is enforced by the engine, not trusted to strategies: plans are
+// charged against the adversary Pool in slot order and truncated when the
+// pool runs dry.
+package adversary
+
+import (
+	"math/bits"
+	"sort"
+
+	"rcbcast/internal/msg"
+)
+
+// Bitmap is a fixed-length bitset over the slots of one phase.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns an all-zero bitmap over n slots.
+func NewBitmap(n int) *Bitmap {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of slots.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set marks slot; out-of-range slots are ignored.
+func (b *Bitmap) Set(slot int) {
+	if slot < 0 || slot >= b.n {
+		return
+	}
+	b.words[slot>>6] |= 1 << (uint(slot) & 63)
+}
+
+// Clear unmarks slot.
+func (b *Bitmap) Clear(slot int) {
+	if slot < 0 || slot >= b.n {
+		return
+	}
+	b.words[slot>>6] &^= 1 << (uint(slot) & 63)
+}
+
+// Get reports whether slot is marked.
+func (b *Bitmap) Get(slot int) bool {
+	if slot < 0 || slot >= b.n {
+		return false
+	}
+	return b.words[slot>>6]&(1<<(uint(slot)&63)) != 0
+}
+
+// Count returns the number of marked slots.
+func (b *Bitmap) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Injection is a spoofed frame the adversary transmits in a slot. It
+// occupies the channel like any transmission: a solo injection is received
+// (and fails authentication if it imitates Alice); otherwise it collides.
+type Injection struct {
+	Slot  int
+	Frame msg.Frame
+}
+
+// Plan is the adversary's committed behaviour for one phase.
+type Plan struct {
+	length     int
+	jam        *Bitmap
+	disrupt    func(slot, listener int) bool
+	injections []Injection
+}
+
+// NewPlan returns an empty plan for a phase of the given length.
+func NewPlan(length int) *Plan {
+	return &Plan{length: length, jam: NewBitmap(length)}
+}
+
+// Length returns the phase length the plan was built for.
+func (p *Plan) Length() int { return p.length }
+
+// Jam marks a slot for jamming.
+func (p *Plan) Jam(slot int) { p.jam.Set(slot) }
+
+// JamRange marks slots [from, to) for jamming.
+func (p *Plan) JamRange(from, to int) {
+	if from < 0 {
+		from = 0
+	}
+	if to > p.length {
+		to = p.length
+	}
+	for s := from; s < to; s++ {
+		p.jam.Set(s)
+	}
+}
+
+// Unjam clears a slot, e.g. during budget truncation.
+func (p *Plan) Unjam(slot int) { p.jam.Clear(slot) }
+
+// Jammed reports whether the plan jams the slot.
+func (p *Plan) Jammed(slot int) bool { return p.jam.Get(slot) }
+
+// JamCount returns the number of jammed slots (the plan's jam cost).
+func (p *Plan) JamCount() int { return p.jam.Count() }
+
+// SetDisrupt installs the n-uniform targeting predicate: which listeners
+// perceive a jammed slot as noise. nil (the default) disrupts everyone.
+func (p *Plan) SetDisrupt(f func(slot, listener int) bool) { p.disrupt = f }
+
+// Disrupts reports whether a jam in the slot disrupts the listener. Only
+// meaningful when Jammed(slot).
+func (p *Plan) Disrupts(slot, listener int) bool {
+	if p.disrupt == nil {
+		return true
+	}
+	return p.disrupt(slot, listener)
+}
+
+// Inject schedules a spoofed frame. Injections outside [0, length) are
+// dropped.
+func (p *Plan) Inject(slot int, f msg.Frame) {
+	if slot < 0 || slot >= p.length {
+		return
+	}
+	p.injections = append(p.injections, Injection{Slot: slot, Frame: f})
+}
+
+// Injections returns the plan's spoofed frames sorted by slot. The
+// returned slice is owned by the plan.
+func (p *Plan) Injections() []Injection {
+	sort.SliceStable(p.injections, func(i, j int) bool {
+		return p.injections[i].Slot < p.injections[j].Slot
+	})
+	return p.injections
+}
+
+// TruncateJamsAfter keeps only the first keep jammed slots (in slot
+// order), clearing the rest. Used by the engine when the pool cannot
+// afford the full plan. It returns the number of jams kept.
+func (p *Plan) TruncateJamsAfter(keep int64) int64 {
+	if keep < 0 {
+		keep = 0
+	}
+	var kept int64
+	for w := range p.jam.words {
+		word := p.jam.words[w]
+		if word == 0 {
+			continue
+		}
+		if kept >= keep {
+			p.jam.words[w] = 0
+			continue
+		}
+		c := int64(bits.OnesCount64(word))
+		if kept+c <= keep {
+			kept += c
+			continue
+		}
+		// Keep only the lowest (keep - kept) set bits of this word.
+		var newWord uint64
+		for kept < keep {
+			low := word & (-word)
+			newWord |= low
+			word &^= low
+			kept++
+		}
+		p.jam.words[w] = newWord
+	}
+	return kept
+}
+
+// TruncateInjectionsAfter keeps only the first keep injections in slot
+// order and drops the rest, returning how many remain.
+func (p *Plan) TruncateInjectionsAfter(keep int64) int64 {
+	inj := p.Injections() // sorts
+	if keep < 0 {
+		keep = 0
+	}
+	if int64(len(inj)) > keep {
+		p.injections = inj[:keep]
+	}
+	return int64(len(p.injections))
+}

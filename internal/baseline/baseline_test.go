@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"rcbcast/internal/stats"
+)
+
+func TestNaiveLinearCost(t *testing.T) {
+	for _, jam := range []int64{0, 10, 1000, 1 << 20} {
+		res := RunNaive(jam, 1<<30)
+		if !res.Delivered {
+			t.Fatalf("jam=%d: must deliver", jam)
+		}
+		if res.DeliverySlot != jam {
+			t.Fatalf("jam=%d: delivery at %d, want first unjammed slot", jam, res.DeliverySlot)
+		}
+		if res.NodeCost != jam+1 || res.AliceCost != jam+1 {
+			t.Fatalf("jam=%d: costs alice=%d node=%d, want %d (Θ(T))",
+				jam, res.AliceCost, res.NodeCost, jam+1)
+		}
+		if res.AdversarySpent != jam {
+			t.Fatalf("adversary spent %d, want %d", res.AdversarySpent, jam)
+		}
+	}
+}
+
+func TestNaiveHorizonExhausted(t *testing.T) {
+	res := RunNaive(100, 50)
+	if res.Delivered {
+		t.Fatal("cannot deliver while fully jammed")
+	}
+	if res.NodeCost != 50 || res.AliceCost != 50 {
+		t.Fatalf("costs must be capped at the horizon: %+v", res)
+	}
+}
+
+func TestNaiveNegativeJamClamps(t *testing.T) {
+	res := RunNaive(-5, 100)
+	if !res.Delivered || res.DeliverySlot != 0 {
+		t.Fatalf("negative jam must clamp to zero: %+v", res)
+	}
+}
+
+func TestKSYDelivers(t *testing.T) {
+	res := RunKSY(1, 1000, 1<<24, KSYParams{})
+	if !res.Delivered {
+		t.Fatal("KSY must deliver once the jam ends")
+	}
+	if res.DeliverySlot < 1000 {
+		t.Fatalf("delivery at %d inside the jam", res.DeliverySlot)
+	}
+	if res.NodeCost != res.DeliverySlot+1 {
+		t.Fatalf("listeners are always-on: node cost %d, slot %d", res.NodeCost, res.DeliverySlot)
+	}
+}
+
+func TestKSYAliceSublinear(t *testing.T) {
+	// Alice's cost must scale ~T^{φ-1} ≈ T^0.62: fit the exponent over a
+	// sweep and check it lands well below 1 and near 0.62.
+	var xs, ys []float64
+	for _, jam := range []int64{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20} {
+		var costs []float64
+		for seed := uint64(0); seed < 8; seed++ {
+			res := RunKSY(seed, jam, 1<<26, KSYParams{})
+			if !res.Delivered {
+				t.Fatalf("jam=%d seed=%d: not delivered", jam, seed)
+			}
+			costs = append(costs, float64(res.AliceCost))
+		}
+		xs = append(xs, float64(jam))
+		ys = append(ys, stats.Mean(costs))
+	}
+	fit := stats.FitPowerLaw(xs, ys)
+	want := GoldenRatio - 1
+	if math.Abs(fit.Exponent-want) > 0.08 {
+		t.Fatalf("KSY Alice exponent = %v, want ~%v (fit %v)", fit.Exponent, want, fit)
+	}
+}
+
+func TestKSYNodeLinear(t *testing.T) {
+	var xs, ys []float64
+	for _, jam := range []int64{1 << 10, 1 << 13, 1 << 16, 1 << 19} {
+		res := RunKSY(7, jam, 1<<26, KSYParams{})
+		xs = append(xs, float64(jam))
+		ys = append(ys, float64(res.NodeCost))
+	}
+	fit := stats.FitPowerLaw(xs, ys)
+	if fit.Exponent < 0.9 || fit.Exponent > 1.1 {
+		t.Fatalf("KSY node exponent = %v, want ~1 (not load balanced)", fit.Exponent)
+	}
+}
+
+func TestKSYDeterministic(t *testing.T) {
+	a := RunKSY(42, 5000, 1<<22, KSYParams{})
+	b := RunKSY(42, 5000, 1<<22, KSYParams{})
+	if a != b {
+		t.Fatalf("same seed must replay: %+v vs %+v", a, b)
+	}
+	c := RunKSY(43, 5000, 1<<22, KSYParams{})
+	if a.DeliverySlot == c.DeliverySlot && a.AliceCost == c.AliceCost {
+		t.Log("note: different seeds coincided (possible but unlikely)")
+	}
+}
+
+func TestKSYHorizon(t *testing.T) {
+	res := RunKSY(1, 1<<20, 1<<10, KSYParams{})
+	if res.Delivered {
+		t.Fatal("fully-jammed horizon cannot deliver")
+	}
+	if res.NodeCost != 1<<10 {
+		t.Fatalf("node cost %d, want horizon", res.NodeCost)
+	}
+	if res.AdversarySpent != 1<<10 {
+		t.Fatalf("adversary spend must be capped at the horizon: %d", res.AdversarySpent)
+	}
+}
+
+func TestKSYParamDefaults(t *testing.T) {
+	p := KSYParams{}
+	if p.c() != 1 || p.firstEpoch() != 4 {
+		t.Fatalf("defaults: c=%v firstEpoch=%d", p.c(), p.firstEpoch())
+	}
+	p = KSYParams{C: 2, FirstEpoch: 6}
+	if p.c() != 2 || p.firstEpoch() != 6 {
+		t.Fatal("overrides ignored")
+	}
+}
+
+func TestNaiveVersusKSYShape(t *testing.T) {
+	// The paper's comparison: for large T the KSY sender beats naive by a
+	// polynomial factor, while listeners tie.
+	jam := int64(1 << 18)
+	naive := RunNaive(jam, 1<<26)
+	ksy := RunKSY(3, jam, 1<<26, KSYParams{})
+	if ksy.AliceCost*4 >= naive.AliceCost {
+		t.Fatalf("KSY Alice (%d) must be far below naive (%d)", ksy.AliceCost, naive.AliceCost)
+	}
+	if ksy.NodeCost < naive.NodeCost {
+		t.Fatalf("KSY listeners (%d) cannot beat naive listeners (%d)", ksy.NodeCost, naive.NodeCost)
+	}
+}

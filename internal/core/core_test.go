@@ -1,0 +1,499 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	valid := PracticalParams(1000, 2)
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("PracticalParams must validate: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		want   error
+	}{
+		{"small N", func(p *Params) { p.N = 1 }, ErrBadN},
+		{"small K", func(p *Params) { p.K = 1 }, ErrBadK},
+		{"zero epsilon", func(p *Params) { p.Epsilon = 0 }, ErrBadEpsilon},
+		{"epsilon one", func(p *Params) { p.Epsilon = 1 }, ErrBadEpsilon},
+		{"zero C", func(p *Params) { p.C = 0 }, ErrBadC},
+		{"variant mismatch", func(p *Params) { p.Variant = VariantK2Exact; p.K = 3 }, ErrBadVariant},
+		{"zero start", func(p *Params) { p.StartRound = 0 }, ErrBadRounds},
+		{"max before start", func(p *Params) { p.StartRound = 5; p.MaxRound = 4 }, ErrBadRounds},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := PracticalParams(1000, 2)
+			tc.mutate(&p)
+			if err := p.Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPaperParamsDefaults(t *testing.T) {
+	p2 := PaperParams(1000, 2)
+	if p2.Variant != VariantK2Exact {
+		t.Fatal("k=2 paper params must use Figure 1")
+	}
+	p3 := PaperParams(1000, 3)
+	if p3.Variant != VariantGeneralK {
+		t.Fatal("k=3 paper params must use Figure 2")
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPracticalParamsStartRoundPastClamp(t *testing.T) {
+	p := PracticalParams(4096, 2)
+	ph := p.informPhase(p.StartRound)
+	if ph.NodeListenP >= 1 {
+		t.Fatalf("start round %d still clamped: listen prob %v", p.StartRound, ph.NodeListenP)
+	}
+}
+
+func TestPhaseLength(t *testing.T) {
+	cases := []struct {
+		k, i, want int
+	}{
+		{2, 2, 8},  // 2^{1.5*2} = 2^3
+		{2, 4, 64}, // 2^6
+		{3, 3, 16}, // 2^{(4/3)*3} = 2^4
+		{4, 4, 32}, // 2^{(5/4)*4} = 2^5
+		{2, 1, 3},  // ceil(2^1.5) = ceil(2.83)
+	}
+	for _, tc := range cases {
+		p := PaperParams(1000, tc.k)
+		if got := p.PhaseLength(tc.i); got != tc.want {
+			t.Errorf("k=%d i=%d: PhaseLength = %d, want %d", tc.k, tc.i, got, tc.want)
+		}
+	}
+}
+
+func TestRoundComposition(t *testing.T) {
+	for _, k := range []int{2, 3, 5} {
+		p := PaperParams(1000, k)
+		phases := p.Round(6)
+		if len(phases) != k+1 {
+			t.Fatalf("k=%d: round has %d phases, want %d", k, len(phases), k+1)
+		}
+		if phases[0].Kind != PhaseInform {
+			t.Fatalf("k=%d: first phase = %v", k, phases[0].Kind)
+		}
+		for h := 1; h <= k-1; h++ {
+			ph := phases[h]
+			if ph.Kind != PhasePropagate || ph.Step != h {
+				t.Fatalf("k=%d: phase %d = %v step %d", k, h, ph.Kind, ph.Step)
+			}
+		}
+		last := phases[len(phases)-1]
+		if last.Kind != PhaseRequest {
+			t.Fatalf("k=%d: last phase = %v", k, last.Kind)
+		}
+		for _, ph := range phases {
+			if ph.Round != 6 {
+				t.Fatalf("phase carries wrong round %d", ph.Round)
+			}
+			if ph.Length != p.PhaseLength(6) {
+				t.Fatalf("phase length %d, want %d", ph.Length, p.PhaseLength(6))
+			}
+		}
+	}
+}
+
+func TestProbabilitiesClamped(t *testing.T) {
+	p := PaperParams(100, 2) // small n, round 1: raw formulas exceed 1
+	for i := 1; i <= p.LastRound(); i++ {
+		for _, ph := range p.Round(i) {
+			for name, v := range map[string]float64{
+				"AliceSendP":   ph.AliceSendP,
+				"AliceListenP": ph.AliceListenP,
+				"NodeListenP":  ph.NodeListenP,
+				"NodeSendP":    ph.NodeSendP,
+				"DecoyP":       ph.DecoyP,
+			} {
+				if v < 0 || v > 1 {
+					t.Fatalf("round %d %v: %s = %v out of [0,1]", i, ph.Kind, name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestVariantDifferAtK2(t *testing.T) {
+	fig1 := PaperParams(10000, 2)
+	fig2 := fig1
+	fig2.Variant = VariantGeneralK
+	i := 10
+	p1 := fig1.informPhase(i)
+	p2 := fig2.informPhase(i)
+	// Figure 1: 2 ln n / 2^i; Figure 2: 2c ln^2 n / 2^i — differ by ln n.
+	ratio := p2.AliceSendP / p1.AliceSendP
+	if math.Abs(ratio-fig1.LnN()) > 1e-9 {
+		t.Fatalf("Fig2/Fig1 Alice send ratio = %v, want ln n = %v", ratio, fig1.LnN())
+	}
+	// Node inform listening is identical across variants.
+	if p1.NodeListenP != p2.NodeListenP {
+		t.Fatal("inform listen probability must not depend on variant")
+	}
+}
+
+func TestInformProbFormulas(t *testing.T) {
+	p := PaperParams(1<<16, 2) // n = 65536, ln n ≈ 11.09
+	i := 12
+	ph := p.informPhase(i)
+	wantAlice := 2 * math.Log(65536) / 4096
+	if math.Abs(ph.AliceSendP-wantAlice) > 1e-12 {
+		t.Fatalf("Alice send p = %v, want %v", ph.AliceSendP, wantAlice)
+	}
+	wantListen := 2 / (p.Epsilon * 4096)
+	if math.Abs(ph.NodeListenP-wantListen) > 1e-12 {
+		t.Fatalf("node listen p = %v, want %v", ph.NodeListenP, wantListen)
+	}
+}
+
+func TestRequestPhaseFormulas(t *testing.T) {
+	p := PaperParams(1<<16, 2)
+	i := 12
+	ph := p.requestPhase(i)
+	if ph.NoisyThreshold != p.NoisyThreshold() {
+		t.Fatal("request phase must carry the noisy threshold")
+	}
+	wantNack := 1 / float64(p.N)
+	if math.Abs(ph.NodeSendP-wantNack) > 1e-15 {
+		t.Fatalf("nack p = %v, want 1/n = %v", ph.NodeSendP, wantNack)
+	}
+	// Alice's expected listens per request phase ≈ c ln n / (1-e^{-4ε'}).
+	expListens := ph.AliceListenP * float64(ph.Length)
+	want := p.C * p.LnN() / (1 - math.Exp(-4*p.Epsilon))
+	if math.Abs(expListens-want)/want > 0.01 {
+		t.Fatalf("Alice expected request listens = %v, want %v", expListens, want)
+	}
+}
+
+func TestProbabilitiesDecreaseWithRound(t *testing.T) {
+	p := PracticalParams(1<<14, 2)
+	prev := p.informPhase(p.StartRound)
+	for i := p.StartRound + 1; i <= p.LastRound(); i++ {
+		cur := p.informPhase(i)
+		if cur.AliceSendP > prev.AliceSendP || cur.NodeListenP > prev.NodeListenP {
+			t.Fatalf("round %d probabilities must not increase", i)
+		}
+		prev = cur
+	}
+}
+
+func TestSendAndTerminationSteps(t *testing.T) {
+	cases := []struct {
+		k            int
+		mark         InformMark
+		wantSend     int
+		wantTermStep int
+	}{
+		{2, MarkInformPhase, 1, 1}, // informed by Alice → sends step 1, dies end of step 1
+		{2, 1, 0, 1},               // informed during step 1 (k=2's only step) → never sends
+		{3, MarkInformPhase, 1, 1},
+		{3, 1, 2, 2}, // S_{i,2}: sends in step 2
+		{3, 2, 0, 2}, // informed in final step → terminates end of phase
+		{4, 2, 3, 3},
+		{4, 3, 0, 3},
+	}
+	for _, tc := range cases {
+		p := PaperParams(1000, tc.k)
+		if got := p.SendStep(tc.mark); got != tc.wantSend {
+			t.Errorf("k=%d mark=%d: SendStep = %d, want %d", tc.k, tc.mark, got, tc.wantSend)
+		}
+		if got := p.TerminationStep(tc.mark); got != tc.wantTermStep {
+			t.Errorf("k=%d mark=%d: TerminationStep = %d, want %d", tc.k, tc.mark, got, tc.wantTermStep)
+		}
+	}
+}
+
+func TestBlockedFractionAndCost(t *testing.T) {
+	p := PaperParams(1000, 2)
+	if got := p.BlockedFraction(PhaseInform); got != 0.5 {
+		t.Fatalf("inform blocked fraction = %v", got)
+	}
+	if got := p.BlockedFraction(PhasePropagate); got != 0.5 {
+		t.Fatalf("propagate blocked fraction = %v", got)
+	}
+	want := 1 - math.Exp(-4*p.Epsilon)
+	if got := p.BlockedFraction(PhaseRequest); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("request blocked fraction = %v, want %v", got, want)
+	}
+	ph := p.Round(8)[0]
+	cost := p.BlockCost(ph)
+	if cost != int64(math.Ceil(0.5*float64(ph.Length))) {
+		t.Fatalf("BlockCost = %d for length %d", cost, ph.Length)
+	}
+}
+
+func TestScheduleIterator(t *testing.T) {
+	p := PaperParams(64, 2)
+	p.StartRound = 2
+	p.MaxRound = 4
+	s := NewSchedule(&p)
+	var got []Phase
+	for {
+		ph, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, ph)
+	}
+	wantCount := (4 - 2 + 1) * (p.K + 1)
+	if len(got) != wantCount {
+		t.Fatalf("iterator yielded %d phases, want %d", len(got), wantCount)
+	}
+	if got[0].Round != 2 || got[len(got)-1].Round != 4 {
+		t.Fatalf("rounds span %d..%d, want 2..4", got[0].Round, got[len(got)-1].Round)
+	}
+	if got[len(got)-1].Kind != PhaseRequest {
+		t.Fatal("last phase must be a request phase")
+	}
+}
+
+func TestExpectedCostScaling(t *testing.T) {
+	// A node's expected per-round cost grows like 2^{i/k} once
+	// probabilities are below the clamp; the per-round growth ratio must
+	// approach 2^{1/k}. This holds in the paper's regime i <= lg n (past
+	// lg n the NACK-send term 2^{(1+1/k)i}/n stops being dominated).
+	for _, k := range []int{2, 3} {
+		p := PracticalParams(1<<16, k)
+		i := 12 // mid-range: below lg n = 16, above the clamp region
+		ratio := p.ExpectedNodeCostPerRound(i+1) / p.ExpectedNodeCostPerRound(i)
+		want := math.Pow(2, 1/float64(k))
+		if math.Abs(ratio-want)/want > 0.2 {
+			t.Errorf("k=%d: node cost ratio %v, want ~%v", k, ratio, want)
+		}
+	}
+}
+
+func TestLoadBalanceWithinPolylog(t *testing.T) {
+	// Alice's and a node's expected per-round costs must agree up to
+	// polylog(n) factors (the protocol's load-balancing goal).
+	p := PracticalParams(1<<16, 2)
+	i := p.LastRound()
+	alice := p.ExpectedAliceCostPerRound(i)
+	node := p.ExpectedNodeCostPerRound(i)
+	logPoly := math.Pow(math.Log(float64(p.N)), 3)
+	if alice > node*logPoly || node > alice*logPoly {
+		t.Fatalf("costs not polylog-balanced: alice=%v node=%v", alice, node)
+	}
+}
+
+func TestDecoyFields(t *testing.T) {
+	p := PracticalParams(4096, 2)
+	p.Decoy = true
+	ph := p.informPhase(10)
+	wantDecoy := 3 / (4 * p.Epsilon * float64(p.N))
+	if math.Abs(ph.DecoyP-wantDecoy) > 1e-12 {
+		t.Fatalf("decoy p = %v, want %v", ph.DecoyP, wantDecoy)
+	}
+	// Listening must be boosted relative to non-decoy mode.
+	plain := PracticalParams(4096, 2)
+	if ph.NodeListenP <= plain.informPhase(10).NodeListenP {
+		t.Fatal("decoy mode must boost listening probability")
+	}
+	// No decoys in the request phase.
+	if p.requestPhase(10).DecoyP != 0 {
+		t.Fatal("request phase must not carry decoy traffic")
+	}
+}
+
+func TestDecoyOverrides(t *testing.T) {
+	p := PracticalParams(4096, 2)
+	p.Decoy = true
+	p.DecoyProb = 0.25
+	p.ListenBoost = 2
+	ph := p.informPhase(9)
+	if ph.DecoyP != 0.25 {
+		t.Fatalf("DecoyProb override ignored: %v", ph.DecoyP)
+	}
+	plain := PracticalParams(4096, 2)
+	if math.Abs(ph.NodeListenP-2*plain.informPhase(9).NodeListenP) > 1e-12 {
+		t.Fatal("ListenBoost override ignored")
+	}
+}
+
+func TestApproximationOverrides(t *testing.T) {
+	exact := PracticalParams(4096, 2)
+	approx := exact
+	approx.LnOverride = 2 * exact.LnN()
+	approx.NOverride = 2 * float64(exact.N)
+	if approx.LnN() != 2*exact.LnN() {
+		t.Fatal("LnOverride not honored")
+	}
+	if approx.EffectiveN() != 2*float64(exact.N) {
+		t.Fatal("NOverride not honored")
+	}
+	i := 10
+	phE, phA := exact.informPhase(i), approx.informPhase(i)
+	if phA.AliceSendP <= phE.AliceSendP {
+		t.Fatal("larger ln estimate must raise Alice's send probability")
+	}
+	reqE, reqA := exact.requestPhase(i), approx.requestPhase(i)
+	if reqA.NodeSendP >= reqE.NodeSendP {
+		t.Fatal("larger n estimate must lower nack probability")
+	}
+}
+
+func TestNoisyThreshold(t *testing.T) {
+	p := PaperParams(1<<16, 2)
+	want := int(math.Ceil(5 * 1 * math.Log(1<<16)))
+	if got := p.NoisyThreshold(); got != want {
+		t.Fatalf("NoisyThreshold = %d, want %d", got, want)
+	}
+}
+
+func TestTotalSlots(t *testing.T) {
+	p := PaperParams(64, 2)
+	p.StartRound = 1
+	want := int64(0)
+	for i := 1; i <= 3; i++ {
+		want += int64(p.RoundLength(i))
+	}
+	if got := p.TotalSlots(3); got != want {
+		t.Fatalf("TotalSlots(3) = %d, want %d", got, want)
+	}
+}
+
+func TestLatencyIsNPowerOnePlusInverseK(t *testing.T) {
+	// Total slots through round lg n must be O(n^{1+1/k}) — Corollary 1's
+	// optimal latency. Check the ratio stays bounded across n.
+	for _, k := range []int{2, 3} {
+		prev := 0.0
+		for _, n := range []int{1 << 10, 1 << 12, 1 << 14} {
+			p := PaperParams(n, k)
+			last := int(math.Ceil(math.Log2(float64(n))))
+			slots := float64(p.TotalSlots(last))
+			bound := math.Pow(float64(n), 1+1/float64(k))
+			ratio := slots / bound
+			if prev != 0 && (ratio > prev*2 || ratio < prev/2) {
+				t.Errorf("k=%d n=%d: latency/bound ratio %v drifted from %v", k, n, ratio, prev)
+			}
+			prev = ratio
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if PhaseInform.String() != "inform" || PhaseRequest.String() != "request" {
+		t.Fatal("phase kind names wrong")
+	}
+	if PhaseKind(9).String() != "PhaseKind(9)" {
+		t.Fatal("unknown phase kind formatting")
+	}
+	if VariantGeneralK.String() != "general-k" || VariantK2Exact.String() != "k2-exact" {
+		t.Fatal("variant names wrong")
+	}
+	if Variant(7).String() != "Variant(7)" {
+		t.Fatal("unknown variant formatting")
+	}
+	p := PaperParams(64, 3)
+	phases := p.Round(3)
+	if phases[1].String() == "" || phases[0].String() == "" {
+		t.Fatal("phase String must be nonempty")
+	}
+}
+
+func TestQuietTestAbsolute(t *testing.T) {
+	p := PaperParams(1<<16, 2)
+	thr := p.NoisyThreshold()
+	if !p.ShouldTerminateQuiet(1000, thr) {
+		t.Fatal("at-threshold noise must terminate (paper: 'at most 5c ln n')")
+	}
+	if p.ShouldTerminateQuiet(1000, thr+1) {
+		t.Fatal("above-threshold noise must not terminate")
+	}
+	// The absolute test ignores listen counts entirely.
+	if !p.ShouldTerminateQuiet(0, 0) {
+		t.Fatal("absolute test with zero noise must terminate")
+	}
+}
+
+func TestQuietTestFraction(t *testing.T) {
+	p := PracticalParams(1<<16, 2)
+	gate := p.quietMinListens()
+	// Below the listen gate: never terminate.
+	if p.ShouldTerminateQuiet(gate-1, 0) {
+		t.Fatal("below the listen gate the fraction test must not fire")
+	}
+	// Quiet channel: terminate.
+	if !p.ShouldTerminateQuiet(1000, 0) {
+		t.Fatal("a silent request phase must terminate")
+	}
+	// Exactly at the fraction: terminate (<=).
+	noisyAt := int(p.quietFrac() * 1000)
+	if !p.ShouldTerminateQuiet(1000, noisyAt) {
+		t.Fatal("at-fraction noise must terminate")
+	}
+	// A mostly-noisy channel (many uninformed nodes nacking): stay.
+	if p.ShouldTerminateQuiet(1000, 500) {
+		t.Fatal("half-noisy channel must keep the device active")
+	}
+}
+
+func TestQuietFracDefaults(t *testing.T) {
+	p := PracticalParams(4096, 2)
+	if got, want := p.quietFrac(), 2*p.Epsilon; got != want {
+		t.Fatalf("default QuietFrac = %v, want 2ε' = %v", got, want)
+	}
+	p.QuietFrac = 0.07
+	if p.quietFrac() != 0.07 {
+		t.Fatal("QuietFrac override ignored")
+	}
+	p.QuietMinListens = 99
+	if p.quietMinListens() != 99 {
+		t.Fatal("QuietMinListens override ignored")
+	}
+}
+
+func TestQuietModeString(t *testing.T) {
+	if QuietAbsolute.String() != "absolute" || QuietFraction.String() != "fraction" {
+		t.Fatal("quiet mode names wrong")
+	}
+	if QuietMode(9).String() != "QuietMode(9)" {
+		t.Fatal("unknown quiet mode formatting")
+	}
+}
+
+func TestLnNFloor(t *testing.T) {
+	p := PaperParams(2, 2)
+	if p.LnN() < 1 {
+		t.Fatalf("LnN must be at least 1, got %v", p.LnN())
+	}
+}
+
+func TestCanTerminate(t *testing.T) {
+	// Absolute mode: the §2.3 guard defaults to ceil(3·lg ln n).
+	paper := PaperParams(512, 2)
+	want := int(math.Ceil(3 * math.Log2(math.Log(512))))
+	for i := 1; i < want; i++ {
+		if paper.CanTerminate(i) {
+			t.Fatalf("absolute mode must not terminate in round %d < %d", i, want)
+		}
+	}
+	if !paper.CanTerminate(want) {
+		t.Fatalf("absolute mode must allow termination from round %d", want)
+	}
+	// Fraction mode: gated by listens, not rounds.
+	practical := PracticalParams(512, 2)
+	if !practical.CanTerminate(1) {
+		t.Fatal("fraction mode has no round guard by default")
+	}
+	// Explicit override wins in both modes.
+	practical.MinTerminationRound = 9
+	if practical.CanTerminate(8) || !practical.CanTerminate(9) {
+		t.Fatal("MinTerminationRound override ignored")
+	}
+}

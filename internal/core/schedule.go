@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PhaseKind identifies the three phases of a round.
+type PhaseKind uint8
+
+const (
+	// PhaseInform: Alice seeds the round's first informed set.
+	PhaseInform PhaseKind = iota + 1
+	// PhasePropagate: informed nodes relay m (k-1 steps).
+	PhasePropagate
+	// PhaseRequest: NACK-based quiet test for termination.
+	PhaseRequest
+)
+
+var phaseNames = [...]string{PhaseInform: "inform", PhasePropagate: "propagate", PhaseRequest: "request"}
+
+// String names the phase kind.
+func (k PhaseKind) String() string {
+	if int(k) < len(phaseNames) && phaseNames[k] != "" {
+		return phaseNames[k]
+	}
+	return fmt.Sprintf("PhaseKind(%d)", uint8(k))
+}
+
+// Phase is one fully-resolved phase descriptor: everything an engine needs
+// to execute the phase slot by slot. All probabilities are pre-clamped to
+// [0, 1].
+type Phase struct {
+	// Round is the round index i.
+	Round int
+	// Kind is inform / propagate / request.
+	Kind PhaseKind
+	// Step is the propagation step h in [1, k-1]; 0 for other kinds.
+	Step int
+	// Sub is the §4.2 g-sweep index (1..⌈lg ν⌉); 0 when the sweep is
+	// disabled.
+	Sub int
+	// LastSub marks the final sub-phase of a swept step (always true
+	// when the sweep is disabled). Termination rules fire on it.
+	LastSub bool
+	// Ordinal is the phase's position within its round; engines use it
+	// to key independent random streams per phase.
+	Ordinal int
+	// Length is the number of slots.
+	Length int
+
+	// AliceSendP is Alice's per-slot probability of transmitting m
+	// (inform phase only).
+	AliceSendP float64
+	// AliceListenP is Alice's per-slot listening probability (request
+	// phase only).
+	AliceListenP float64
+
+	// NodeListenP is an uninformed node's per-slot listening probability.
+	NodeListenP float64
+	// NodeSendP is the per-slot transmission probability for the phase's
+	// sender role: informed relays in propagation, NACKs in request.
+	NodeSendP float64
+	// DecoyP is the per-slot decoy probability for every active correct
+	// node (only nonzero in decoy mode, inform and propagation phases).
+	DecoyP float64
+
+	// NoisyThreshold is the request-phase termination threshold
+	// (0 for other phases).
+	NoisyThreshold int
+}
+
+// String is a compact descriptor for traces.
+func (ph Phase) String() string {
+	if ph.Kind == PhasePropagate {
+		return fmt.Sprintf("r%d/%v[%d] len=%d", ph.Round, ph.Kind, ph.Step, ph.Length)
+	}
+	return fmt.Sprintf("r%d/%v len=%d", ph.Round, ph.Kind, ph.Length)
+}
+
+// PhaseLength returns the slot count of every phase in round i:
+// ceil(2^{(1+1/k)·i}). Both figures use this length for all phases once
+// a = 1/k, b = 1 are substituted (Lemma 11 derives exactly those values).
+func (p *Params) PhaseLength(i int) int {
+	exp := (1 + 1/float64(p.K)) * float64(i)
+	return int(math.Ceil(math.Pow(2, exp)))
+}
+
+// RoundLength returns the total slots in round i across all its phases
+// (inform + (k-1) propagation steps + request, each step expanded by the
+// g-sweep when PolyEstimate is enabled).
+func (p *Params) RoundLength(i int) int {
+	phases := p.K + 1
+	if l := p.sweepLen(); l > 0 {
+		// inform + (k-1) swept propagation steps + swept request.
+		phases = 1 + (p.K-1)*l + l
+	}
+	return phases * p.PhaseLength(i)
+}
+
+// TotalSlots returns the slots from StartRound through round i inclusive.
+func (p *Params) TotalSlots(i int) int64 {
+	var total int64
+	for r := p.StartRound; r <= i; r++ {
+		total += int64(p.RoundLength(r))
+	}
+	return total
+}
+
+// Round materializes the phase descriptors of round i, in execution order.
+// With PolyEstimate enabled, propagation steps and the request phase are
+// expanded into their g-sweep sub-phases.
+func (p *Params) Round(i int) []Phase {
+	phases := make([]Phase, 0, p.K+1)
+	phases = append(phases, p.expand(p.informPhase(i))...)
+	for h := 1; h <= p.K-1; h++ {
+		phases = append(phases, p.expand(p.propagatePhase(i, h))...)
+	}
+	phases = append(phases, p.expand(p.requestPhase(i))...)
+	for o := range phases {
+		phases[o].Ordinal = o
+	}
+	return phases
+}
+
+// sweepLen returns ⌈lg ν⌉, the number of g-sweep sub-phases, or 0 when
+// the sweep is disabled.
+func (p *Params) sweepLen() int {
+	if p.PolyEstimate <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(p.PolyEstimate)))
+}
+
+// expand replicates a phase across the g-sweep, substituting the paper's
+// sending probability 1/(2^i · 2^g) (§4.2). The 2^i factor keeps the
+// total sends per sender across the sweep at Σ_g L/(2^i 2^g) ≈ 2^{i/k},
+// within the node budget scale; the sub-phase with 2^{i+g} ≈ n uses the
+// correct 1/n rate to within a factor of 2 (which exists whenever
+// i ≤ lg n - 1, the protocol's operating range). Phases that carry no
+// node sending probability are returned unchanged.
+func (p *Params) expand(ph Phase) []Phase {
+	ph.LastSub = true
+	l := p.sweepLen()
+	if l == 0 || ph.NodeSendP == 0 {
+		return []Phase{ph}
+	}
+	out := make([]Phase, 0, l)
+	for g := 1; g <= l; g++ {
+		sub := ph
+		sub.Sub = g
+		sub.LastSub = g == l
+		sub.NodeSendP = clampP(1 / math.Pow(2, float64(ph.Round+g)))
+		out = append(out, sub)
+	}
+	return out
+}
+
+func clampP(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func (p *Params) informPhase(i int) Phase {
+	pow2i := math.Pow(2, float64(i))
+	var aliceSend float64
+	switch p.Variant {
+	case VariantK2Exact:
+		// Figure 1: Alice sends with 2 ln n / 2^{bi}, b = 1.
+		aliceSend = 2 * p.LnN() / pow2i
+	default:
+		// Figure 2: 2c ln^k n / 2^i.
+		aliceSend = 2 * p.C * math.Pow(p.LnN(), float64(p.K)) / pow2i
+	}
+	// Both figures: uninformed listen with 2/(ε′ 2^i).
+	listen := 2 / (p.Epsilon * pow2i) * p.listenBoost()
+	return Phase{
+		Round:       i,
+		Kind:        PhaseInform,
+		Length:      p.PhaseLength(i),
+		AliceSendP:  clampP(aliceSend),
+		NodeListenP: clampP(listen),
+		DecoyP:      clampP(p.decoyProb()),
+	}
+}
+
+func (p *Params) propagatePhase(i, step int) Phase {
+	pow2i := math.Pow(2, float64(i))
+	var listen float64
+	switch p.Variant {
+	case VariantK2Exact:
+		// Figure 1: 4e(c+1) / 2^{ai+(b/2)i} = 4e(c+1)/2^i at a=1/2, b=1.
+		listen = 4 * math.E * (p.C + 1) / pow2i
+	default:
+		// Figure 2: 2ec / (ε′ 2^i).
+		listen = 2 * math.E * p.C / (p.Epsilon * pow2i)
+	}
+	listen *= p.listenBoost()
+	return Phase{
+		Round:       i,
+		Kind:        PhasePropagate,
+		Step:        step,
+		Length:      p.PhaseLength(i),
+		NodeSendP:   clampP(1 / p.EffectiveN()),
+		NodeListenP: clampP(listen),
+		DecoyP:      clampP(p.decoyProb()),
+	}
+}
+
+func (p *Params) requestPhase(i int) Phase {
+	pow2i := math.Pow(2, float64(i))
+	length := p.PhaseLength(i)
+	// Node listens with (c+1)/((1-e^{-64ε′}) 2^i).
+	nodeListen := (p.C + 1) / ((1 - math.Exp(-64*p.Epsilon)) * pow2i)
+	// Alice listens with c ln n / ((1-e^{-4ε′}) · phase length), giving
+	// her O(log n) expected listens per request phase.
+	aliceListen := p.C * p.LnN() / ((1 - math.Exp(-4*p.Epsilon)) * float64(length))
+	return Phase{
+		Round:          i,
+		Kind:           PhaseRequest,
+		Length:         length,
+		NodeSendP:      clampP(1 / p.EffectiveN()),
+		NodeListenP:    clampP(nodeListen),
+		AliceListenP:   clampP(aliceListen),
+		NoisyThreshold: p.NoisyThreshold(),
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSweepDisabledByDefault(t *testing.T) {
+	p := PracticalParams(256, 2)
+	for _, ph := range p.Round(7) {
+		if ph.Sub != 0 || !ph.LastSub {
+			t.Fatalf("non-swept phase carries sweep fields: %+v", ph)
+		}
+	}
+	if p.sweepLen() != 0 {
+		t.Fatalf("sweepLen = %d", p.sweepLen())
+	}
+}
+
+func TestSweepExpansion(t *testing.T) {
+	p := PracticalParams(256, 3)
+	p.PolyEstimate = float64(256 * 256) // ν = n² → ℓ = 16
+	l := p.sweepLen()
+	if l != 16 {
+		t.Fatalf("sweepLen = %d, want 16", l)
+	}
+	phases := p.Round(8)
+	// inform + (k-1)·ℓ propagation sub-phases + ℓ request sub-phases.
+	want := 1 + (p.K-1)*l + l
+	if len(phases) != want {
+		t.Fatalf("round has %d phases, want %d", len(phases), want)
+	}
+	if phases[0].Kind != PhaseInform || phases[0].Sub != 0 {
+		t.Fatalf("inform phase must not be swept: %+v", phases[0])
+	}
+	// Propagation step 1 sub-phases carry g = 1..ℓ with the paper's send
+	// probability 1/(2^i 2^g).
+	for g := 1; g <= l; g++ {
+		ph := phases[g]
+		if ph.Kind != PhasePropagate || ph.Step != 1 || ph.Sub != g {
+			t.Fatalf("sub-phase %d: %+v", g, ph)
+		}
+		wantP := math.Min(1/math.Pow(2, float64(8+g)), 1)
+		if math.Abs(ph.NodeSendP-wantP) > 1e-12 {
+			t.Fatalf("g=%d: send p = %v, want %v", g, ph.NodeSendP, wantP)
+		}
+		if ph.LastSub != (g == l) {
+			t.Fatalf("g=%d: LastSub = %t", g, ph.LastSub)
+		}
+	}
+	// Ordinals are unique and sequential.
+	for o, ph := range phases {
+		if ph.Ordinal != o {
+			t.Fatalf("phase %d has ordinal %d", o, ph.Ordinal)
+		}
+	}
+	// The request sweep is the tail.
+	last := phases[len(phases)-1]
+	if last.Kind != PhaseRequest || last.Sub != l || !last.LastSub {
+		t.Fatalf("final phase: %+v", last)
+	}
+}
+
+func TestSweepCoversTrueScale(t *testing.T) {
+	// Some sub-phase must use a sending probability within 2x of 1/n —
+	// that is the whole point of the sweep.
+	n := 300
+	p := PracticalParams(n, 2)
+	p.PolyEstimate = float64(n) * float64(n)
+	best := math.Inf(1)
+	for _, ph := range p.Round(7) { // i=7 <= lg n - 1
+		if ph.Kind != PhasePropagate {
+			continue
+		}
+		ratio := ph.NodeSendP * float64(n)
+		if r := math.Max(ratio, 1/ratio); r < best {
+			best = r
+		}
+	}
+	if best > 2 {
+		t.Fatalf("closest sub-phase is %vx off the true 1/n", best)
+	}
+}
+
+func TestSweepRoundLength(t *testing.T) {
+	p := PracticalParams(128, 2)
+	p.PolyEstimate = 1 << 14
+	var total int
+	for _, ph := range p.Round(6) {
+		total += ph.Length
+	}
+	if got := p.RoundLength(6); got != total {
+		t.Fatalf("RoundLength = %d, want %d (sum of phases)", got, total)
+	}
+	// The log-factor blowup the paper concedes.
+	plain := PracticalParams(128, 2)
+	if got := p.RoundLength(6); got <= 3*plain.RoundLength(6) {
+		t.Fatalf("sweep must lengthen rounds by ~lg ν: %d vs %d", got, plain.RoundLength(6))
+	}
+}

@@ -1,0 +1,193 @@
+// Package energy implements the paper's unit-cost energy model.
+//
+// Sending, listening, jamming, and altering messages each cost one unit
+// (§1.1 "Our Goal"). Every device owns a Meter charged against a budget;
+// the adversary's devices share a Pool so that Carol can concentrate her
+// Byzantine devices' combined energy on any schedule she likes, which is
+// how the paper accounts her total spend T.
+package energy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a chargeable radio operation.
+type Op uint8
+
+const (
+	// Send is a unit-cost transmission (message, NACK, or decoy).
+	Send Op = iota + 1
+	// Listen is a unit-cost receive slot (including CCA sampling).
+	Listen
+	// Jam is a unit-cost adversarial interference slot.
+	Jam
+	// Alter is a unit-cost adversarial tampering/spoofing operation.
+	Alter
+)
+
+var opNames = [...]string{Send: "send", Listen: "listen", Jam: "jam", Alter: "alter"}
+
+// String returns the lower-case operation name.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// ErrExhausted is returned when a charge would exceed the budget.
+var ErrExhausted = errors.New("energy: budget exhausted")
+
+// Unlimited is a budget value meaning "no cap". Meters and Pools created
+// with it never return ErrExhausted.
+const Unlimited = math.MaxInt64
+
+// Meter tracks one device's spend against a budget. The zero value is an
+// exhausted meter with zero budget; use NewMeter.
+type Meter struct {
+	budget int64
+	spent  int64
+	byOp   [5]int64
+}
+
+// NewMeter returns a meter with the given budget. Negative budgets are
+// treated as zero.
+func NewMeter(budget int64) *Meter {
+	if budget < 0 {
+		budget = 0
+	}
+	return &Meter{budget: budget}
+}
+
+// Charge records one unit of op. It returns ErrExhausted, leaving the meter
+// unchanged, if the budget does not cover it.
+func (m *Meter) Charge(op Op) error {
+	return m.ChargeN(op, 1)
+}
+
+// ChargeN records n units of op atomically: either all n are charged or
+// none are. n <= 0 is a no-op.
+func (m *Meter) ChargeN(op Op, n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	if m.budget != Unlimited && m.spent+n > m.budget {
+		return fmt.Errorf("%w: %s x%d would exceed budget %d (spent %d)",
+			ErrExhausted, op, n, m.budget, m.spent)
+	}
+	m.spent += n
+	if int(op) < len(m.byOp) {
+		m.byOp[op] += n
+	}
+	return nil
+}
+
+// CanAfford reports whether n more units fit in the budget.
+func (m *Meter) CanAfford(n int64) bool {
+	return m.budget == Unlimited || m.spent+n <= m.budget
+}
+
+// Spent returns total units charged.
+func (m *Meter) Spent() int64 { return m.spent }
+
+// SpentOn returns units charged to a specific operation.
+func (m *Meter) SpentOn(op Op) int64 {
+	if int(op) >= len(m.byOp) {
+		return 0
+	}
+	return m.byOp[op]
+}
+
+// Budget returns the configured budget.
+func (m *Meter) Budget() int64 { return m.budget }
+
+// Remaining returns budget minus spend (Unlimited budgets return Unlimited).
+func (m *Meter) Remaining() int64 {
+	if m.budget == Unlimited {
+		return Unlimited
+	}
+	return m.budget - m.spent
+}
+
+// Exhausted reports whether no further unit charge is possible.
+func (m *Meter) Exhausted() bool { return !m.CanAfford(1) }
+
+// Snapshot returns a copy of the meter's counters for reporting.
+func (m *Meter) Snapshot() Snapshot {
+	return Snapshot{
+		Budget:  m.budget,
+		Spent:   m.spent,
+		Sends:   m.byOp[Send],
+		Listens: m.byOp[Listen],
+		Jams:    m.byOp[Jam],
+		Alters:  m.byOp[Alter],
+	}
+}
+
+// Snapshot is an immutable view of a meter.
+type Snapshot struct {
+	Budget  int64
+	Spent   int64
+	Sends   int64
+	Listens int64
+	Jams    int64
+	Alters  int64
+}
+
+// Pool is the adversary's shared purse: Carol plus her f*n Byzantine
+// devices. The paper lets Carol spend their combined budget on any jamming
+// schedule (Lemma 11 sums the budgets), so the pool exposes only an
+// aggregate. The zero value is an empty, exhausted pool.
+type Pool struct {
+	meter Meter
+}
+
+// NewPool returns a pool with the given aggregate budget.
+func NewPool(budget int64) *Pool {
+	return &Pool{meter: Meter{budget: maxInt64(budget, 0)}}
+}
+
+// NewAdversaryPool computes the paper's aggregate adversarial budget:
+// Carol's individual budget plus byzantine devices each with deviceBudget.
+// Any addend at Unlimited makes the pool unlimited.
+func NewAdversaryPool(carolBudget int64, byzantineDevices int, deviceBudget int64) *Pool {
+	if carolBudget == Unlimited || deviceBudget == Unlimited {
+		return NewPool(Unlimited)
+	}
+	total := carolBudget + int64(byzantineDevices)*deviceBudget
+	return NewPool(total)
+}
+
+// Charge draws n units of op from the pool.
+func (p *Pool) Charge(op Op, n int64) error { return p.meter.ChargeN(op, n) }
+
+// CanAfford reports whether n more units fit.
+func (p *Pool) CanAfford(n int64) bool { return p.meter.CanAfford(n) }
+
+// Spent returns total adversarial spend T (the quantity Theorem 1's bounds
+// are stated against).
+func (p *Pool) Spent() int64 { return p.meter.Spent() }
+
+// SpentOn returns pool spend on one operation.
+func (p *Pool) SpentOn(op Op) int64 { return p.meter.SpentOn(op) }
+
+// Remaining returns the unspent aggregate budget.
+func (p *Pool) Remaining() int64 { return p.meter.Remaining() }
+
+// Budget returns the aggregate budget.
+func (p *Pool) Budget() int64 { return p.meter.Budget() }
+
+// Exhausted reports whether the pool cannot afford one more unit.
+func (p *Pool) Exhausted() bool { return p.meter.Exhausted() }
+
+// Snapshot returns the pool's counters.
+func (p *Pool) Snapshot() Snapshot { return p.meter.Snapshot() }
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,227 @@
+package energy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterBasics(t *testing.T) {
+	m := NewMeter(3)
+	if m.Budget() != 3 || m.Spent() != 0 || m.Remaining() != 3 {
+		t.Fatalf("fresh meter: budget=%d spent=%d remaining=%d", m.Budget(), m.Spent(), m.Remaining())
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Charge(Send); err != nil {
+			t.Fatalf("charge %d: %v", i, err)
+		}
+	}
+	if !m.Exhausted() {
+		t.Fatal("meter should be exhausted")
+	}
+	if err := m.Charge(Listen); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("expected ErrExhausted, got %v", err)
+	}
+	if m.Spent() != 3 || m.SpentOn(Send) != 3 || m.SpentOn(Listen) != 0 {
+		t.Fatalf("counters wrong after exhaustion: %+v", m.Snapshot())
+	}
+}
+
+func TestMeterChargeNAtomic(t *testing.T) {
+	m := NewMeter(10)
+	if err := m.ChargeN(Jam, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ChargeN(Jam, 4); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("overcharge should fail, got %v", err)
+	}
+	if m.Spent() != 7 {
+		t.Fatalf("failed ChargeN must not partially charge: spent=%d", m.Spent())
+	}
+	if err := m.ChargeN(Jam, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Exhausted() {
+		t.Fatal("should be exhausted at exactly budget")
+	}
+}
+
+func TestMeterChargeNNonPositive(t *testing.T) {
+	m := NewMeter(1)
+	if err := m.ChargeN(Send, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ChargeN(Send, -5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Spent() != 0 {
+		t.Fatal("non-positive charges must be no-ops")
+	}
+}
+
+func TestMeterNegativeBudget(t *testing.T) {
+	m := NewMeter(-10)
+	if m.Budget() != 0 || !m.Exhausted() {
+		t.Fatalf("negative budget must clamp to zero: budget=%d", m.Budget())
+	}
+}
+
+func TestUnlimitedMeter(t *testing.T) {
+	m := NewMeter(Unlimited)
+	if err := m.ChargeN(Listen, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exhausted() {
+		t.Fatal("unlimited meter can never exhaust")
+	}
+	if m.Remaining() != Unlimited {
+		t.Fatalf("unlimited remaining = %d", m.Remaining())
+	}
+}
+
+func TestZeroValueMeter(t *testing.T) {
+	var m Meter
+	if !m.Exhausted() {
+		t.Fatal("zero-value meter must be exhausted")
+	}
+	if err := m.Charge(Send); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("zero-value meter charge: %v", err)
+	}
+}
+
+func TestSnapshotByOp(t *testing.T) {
+	m := NewMeter(100)
+	_ = m.ChargeN(Send, 5)
+	_ = m.ChargeN(Listen, 7)
+	_ = m.ChargeN(Jam, 11)
+	_ = m.ChargeN(Alter, 2)
+	s := m.Snapshot()
+	if s.Sends != 5 || s.Listens != 7 || s.Jams != 11 || s.Alters != 2 || s.Spent != 25 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{Send: "send", Listen: "listen", Jam: "jam", Alter: "alter"} {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Errorf("unknown op string = %q", Op(99).String())
+	}
+}
+
+func TestPoolAggregation(t *testing.T) {
+	p := NewAdversaryPool(100, 10, 50)
+	if p.Budget() != 600 {
+		t.Fatalf("pool budget = %d, want 600", p.Budget())
+	}
+	if err := p.Charge(Jam, 600); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Exhausted() {
+		t.Fatal("pool should be exhausted")
+	}
+	if p.Spent() != 600 || p.SpentOn(Jam) != 600 {
+		t.Fatalf("pool spend = %d", p.Spent())
+	}
+}
+
+func TestPoolUnlimitedPropagation(t *testing.T) {
+	if p := NewAdversaryPool(Unlimited, 10, 50); p.Budget() != Unlimited {
+		t.Fatal("unlimited Carol must make pool unlimited")
+	}
+	if p := NewAdversaryPool(100, 10, Unlimited); p.Budget() != Unlimited {
+		t.Fatal("unlimited devices must make pool unlimited")
+	}
+}
+
+func TestZeroValuePool(t *testing.T) {
+	var p Pool
+	if !p.Exhausted() {
+		t.Fatal("zero-value pool must be exhausted")
+	}
+}
+
+func TestBudgetModelFormulas(t *testing.T) {
+	bm := DefaultBudgets(2, 2)
+	n := 10000
+	wantNode := int64(math.Ceil(2 * math.Sqrt(float64(n))))
+	if got := bm.Node(n); got != wantNode {
+		t.Fatalf("Node(%d) = %d, want %d", n, got, wantNode)
+	}
+	wantAlice := int64(math.Ceil(2 * math.Sqrt(float64(n)) * math.Log(float64(n))))
+	if got := bm.Alice(n); got != wantAlice {
+		t.Fatalf("Alice(%d) = %d, want %d", n, got, wantAlice)
+	}
+	if bm.Carol(n) != bm.Alice(n) {
+		t.Fatal("Carol's budget must equal Alice's (symmetry)")
+	}
+}
+
+func TestBudgetModelK3LogExponent(t *testing.T) {
+	bm := DefaultBudgets(1, 3)
+	n := 1000
+	ratio := float64(bm.Alice(n)) / float64(bm.Node(n))
+	wantRatio := math.Pow(math.Log(float64(n)), 3)
+	if math.Abs(ratio-wantRatio)/wantRatio > 0.01 {
+		t.Fatalf("Alice/Node ratio = %v, want ~ln^3 n = %v", ratio, wantRatio)
+	}
+}
+
+func TestBudgetModelExplicitLogExp(t *testing.T) {
+	bm := BudgetModel{C: 1, K: 2, AliceLogExp: 0}
+	if bm.Alice(10000) != bm.Node(10000) {
+		t.Fatal("AliceLogExp=0 must drop the log factor")
+	}
+}
+
+func TestBudgetModelSmallN(t *testing.T) {
+	bm := DefaultBudgets(1, 2)
+	if bm.Node(1) < 1 || bm.Alice(1) < 1 {
+		t.Fatal("budgets must be at least 1")
+	}
+}
+
+func TestAdversaryPoolScaling(t *testing.T) {
+	// Pool should be ~ C*f*n^{1+1/k}: polynomially larger than any node.
+	bm := DefaultBudgets(1, 2)
+	n := 4096
+	pool := bm.AdversaryPool(n, 1.0)
+	node := bm.Node(n)
+	wantApprox := float64(n) * float64(node)
+	got := float64(pool.Budget())
+	if got < wantApprox || got > 2*wantApprox {
+		t.Fatalf("pool budget = %v, want within [%v, %v]", got, wantApprox, 2*wantApprox)
+	}
+}
+
+func TestAdversaryPoolZeroF(t *testing.T) {
+	bm := DefaultBudgets(2, 2)
+	n := 1000
+	pool := bm.AdversaryPool(n, 0)
+	if pool.Budget() != bm.Carol(n) {
+		t.Fatalf("f=0 pool = %d, want Carol's %d", pool.Budget(), bm.Carol(n))
+	}
+}
+
+func TestMeterInvariant(t *testing.T) {
+	// Property: spent never exceeds budget, and spent equals the sum of
+	// per-op counters, under arbitrary charge sequences.
+	f := func(budget uint16, ops []uint8) bool {
+		m := NewMeter(int64(budget))
+		for _, raw := range ops {
+			op := Op(raw%4 + 1)
+			n := int64(raw % 7)
+			_ = m.ChargeN(op, n)
+		}
+		s := m.Snapshot()
+		sum := s.Sends + s.Listens + s.Jams + s.Alters
+		return m.Spent() <= m.Budget() && sum == m.Spent()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

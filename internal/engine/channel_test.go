@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/core"
+	"rcbcast/internal/msg"
+	"rcbcast/internal/rng"
+	"rcbcast/internal/slotsim"
+)
+
+// TestObserveMatchesSlotsimReference cross-validates the engine's compact
+// per-slot resolution (counts + soloKind + plan) against the reference
+// channel model in internal/slotsim: for any random mix of transmissions
+// and n-uniform jamming, both must yield the same outcome for every
+// listener who did not transmit.
+func TestObserveMatchesSlotsimReference(t *testing.T) {
+	auth := msg.NewAuthenticator(1)
+	f := func(seed uint64, nTx, jamRaw uint8) bool {
+		st := rng.New(seed)
+		r := &run{opts: &Options{}, params: &core.Params{}}
+		r.ensureBuffers(1)
+
+		var slot slotsim.Slot
+		txCount := int(nTx % 4) // 0..3 transmissions
+		for i := 0; i < txTotal(txCount); i++ {
+			var frame msg.Frame
+			switch st.Intn(4) {
+			case 0:
+				frame = auth.Sign([]byte("m"))
+			case 1:
+				frame = msg.Nack(100 + i) // sender ids >= 100; listener is 0
+			case 2:
+				frame = msg.Decoy(100 + i)
+			default:
+				frame = msg.SpoofData(-1000-i, []byte("fake"))
+			}
+			slot.AddFrame(frame)
+			r.addTx(0, frame.Kind)
+		}
+
+		var plan *adversary.Plan
+		jamMode := jamRaw % 3
+		switch jamMode {
+		case 1: // jam everyone
+			slot.SetJam(slotsim.JamAll())
+			plan = adversary.NewPlan(1)
+			plan.Jam(0)
+		case 2: // n-uniform: disrupt only even listeners
+			pred := func(l int) bool { return l%2 == 0 }
+			slot.SetJam(slotsim.Jam{Active: true, Disrupt: pred})
+			plan = adversary.NewPlan(1)
+			plan.Jam(0)
+			plan.SetDisrupt(func(_, l int) bool { return pred(l) })
+		}
+
+		for _, listener := range []int{0, 1, 2, 7} {
+			refOut, refFrame := slot.Observe(listener)
+			kind, out := r.observe(0, listener, plan)
+			switch refOut {
+			case slotsim.Silence:
+				if out != outcomeSilence {
+					t.Logf("listener %d: ref silence, engine %v", listener, out)
+					return false
+				}
+			case slotsim.Received:
+				if out != outcomeReceived || kind != refFrame.Kind {
+					t.Logf("listener %d: ref received %v, engine %v/%v",
+						listener, refFrame.Kind, out, kind)
+					return false
+				}
+			case slotsim.Noise:
+				if out != outcomeNoise {
+					t.Logf("listener %d: ref noise, engine %v", listener, out)
+					return false
+				}
+			}
+		}
+		r.clearDirty()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func txTotal(c int) int { return c }
+
+// TestObserveInformRule pins the rule that only authentic data frames
+// inform: a solo spoof is received at the channel level but must never
+// count as m.
+func TestObserveInformRule(t *testing.T) {
+	r := &run{opts: &Options{}, params: &core.Params{}}
+	r.ensureBuffers(1)
+	r.addTx(0, msg.KindSpoof)
+	kind, out := r.observe(0, 5, nil)
+	if out != outcomeReceived {
+		t.Fatalf("solo spoof outcome = %v, want received", out)
+	}
+	if kind == msg.KindData {
+		t.Fatal("spoof must not masquerade as data at the engine level")
+	}
+}

@@ -1,0 +1,725 @@
+package engine
+
+import (
+	"math"
+	"sort"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+	"rcbcast/internal/msg"
+	"rcbcast/internal/rng"
+	"rcbcast/internal/sampling"
+)
+
+// Stream-key constants. Every random decision is drawn from the stream
+// keyed (seed, actor, round, phaseOrdinal, purpose); both engines use the
+// same keys, which is what makes them bit-for-bit equivalent.
+const (
+	actorAlice     uint64 = 1
+	actorAdversary uint64 = 2
+	actorNodeBase  uint64 = 16
+
+	purpSend   uint64 = 1
+	purpListen uint64 = 2
+	purpDecoy  uint64 = 3
+)
+
+func nodeActor(id int) uint64 { return actorNodeBase + uint64(id) }
+
+// phaseOrdinal gives each phase of a round a stable stream sub-key: its
+// position in the round schedule (unique across g-sweep sub-phases too).
+func phaseOrdinal(ph core.Phase, _ int) uint64 {
+	return uint64(ph.Ordinal)
+}
+
+// nodeState is one correct node. Only the owning walker (sequential loop
+// or the node's actor goroutine) mutates it.
+type nodeState struct {
+	id         int
+	meter      *energy.Meter
+	informed   bool
+	mark       core.InformMark
+	terminated bool // clean protocol exit
+	dead       bool // budget exhausted
+
+	// request-phase quiet-test counters, reset each round
+	listens, noisy int
+	// reqQuietAll accumulates the quiet test across g-sweep sub-phases
+	reqQuietAll bool
+	// justInformed marks nodes informed during the current phase (for
+	// deterministic trace emission at phase end)
+	justInformed bool
+	// phaseListens counts this phase's listen slots (for reporting)
+	phaseListens int64
+
+	// §4.2 heterogeneous-estimate multipliers
+	listenScale, sendScale float64
+
+	// this phase's committed transmissions, sorted by slot
+	sendSlots []int32
+	sendKinds []msg.Kind
+}
+
+func (n *nodeState) active() bool { return !n.terminated && !n.dead }
+
+type aliceState struct {
+	meter          *energy.Meter
+	terminated     bool
+	dead           bool
+	listens, noisy int
+	reqQuietAll    bool
+	round          int
+}
+
+func (a *aliceState) active() bool { return !a.terminated && !a.dead }
+
+// run holds all execution state shared by both engines.
+type run struct {
+	opts     *Options
+	params   *core.Params
+	strategy adversary.Strategy
+	pool     *energy.Pool
+
+	nodes []nodeState
+	alice aliceState
+	hist  adversary.History
+
+	// per-slot channel state for the current phase, cleared via dirty
+	counts   []uint8 // transmission count, saturating
+	soloKind []uint8 // frame kind when counts == 1
+	dirty    []int32
+
+	slots        int64
+	lastRound    int
+	totalJams    int64
+	totalInjects int64
+	phases       []adversary.PhaseOutcome
+}
+
+func newRun(opts *Options) (*run, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	params := opts.Params // copy; run owns it
+	r := &run{
+		opts:     opts,
+		params:   &params,
+		strategy: opts.strategy(),
+		pool:     opts.Pool,
+		nodes:    make([]nodeState, params.N),
+	}
+	nodeBudget := int64(energy.Unlimited)
+	if opts.NodeBudget > 0 {
+		nodeBudget = opts.NodeBudget
+	}
+	aliceBudget := int64(energy.Unlimited)
+	if opts.AliceBudget > 0 {
+		aliceBudget = opts.AliceBudget
+	}
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		n.id = i
+		n.meter = energy.NewMeter(nodeBudget)
+		n.listenScale, n.sendScale = 1, 1
+		if opts.Perturb != nil {
+			n.listenScale, n.sendScale = opts.Perturb(i)
+		}
+	}
+	r.alice.meter = energy.NewMeter(aliceBudget)
+	r.hist.N = params.N
+	return r, nil
+}
+
+func (r *run) done() bool {
+	if r.alice.active() {
+		return false
+	}
+	for i := range r.nodes {
+		if r.nodes[i].active() {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *run) ensureBuffers(length int) {
+	if cap(r.counts) < length {
+		r.counts = make([]uint8, length)
+		r.soloKind = make([]uint8, length)
+	}
+	r.counts = r.counts[:length]
+	r.soloKind = r.soloKind[:length]
+}
+
+func (r *run) clearDirty() {
+	for _, s := range r.dirty {
+		r.counts[s] = 0
+		r.soloKind[s] = 0
+	}
+	r.dirty = r.dirty[:0]
+}
+
+// addTx registers one transmission in the current phase's channel state.
+func (r *run) addTx(slot int, kind msg.Kind) {
+	c := r.counts[slot]
+	if c == 0 {
+		r.soloKind[slot] = uint8(kind)
+		r.dirty = append(r.dirty, int32(slot))
+	}
+	if c < math.MaxUint8 {
+		r.counts[slot] = c + 1
+	}
+}
+
+// planNodeSends computes and charges one node's transmissions for the
+// phase: relays of m in its assigned propagation step, NACKs when
+// uninformed in the request phase, and decoy cover traffic in decoy mode.
+// It touches only the node's own state, so engines may run it for all
+// nodes concurrently.
+func (r *run) planNodeSends(n *nodeState, ph core.Phase) {
+	n.sendSlots = n.sendSlots[:0]
+	n.sendKinds = n.sendKinds[:0]
+	n.phaseListens = 0
+	if !n.active() {
+		return
+	}
+	var dataP float64
+	var dataKind msg.Kind
+	switch ph.Kind {
+	case core.PhasePropagate:
+		if n.informed && r.params.SendStep(n.mark) == ph.Step {
+			dataP = clamp01(ph.NodeSendP * n.sendScale)
+			dataKind = msg.KindData
+		}
+	case core.PhaseRequest:
+		if !n.informed {
+			dataP = clamp01(ph.NodeSendP * n.sendScale)
+			dataKind = msg.KindNack
+		}
+	}
+	decoyP := ph.DecoyP
+
+	ord := phaseOrdinal(ph, r.params.K)
+	round := uint64(ph.Round)
+	var dataSched, decoySched *sampling.SlotSchedule
+	if dataP > 0 {
+		dataSched = sampling.NewSlotSchedule(
+			rng.New(r.opts.Seed, nodeActor(n.id), round, ord, purpSend), dataP, ph.Length)
+	}
+	if decoyP > 0 {
+		decoySched = sampling.NewSlotSchedule(
+			rng.New(r.opts.Seed, nodeActor(n.id), round, ord, purpDecoy), decoyP, ph.Length)
+	}
+	if dataSched == nil && decoySched == nil {
+		return
+	}
+
+	// Merge the two schedules in slot order; on a tie the data frame wins
+	// (one radio, one transmission per slot). Charge in slot order and
+	// stop at budget exhaustion.
+	dSlot, dOK := scheduleNext(dataSched)
+	cSlot, cOK := scheduleNext(decoySched)
+	for dOK || cOK {
+		var slot int
+		var kind msg.Kind
+		switch {
+		case dOK && (!cOK || dSlot <= cSlot):
+			slot, kind = dSlot, dataKind
+			if cOK && cSlot == dSlot {
+				cSlot, cOK = scheduleNext(decoySched)
+			}
+			dSlot, dOK = scheduleNext(dataSched)
+		default:
+			slot, kind = cSlot, msg.KindDecoy
+			cSlot, cOK = scheduleNext(decoySched)
+		}
+		if err := n.meter.Charge(energy.Send); err != nil {
+			n.dead = true
+			return
+		}
+		n.sendSlots = append(n.sendSlots, int32(slot))
+		n.sendKinds = append(n.sendKinds, kind)
+	}
+}
+
+func scheduleNext(s *sampling.SlotSchedule) (int, bool) {
+	if s == nil {
+		return 0, false
+	}
+	return s.Next()
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// mergeNodeSends folds every node's committed transmissions into the
+// shared per-slot channel state and tallies the phase outcome counters.
+// Single-threaded in both engines.
+func (r *run) mergeNodeSends(out *adversary.PhaseOutcome) {
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		for j, slot := range n.sendSlots {
+			kind := n.sendKinds[j]
+			r.addTx(int(slot), kind)
+			switch kind {
+			case msg.KindData:
+				out.NodeDataSends++
+			case msg.KindNack:
+				out.NodeNacks++
+			case msg.KindDecoy:
+				out.NodeDecoys++
+			}
+		}
+	}
+}
+
+// aliceSends commits and charges Alice's inform-phase transmissions.
+func (r *run) aliceSends(ph core.Phase, out *adversary.PhaseOutcome) {
+	if ph.AliceSendP <= 0 || !r.alice.active() {
+		return
+	}
+	sched := sampling.NewSlotSchedule(
+		rng.New(r.opts.Seed, actorAlice, uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpSend),
+		ph.AliceSendP, ph.Length)
+	for {
+		slot, ok := sched.Next()
+		if !ok {
+			return
+		}
+		if err := r.alice.meter.Charge(energy.Send); err != nil {
+			r.alice.dead = true
+			return
+		}
+		r.addTx(slot, msg.KindData)
+		out.AliceSends++
+	}
+}
+
+// activityBitmap snapshots which slots carry correct-side transmissions —
+// the RSSI view granted to reactive strategies.
+func (r *run) activityBitmap(length int) *adversary.Bitmap {
+	b := adversary.NewBitmap(length)
+	for _, s := range r.dirty {
+		if r.counts[s] > 0 {
+			b.Set(int(s))
+		}
+	}
+	return b
+}
+
+// adversaryPlan obtains, charges, and installs Carol's plan for the phase.
+// Jams are charged first, then injections, each truncated in slot order at
+// pool exhaustion.
+func (r *run) adversaryPlan(ph core.Phase, out *adversary.PhaseOutcome) *adversary.Plan {
+	st := rng.New(r.opts.Seed, actorAdversary, uint64(ph.Round), phaseOrdinal(ph, r.params.K))
+	var plan *adversary.Plan
+	if reactive, ok := r.strategy.(adversary.Reactive); ok && r.opts.AllowReactive {
+		plan = reactive.PlanReactive(ph, r.activityBitmap(ph.Length), &r.hist, r.pool, st)
+	} else {
+		plan = r.strategy.PlanPhase(ph, &r.hist, r.pool, st)
+	}
+	if plan == nil {
+		return nil
+	}
+
+	jams := int64(plan.JamCount())
+	if r.pool != nil && r.pool.Remaining() < jams {
+		jams = plan.TruncateJamsAfter(r.pool.Remaining())
+	}
+	if r.pool != nil {
+		// Cannot fail: jams was clamped to Remaining just above.
+		_ = r.pool.Charge(energy.Jam, jams)
+	}
+	out.JammedSlots = jams
+	r.totalJams += jams
+
+	injections := plan.Injections()
+	keep := int64(len(injections))
+	if r.pool != nil && r.pool.Remaining() < keep {
+		keep = plan.TruncateInjectionsAfter(r.pool.Remaining())
+	}
+	if r.pool != nil {
+		_ = r.pool.Charge(energy.Send, keep)
+	}
+	out.InjectedFrames = keep
+	r.totalInjects += keep
+	for _, inj := range plan.Injections() {
+		r.addTx(inj.Slot, inj.Frame.Kind)
+	}
+	if jams == 0 && keep == 0 {
+		return nil
+	}
+	return plan
+}
+
+// observe resolves one listener's perception of a slot, mirroring
+// slotsim.Slot.Observe on the engine's compact channel state. The listener
+// is assumed not to have transmitted in the slot (walkers enforce that).
+func (r *run) observe(slot, listener int, plan *adversary.Plan) (msg.Kind, outcome) {
+	jammed := plan != nil && plan.Jammed(slot) && plan.Disrupts(slot, listener)
+	c := r.counts[slot]
+	switch {
+	case c == 0 && !jammed:
+		return 0, outcomeSilence
+	case c == 1 && !jammed:
+		return msg.Kind(r.soloKind[slot]), outcomeReceived
+	default:
+		return 0, outcomeNoise
+	}
+}
+
+type outcome uint8
+
+const (
+	outcomeSilence outcome = iota
+	outcomeReceived
+	outcomeNoise
+)
+
+// walkNodeListens resolves one uninformed node's listening for the phase.
+// It reads the shared channel state and plan (both frozen) and mutates
+// only the node, so engines may run it for all nodes concurrently.
+func (r *run) walkNodeListens(n *nodeState, ph core.Phase, plan *adversary.Plan) {
+	if !n.active() || n.informed {
+		return
+	}
+	listenP := clamp01(ph.NodeListenP * n.listenScale)
+	if listenP <= 0 {
+		return
+	}
+	sched := sampling.NewSlotSchedule(
+		rng.New(r.opts.Seed, nodeActor(n.id), uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpListen),
+		listenP, ph.Length)
+	si := 0
+	for {
+		slot, ok := sched.Next()
+		if !ok || n.informed || n.dead {
+			return
+		}
+		// One radio: a node transmitting in this slot cannot listen.
+		for si < len(n.sendSlots) && int(n.sendSlots[si]) < slot {
+			si++
+		}
+		if si < len(n.sendSlots) && int(n.sendSlots[si]) == slot {
+			continue
+		}
+		if err := n.meter.Charge(energy.Listen); err != nil {
+			n.dead = true
+			return
+		}
+		n.phaseListens++
+		kind, out := r.observe(slot, n.id, plan)
+		if ph.Kind == core.PhaseRequest {
+			n.listens++
+			if out != outcomeSilence {
+				n.noisy++
+			}
+		}
+		if out == outcomeReceived && kind == msg.KindData {
+			// Only genuinely authentic frames carry KindData (spoofs
+			// carry KindSpoof and fail verification; see msg).
+			n.informed = true
+			n.justInformed = true
+			if ph.Kind == core.PhasePropagate {
+				n.mark = core.InformMark(ph.Step)
+			} else {
+				n.mark = core.MarkInformPhase
+			}
+		}
+	}
+}
+
+// aliceListens resolves Alice's request-phase sampling.
+func (r *run) aliceListens(ph core.Phase, plan *adversary.Plan, out *adversary.PhaseOutcome) {
+	if ph.AliceListenP <= 0 || !r.alice.active() {
+		return
+	}
+	sched := sampling.NewSlotSchedule(
+		rng.New(r.opts.Seed, actorAlice, uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpListen),
+		ph.AliceListenP, ph.Length)
+	for {
+		slot, ok := sched.Next()
+		if !ok {
+			return
+		}
+		if err := r.alice.meter.Charge(energy.Listen); err != nil {
+			r.alice.dead = true
+			return
+		}
+		_, o := r.observe(slot, msg.SenderAlice, plan)
+		out.AliceListens++
+		r.alice.listens++
+		if o != outcomeSilence {
+			r.alice.noisy++
+		}
+	}
+}
+
+// endPhase applies the protocol's termination rules at a phase boundary.
+// For g-swept phases (§4.2) the quiet test must pass in *every* sub-phase
+// — some sub-phase uses a sending scale near the true n, and that one
+// shows the real channel load — and propagation senders terminate only at
+// their step's final sub-phase.
+func (r *run) endPhase(ph core.Phase) {
+	switch ph.Kind {
+	case core.PhasePropagate:
+		if !ph.LastSub {
+			return
+		}
+		for i := range r.nodes {
+			n := &r.nodes[i]
+			if n.active() && n.informed && r.params.TerminationStep(n.mark) == ph.Step {
+				n.terminated = true
+			}
+		}
+	case core.PhaseRequest:
+		mayTerminate := r.params.CanTerminate(ph.Round)
+		first := ph.Sub <= 1
+		for i := range r.nodes {
+			n := &r.nodes[i]
+			ok := r.params.ShouldTerminateQuiet(n.listens, n.noisy)
+			if first {
+				n.reqQuietAll = ok
+			} else {
+				n.reqQuietAll = n.reqQuietAll && ok
+			}
+			if ph.LastSub && mayTerminate && n.active() && !n.informed && n.reqQuietAll {
+				n.terminated = true
+			}
+			n.listens, n.noisy = 0, 0
+		}
+		ok := r.params.ShouldTerminateQuiet(r.alice.listens, r.alice.noisy)
+		if first {
+			r.alice.reqQuietAll = ok
+		} else {
+			r.alice.reqQuietAll = r.alice.reqQuietAll && ok
+		}
+		if ph.LastSub && mayTerminate && r.alice.active() && r.alice.reqQuietAll {
+			r.alice.terminated = true
+			r.alice.round = ph.Round
+		}
+		r.alice.listens, r.alice.noisy = 0, 0
+	}
+}
+
+// recordOutcome finalizes the phase's public record for the adaptive
+// adversary and, optionally, the Result.
+func (r *run) recordOutcome(out adversary.PhaseOutcome) {
+	informed, active := 0, 0
+	for i := range r.nodes {
+		if r.nodes[i].informed {
+			informed++
+		}
+		if r.nodes[i].active() {
+			active++
+		}
+	}
+	out.InformedAfter = informed
+	out.ActiveAfter = active
+	out.AliceActiveAfter = r.alice.active()
+	r.hist.Outcomes = append(r.hist.Outcomes, out)
+	if r.opts.RecordPhases {
+		r.phases = append(r.phases, out)
+	}
+}
+
+// phaseExecutor abstracts how per-node work is scheduled: sequentially or
+// across actor goroutines. Implementations must preserve the rule that a
+// node's state is mutated only by its own walker.
+type phaseExecutor interface {
+	eachNodeSends(ph core.Phase)
+	eachNodeListens(ph core.Phase, plan *adversary.Plan)
+}
+
+// runPhase executes one phase end to end using the given executor.
+func (r *run) runPhase(ph core.Phase, exec phaseExecutor) {
+	r.ensureBuffers(ph.Length)
+	out := adversary.PhaseOutcome{Phase: ph}
+	if r.opts.Tracer != nil {
+		r.opts.Tracer.PhaseStart(ph)
+	}
+
+	// Pass A: transmissions (committed and charged at phase start).
+	r.aliceSends(ph, &out)
+	exec.eachNodeSends(ph)
+	r.mergeNodeSends(&out)
+
+	// Carol plans (reactive strategies see the activity bitmap).
+	plan := r.adversaryPlan(ph, &out)
+
+	// Pass B: listens.
+	exec.eachNodeListens(ph, plan)
+	for i := range r.nodes {
+		out.NodeListens += r.nodes[i].phaseListens
+	}
+	r.aliceListens(ph, plan, &out)
+
+	aliceWasActive := r.alice.active()
+	terminatedBefore := r.terminatedSet()
+	r.endPhase(ph)
+	r.emitTrace(ph, aliceWasActive, terminatedBefore)
+	r.recordOutcome(out)
+	if r.opts.Tracer != nil {
+		// recordOutcome computed the informed/active tallies.
+		r.opts.Tracer.PhaseEnd(r.hist.Outcomes[len(r.hist.Outcomes)-1])
+	}
+	r.slots += int64(ph.Length)
+	r.lastRound = ph.Round
+	r.clearDirty()
+}
+
+// terminatedSet snapshots which nodes have stopped, so emitTrace can
+// report the delta after endPhase. Only allocated when tracing.
+func (r *run) terminatedSet() []bool {
+	if r.opts.Tracer == nil {
+		return nil
+	}
+	set := make([]bool, len(r.nodes))
+	for i := range r.nodes {
+		set[i] = r.nodes[i].terminated || r.nodes[i].dead
+	}
+	return set
+}
+
+// emitTrace reports this phase's per-node events in node-id order.
+func (r *run) emitTrace(ph core.Phase, aliceWasActive bool, terminatedBefore []bool) {
+	t := r.opts.Tracer
+	if t == nil {
+		// Still clear the per-phase markers.
+		for i := range r.nodes {
+			r.nodes[i].justInformed = false
+		}
+		return
+	}
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		if n.justInformed {
+			t.NodeInformed(n.id, ph)
+			n.justInformed = false
+		}
+		stopped := n.terminated || n.dead
+		if stopped && !terminatedBefore[i] {
+			t.NodeTerminated(n.id, n.informed, ph)
+		}
+	}
+	if aliceWasActive && r.alice.terminated {
+		t.AliceTerminated(ph.Round)
+	}
+}
+
+// loop drives phases until everyone stops or the round limit is reached.
+func (r *run) loop(exec phaseExecutor) error {
+	sched := core.NewSchedule(r.params)
+	for {
+		if r.done() {
+			break
+		}
+		ph, ok := sched.Next()
+		if !ok {
+			break
+		}
+		if ph.Length > r.opts.maxPhaseSlots() {
+			return ErrPhaseTooLong
+		}
+		r.runPhase(ph, exec)
+	}
+	if r.opts.Tracer != nil {
+		r.opts.Tracer.Done()
+	}
+	return nil
+}
+
+// result assembles the Result from final state.
+func (r *run) result() *Result {
+	res := &Result{
+		N:                   r.params.N,
+		Rounds:              r.lastRound,
+		SlotsSimulated:      r.slots,
+		NodeCosts:           make([]int64, len(r.nodes)),
+		AdversaryJams:       r.totalJams,
+		AdversaryInjections: r.totalInjects,
+		AdversarySpent:      r.totalJams + r.totalInjects,
+		StrategyName:        r.strategy.Name(),
+		Phases:              r.phases,
+	}
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		res.NodeCosts[i] = n.meter.Spent()
+		switch {
+		case n.informed:
+			res.Informed++
+		case n.dead:
+			res.Dead++
+		case n.terminated:
+			res.Stranded++
+		}
+		if n.active() {
+			res.ActiveAtEnd++
+		}
+	}
+	res.Completed = !r.alice.active() && res.ActiveAtEnd == 0
+	snap := r.alice.meter.Snapshot()
+	res.Alice = AliceStats{
+		Sends:      snap.Sends,
+		Listens:    snap.Listens,
+		Cost:       snap.Spent,
+		Terminated: r.alice.terminated,
+		Dead:       r.alice.dead,
+		Round:      r.alice.round,
+	}
+	res.NodeCost = summarizeCosts(res.NodeCosts)
+	return res
+}
+
+func summarizeCosts(costs []int64) CostSummary {
+	if len(costs) == 0 {
+		return CostSummary{}
+	}
+	sorted := append([]int64(nil), costs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum int64
+	for _, c := range sorted {
+		sum += c
+	}
+	return CostSummary{
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: sorted[len(sorted)/2],
+		Mean:   float64(sum) / float64(len(sorted)),
+	}
+}
+
+// seqExecutor runs node work inline — the fast sequential engine.
+type seqExecutor struct{ r *run }
+
+func (e seqExecutor) eachNodeSends(ph core.Phase) {
+	for i := range e.r.nodes {
+		e.r.planNodeSends(&e.r.nodes[i], ph)
+	}
+}
+
+func (e seqExecutor) eachNodeListens(ph core.Phase, plan *adversary.Plan) {
+	for i := range e.r.nodes {
+		e.r.walkNodeListens(&e.r.nodes[i], ph, plan)
+	}
+}
+
+// Run executes the protocol with the sequential event-driven engine.
+func Run(opts Options) (*Result, error) {
+	r, err := newRun(&opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.loop(seqExecutor{r}); err != nil {
+		return nil, err
+	}
+	return r.result(), nil
+}

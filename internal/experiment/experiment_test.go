@@ -1,0 +1,251 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps the test suite fast; benchmarks exercise full sweeps.
+func quickCfg() Config { return Config{Quick: true, BaseSeed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12 (E1-E12)", len(all))
+	}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("position %d: %s, want %s", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Claim == "" || all[i].Run == nil {
+			t.Fatalf("%s incomplete: %+v", id, all[i])
+		}
+	}
+	if _, ok := ByID("E1"); !ok {
+		t.Fatal("ByID(E1) must succeed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID(nope) must fail")
+	}
+}
+
+func mustRun(t *testing.T, id string) *Report {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	rep, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(rep.Tables) == 0 || rep.Tables[0].NumRows() == 0 {
+		t.Fatalf("%s produced no table rows", id)
+	}
+	if !strings.Contains(rep.Render(), id) {
+		t.Fatalf("%s render missing its id", id)
+	}
+	return rep
+}
+
+func TestE1CostExponentNearOneThird(t *testing.T) {
+	rep := mustRun(t, "E1")
+	// The marginal per-round fit measures Theorem 1's exponent cleanly.
+	exp := rep.Values["node_exponent"]
+	if math.Abs(exp-1.0/3) > 0.06 {
+		t.Fatalf("marginal node cost exponent = %v, want 1/3 (Theorem 1)", exp)
+	}
+	aliceExp := rep.Values["alice_exponent"]
+	if math.Abs(aliceExp-1.0/3) > 0.1 {
+		t.Fatalf("marginal alice cost exponent = %v, want ~1/3 up to log factors", aliceExp)
+	}
+	// The cumulative fit is documented to sit above 1/3 at laptop n
+	// (warm-up bias) but must stay far below linear.
+	cum := rep.Values["node_cumulative_exponent"]
+	if cum < 0.2 || cum > 0.7 {
+		t.Fatalf("cumulative node exponent = %v, want in the sublinear band", cum)
+	}
+}
+
+func TestE2ExponentDecreasesWithK(t *testing.T) {
+	rep := mustRun(t, "E2")
+	e2 := rep.Values["node_exponent_k2"]
+	e4 := rep.Values["node_exponent_k4"]
+	if !(e4 < e2) {
+		t.Fatalf("exponent must shrink with k: k2=%v k4=%v", e2, e4)
+	}
+	for _, k := range []int{2, 3, 4} {
+		got := rep.Values["node_exponent_k"+string(rune('0'+k))]
+		want := rep.Values["predicted_k"+string(rune('0'+k))]
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("k=%d: exponent %v too far from predicted %v", k, got, want)
+		}
+	}
+}
+
+func TestE3DeliveryAcrossAdversaries(t *testing.T) {
+	rep := mustRun(t, "E3")
+	// Every in-model adversary leaves at least (1-ε) informed; with the
+	// practical quiet fraction 2ε' = 1/8 the worst allowed loss is ~13%.
+	const minInformed = 0.85
+	for _, sc := range e3Scenarios() {
+		frac := rep.Values["informed_"+sc.name]
+		if frac < minInformed {
+			t.Errorf("%s: informed %v < %v", sc.name, frac, minInformed)
+		}
+	}
+}
+
+func TestE4LatencyExponent(t *testing.T) {
+	rep := mustRun(t, "E4")
+	exp := rep.Values["latency_exponent"]
+	if exp < 1.1 || exp > 2.0 {
+		t.Fatalf("latency exponent = %v, want ~1.5 (Corollary 1)", exp)
+	}
+}
+
+func TestE5LoadBalance(t *testing.T) {
+	rep := mustRun(t, "E5")
+	if rep.Values["max_ratio"] > 4*rep.Values["polylog_bound"] {
+		t.Fatalf("Alice/node ratio %v exceeds polylog scale %v",
+			rep.Values["max_ratio"], rep.Values["polylog_bound"])
+	}
+}
+
+func TestE6BaselineShape(t *testing.T) {
+	rep := mustRun(t, "E6")
+	naive := rep.Values["naive_node_exponent"]
+	ksyAlice := rep.Values["ksy_alice_exponent"]
+	ksyNode := rep.Values["ksy_node_exponent"]
+	ours := rep.Values["ours_node_exponent"]
+	if naive < 0.9 {
+		t.Fatalf("naive node exponent = %v, want ~1", naive)
+	}
+	if ksyNode < 0.9 {
+		t.Fatalf("KSY node exponent = %v, want ~1 (not load balanced)", ksyNode)
+	}
+	if !(ksyAlice < naive-0.2) {
+		t.Fatalf("KSY Alice exponent %v must clearly beat naive %v", ksyAlice, naive)
+	}
+	if !(ours < ksyAlice-0.1) {
+		t.Fatalf("our node exponent %v must beat even KSY's Alice %v", ours, ksyAlice)
+	}
+	// The headline: who wins and by what shape. Ours wins for everyone.
+	if ours > 0.55 {
+		t.Fatalf("our exponent %v should be near 1/3", ours)
+	}
+}
+
+func TestE7DecoyDefence(t *testing.T) {
+	rep := mustRun(t, "E7")
+	// Undefended: Carol matches node spend ~1:1 (exponent near 1) —
+	// resource competitiveness destroyed.
+	if rep.Values["exponent_undefended"] < 0.7 {
+		t.Fatalf("undefended reactive exponent = %v, want ~1", rep.Values["exponent_undefended"])
+	}
+	// Decoys restore the sublinear trade.
+	if rep.Values["exponent_decoy"] > 0.5 {
+		t.Fatalf("decoy exponent = %v, want ~1/3", rep.Values["exponent_decoy"])
+	}
+	// Against the same budgeted pool, decoys drain Carol much earlier.
+	if !(rep.Values["delay_slots_decoy"]*4 < rep.Values["delay_slots_undefended"]) {
+		t.Fatalf("decoys must slash the achievable delay: %v vs %v",
+			rep.Values["delay_slots_decoy"], rep.Values["delay_slots_undefended"])
+	}
+	// Both budgeted pools eventually drain, so delivery completes.
+	if rep.Values["informed_decoy"] < 0.85 {
+		t.Fatalf("decoy budgeted run informed %v", rep.Values["informed_decoy"])
+	}
+}
+
+func TestE8SpoofingExponent(t *testing.T) {
+	rep := mustRun(t, "E8")
+	exp := rep.Values["alice_exponent"]
+	if exp < 0.1 || exp > 0.6 {
+		t.Fatalf("alice spoofing exponent = %v, want ~1/3", exp)
+	}
+}
+
+func TestE9StrandingLimit(t *testing.T) {
+	rep := mustRun(t, "E9")
+	// Small partitions succeed: stranded ≈ requested, run completes.
+	if got := rep.Values["stranded_at_0.05"]; math.Abs(got-0.05) > 0.02 {
+		t.Fatalf("5%% partition stranded %v, want ~0.05", got)
+	}
+	if rep.Values["completed_at_0.05"] < 1 {
+		t.Fatal("5% partition must complete (that is the ε loss)")
+	}
+	// Oversized partitions fail closed: nodes stay active.
+	if rep.Values["completed_at_0.30"] > 0 {
+		t.Fatal("30% partition must not let the network terminate")
+	}
+}
+
+func TestE10ApproximationRobustness(t *testing.T) {
+	rep := mustRun(t, "E10")
+	for vi := 0; vi < 5; vi++ {
+		frac := rep.Values["informed_v"+string(rune('0'+vi))]
+		if frac < 0.85 {
+			t.Errorf("variant %d informed %v, want ≥ 1-ε", vi, frac)
+		}
+	}
+	for vi := 1; vi < 4; vi++ {
+		ratio := rep.Values["cost_ratio_v"+string(rune('0'+vi))]
+		if ratio > 8 || ratio < 1.0/8 {
+			t.Errorf("variant %d cost ratio %v, want constant-factor", vi, ratio)
+		}
+	}
+	// The g-sweep variant is allowed (and expected) to pay up to the
+	// Θ(lg ν) factor the paper concedes, but no more.
+	if ratio := rep.Values["cost_ratio_v4"]; ratio > 64 {
+		t.Errorf("poly-overestimate cost ratio %v exceeds the lg ν budget", ratio)
+	}
+}
+
+func TestE11EnginesIdentical(t *testing.T) {
+	rep := mustRun(t, "E11")
+	if rep.Values["identical"] != 1 {
+		t.Fatal("engines must be bit-for-bit identical")
+	}
+}
+
+func TestE12MultiHop(t *testing.T) {
+	rep := mustRun(t, "E12")
+	// Latency per hop stays ~constant.
+	if r := rep.Values["latency_per_hop_ratio"]; r < 0.5 || r > 2 {
+		t.Fatalf("latency per hop ratio = %v, want ~1", r)
+	}
+	// Typical node cost does not grow with hops.
+	if rep.Values["median_cost_h4"] > 2*rep.Values["median_cost_h1"]+4 {
+		t.Fatalf("median cost grew with hops: %v vs %v",
+			rep.Values["median_cost_h4"], rep.Values["median_cost_h1"])
+	}
+	// Concentrated jamming buys no multi-hop amplification.
+	if r := rep.Values["concentrated_delay_ratio"]; r < 0.3 || r > 3 {
+		t.Fatalf("concentrated delay ratio = %v, want ~1", r)
+	}
+	// End-to-end delivery survives the benign pipeline.
+	if rep.Values["e2e_frac_h4"] < 0.9 {
+		t.Fatalf("end-to-end fraction = %v", rep.Values["e2e_frac_h4"])
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.n(512, 256) != 512 || c.seeds(3, 2) != 3 {
+		t.Fatal("full defaults wrong")
+	}
+	c.Quick = true
+	if c.n(512, 256) != 256 || c.seeds(3, 2) != 2 {
+		t.Fatal("quick defaults wrong")
+	}
+	c.N, c.Seeds = 64, 1
+	if c.n(512, 256) != 64 || c.seeds(3, 2) != 1 {
+		t.Fatal("overrides ignored")
+	}
+	if (Config{BaseSeed: 1}).seed(0) == (Config{BaseSeed: 2}).seed(0) {
+		t.Fatal("seeds must differ across BaseSeed")
+	}
+}

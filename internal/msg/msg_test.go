@@ -1,0 +1,154 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignVerify(t *testing.T) {
+	a := NewAuthenticator(42)
+	f := a.Sign([]byte("the message m"))
+	if !a.Verify(f) {
+		t.Fatal("authentic frame must verify")
+	}
+	if f.From != SenderAlice {
+		t.Fatalf("signed frame From = %d, want SenderAlice", f.From)
+	}
+	if f.Kind != KindData {
+		t.Fatalf("signed frame kind = %v", f.Kind)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	a := NewAuthenticator(42)
+	f := a.Sign([]byte("payload"))
+	f.Payload[0] ^= 1
+	if a.Verify(f) {
+		t.Fatal("tampered payload must not verify")
+	}
+}
+
+func TestVerifyRejectsTagTampering(t *testing.T) {
+	a := NewAuthenticator(42)
+	f := a.Sign([]byte("payload"))
+	f.Tag[3] ^= 0x80
+	if a.Verify(f) {
+		t.Fatal("tampered tag must not verify")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	a := NewAuthenticator(1)
+	b := NewAuthenticator(2)
+	f := a.Sign([]byte("payload"))
+	if b.Verify(f) {
+		t.Fatal("frame signed under another key must not verify")
+	}
+}
+
+func TestVerifyRejectsNonData(t *testing.T) {
+	a := NewAuthenticator(42)
+	if a.Verify(Nack(3)) {
+		t.Fatal("NACK must not verify as Alice's data")
+	}
+	if a.Verify(Decoy(3)) {
+		t.Fatal("decoy must not verify")
+	}
+}
+
+func TestSpoofNeverVerifies(t *testing.T) {
+	a := NewAuthenticator(42)
+	genuine := a.Sign([]byte("m"))
+	spoof := SpoofData(7, genuine.Payload)
+	if a.Verify(spoof) {
+		t.Fatal("spoofed data must not verify")
+	}
+	// Even an adversary copying the payload byte-for-byte cannot verify
+	// without the key, because Kind differs and the tag is wrong.
+	spoof.Kind = KindData
+	if a.Verify(spoof) {
+		t.Fatal("re-kinded spoof with garbage tag must not verify")
+	}
+}
+
+func TestRelayPreservesAuthenticity(t *testing.T) {
+	a := NewAuthenticator(42)
+	f := a.Sign([]byte("m"))
+	r := Relay(f, 17)
+	if !a.Verify(r) {
+		t.Fatal("relayed authentic frame must still verify")
+	}
+	if r.From != 17 {
+		t.Fatalf("relay From = %d, want 17", r.From)
+	}
+	if f.From != SenderAlice {
+		t.Fatal("Relay must not mutate the original frame")
+	}
+}
+
+func TestSignCopiesPayload(t *testing.T) {
+	a := NewAuthenticator(42)
+	payload := []byte("mutable")
+	f := a.Sign(payload)
+	payload[0] = 'X'
+	if bytes.Equal(f.Payload, payload) {
+		t.Fatal("Sign must copy the payload, not alias it")
+	}
+	if !a.Verify(f) {
+		t.Fatal("frame must stay valid after caller mutates its buffer")
+	}
+}
+
+func TestSpoofNackLooksGenuine(t *testing.T) {
+	real := Nack(5)
+	fake := SpoofNack(9)
+	if real.Kind != fake.Kind {
+		t.Fatal("spoofed NACK must be indistinguishable by kind")
+	}
+	if len(real.Payload) != len(fake.Payload) {
+		t.Fatal("spoofed NACK must be indistinguishable by payload")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindData: "data", KindNack: "nack", KindDecoy: "decoy", KindSpoof: "spoof",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind %d String = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Errorf("unknown kind = %q", Kind(200).String())
+	}
+}
+
+func TestZeroValueAuthenticator(t *testing.T) {
+	var a Authenticator
+	f := a.Sign([]byte("x"))
+	if !a.Verify(f) {
+		t.Fatal("zero-value authenticator must be self-consistent")
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	// Property: for any payload and seed, sign/verify round-trips and a
+	// one-bit flip anywhere in the payload breaks verification.
+	f := func(seed uint64, payload []byte, flip uint16) bool {
+		a := NewAuthenticator(seed)
+		fr := a.Sign(payload)
+		if !a.Verify(fr) {
+			return false
+		}
+		if len(fr.Payload) == 0 {
+			return true
+		}
+		i := int(flip) % len(fr.Payload)
+		fr.Payload[i] ^= 1 << (flip % 8)
+		return !a.Verify(fr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package multihop
+
+import (
+	"errors"
+	"testing"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+)
+
+func TestBenignPipeline(t *testing.T) {
+	res, err := Run(Options{
+		Params: core.PracticalParams(128, 2),
+		Hops:   4,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached || res.StalledAt != -1 {
+		t.Fatalf("benign pipeline must reach the end: %+v", res)
+	}
+	if len(res.Hops) != 4 {
+		t.Fatalf("hop count = %d", len(res.Hops))
+	}
+	for _, h := range res.Hops {
+		if h.InformedFrac < 0.99 {
+			t.Fatalf("hop %d informed %v", h.Hop, h.InformedFrac)
+		}
+	}
+	if res.EndToEndFrac < 0.95 {
+		t.Fatalf("end-to-end fraction %v", res.EndToEndFrac)
+	}
+}
+
+func TestLatencyAdditiveInHops(t *testing.T) {
+	slots := map[int]int64{}
+	for _, hops := range []int{1, 2, 4} {
+		res, err := Run(Options{
+			Params: core.PracticalParams(128, 2),
+			Hops:   hops,
+			Seed:   2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots[hops] = res.TotalSlots
+	}
+	// Benign latency is per-hop constant, so 4 hops ≈ 4x one hop.
+	ratio := float64(slots[4]) / float64(slots[1])
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("latency ratio 4-hop/1-hop = %v, want ~4", ratio)
+	}
+}
+
+func TestPerNodeCostIndependentOfHops(t *testing.T) {
+	var medians []int64
+	for _, hops := range []int{1, 4} {
+		res, err := Run(Options{
+			Params: core.PracticalParams(128, 2),
+			Hops:   hops,
+			Seed:   3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		worstMedian := int64(0)
+		for _, h := range res.Hops {
+			if h.MedianNodeCost > worstMedian {
+				worstMedian = h.MedianNodeCost
+			}
+		}
+		medians = append(medians, worstMedian)
+	}
+	// Each node participates in exactly one cluster: adding hops must
+	// not inflate a typical device's spend. (The max across all clusters
+	// does creep up — that is extreme-value statistics over 4x more
+	// devices, not per-node inflation.)
+	if float64(medians[1]) > 2*float64(medians[0])+4 {
+		t.Fatalf("median node cost grew with hops: %d vs %d", medians[1], medians[0])
+	}
+}
+
+func TestConcentratedJammerDelaysOneClusterOnly(t *testing.T) {
+	// Carol drops her entire pool on cluster 2. The pipeline still
+	// completes; the delay matches what the same pool buys single-hop.
+	pool := energy.NewPool(8192)
+	res, err := Run(Options{
+		Params: core.PracticalParams(128, 2),
+		Hops:   4,
+		Seed:   4,
+		StrategyFor: func(hop int) adversary.Strategy {
+			if hop == 2 {
+				return adversary.FullJam{}
+			}
+			return nil
+		},
+		Pool: pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("pipeline must survive a single jammed cluster: %+v", res)
+	}
+	if res.Hops[2].AdversarySpent == 0 {
+		t.Fatal("cluster 2 must have been attacked")
+	}
+	if res.Hops[2].Slots <= res.Hops[1].Slots {
+		t.Fatal("the attacked cluster must be the slow one")
+	}
+	for _, h := range []int{0, 1, 3} {
+		if res.Hops[h].AdversarySpent != 0 {
+			t.Fatalf("cluster %d should be unattacked", h)
+		}
+	}
+}
+
+func TestSharedPoolAcrossClusters(t *testing.T) {
+	// A pool shared across every cluster: jamming them all drains it
+	// fast, and later clusters run clean.
+	pool := energy.NewPool(4096)
+	res, err := Run(Options{
+		Params:      core.PracticalParams(128, 2),
+		Hops:        4,
+		Seed:        5,
+		StrategyFor: func(int) adversary.Strategy { return adversary.FullJam{} },
+		Pool:        pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("pipeline must outlast the shared pool: %+v", res)
+	}
+	if !pool.Exhausted() {
+		t.Fatalf("shared pool should drain, spent %d", pool.Spent())
+	}
+	if res.AdversarySpent != 4096 {
+		t.Fatalf("total adversary spend = %d", res.AdversarySpent)
+	}
+}
+
+func TestPipelineStallsWhenClusterFails(t *testing.T) {
+	// An unlimited jammer on cluster 1 within a bounded round budget:
+	// cluster 1 never delivers and the pipeline reports the stall.
+	params := core.PracticalParams(128, 2)
+	params.MaxRound = params.StartRound + 2
+	res, err := Run(Options{
+		Params: params,
+		Hops:   4,
+		Seed:   6,
+		StrategyFor: func(hop int) adversary.Strategy {
+			if hop == 1 {
+				return adversary.FullJam{}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Fatal("pipeline cannot reach past an unlimited jammer")
+	}
+	if res.StalledAt != 1 {
+		t.Fatalf("stalled at %d, want 1", res.StalledAt)
+	}
+	if len(res.Hops) != 2 {
+		t.Fatalf("execution must stop at the stalled cluster, got %d hops", len(res.Hops))
+	}
+}
+
+func TestStrandingCompoundsAcrossHops(t *testing.T) {
+	// Each hop strands 10%; end-to-end fraction ≈ 0.9^H.
+	res, err := Run(Options{
+		Params: core.PracticalParams(256, 2),
+		Hops:   3,
+		Seed:   7,
+		StrategyFor: func(int) adversary.Strategy {
+			return &adversary.PartitionBlocker{
+				Stranded: func(node int) bool { return node < 25 },
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("10%% stranding per hop must not stall the pipeline: %+v", res)
+	}
+	want := 0.9 * 0.9 * 0.9
+	if res.EndToEndFrac < want-0.05 || res.EndToEndFrac > 1 {
+		t.Fatalf("end-to-end fraction %v, want ~%v", res.EndToEndFrac, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Options{Params: core.PracticalParams(64, 2), Hops: 0}); !errors.Is(err, ErrBadHops) {
+		t.Fatalf("want ErrBadHops, got %v", err)
+	}
+	bad := core.PracticalParams(64, 2)
+	bad.K = 0
+	if _, err := Run(Options{Params: bad, Hops: 1}); err == nil {
+		t.Fatal("invalid params must be rejected")
+	}
+}
+
+func TestHopSeedsIndependent(t *testing.T) {
+	res, err := Run(Options{Params: core.PracticalParams(128, 2), Hops: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different clusters draw from different streams; their Alice send
+	// counts should differ (equality is astronomically unlikely).
+	if res.Hops[0].SenderCost == res.Hops[1].SenderCost &&
+		res.Hops[0].MedianNodeCost == res.Hops[1].MedianNodeCost {
+		t.Fatal("hops appear to share randomness")
+	}
+}

@@ -1,0 +1,225 @@
+// Package rng provides deterministic, splittable pseudo-random streams.
+//
+// Every random decision in the simulator is drawn from a Stream that is
+// keyed by a path of integers, e.g. (seed, actorID, round, phase, purpose).
+// Two engines that derive the same keyed stream draw exactly the same
+// sequence, which is what makes the sequential event-driven engine and the
+// goroutine-per-device actor engine bit-for-bit equivalent (DESIGN.md §5.1).
+//
+// The generator is xoshiro256** seeded through SplitMix64, following the
+// reference construction by Blackman and Vigna. It is not cryptographically
+// secure; it is a simulation RNG chosen for speed, equidistribution, and
+// cheap splitting.
+package rng
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used both as a seeding function and as a key mixer.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix collapses a key path into a single 64-bit value. Mixing is
+// order-sensitive: Mix(1, 2) != Mix(2, 1). An empty path yields a fixed
+// nonzero constant so that a zero-value key still produces a usable stream.
+func Mix(parts ...uint64) uint64 {
+	state := uint64(0x853c49e6748fea9b)
+	for _, p := range parts {
+		state ^= splitMix64(&state) ^ p
+		// Re-mix after the xor so that consecutive zero parts still
+		// perturb the state differently at each position.
+		_ = splitMix64(&state)
+	}
+	return splitMix64(&state)
+}
+
+// Stream is a deterministic pseudo-random stream. The zero value is a valid
+// stream seeded from the zero key; prefer New or Derive for clarity.
+type Stream struct {
+	s    [4]uint64
+	seed uint64 // the mixed key this stream was created from
+	init bool
+}
+
+// New returns a stream keyed by seed and an optional path. Streams created
+// with the same arguments produce identical sequences.
+func New(seed uint64, path ...uint64) *Stream {
+	key := seed
+	if len(path) > 0 {
+		key = Mix(append([]uint64{seed}, path...)...)
+	}
+	st := &Stream{}
+	st.reseed(key)
+	return st
+}
+
+// reseed initializes the xoshiro state from a single 64-bit key via
+// SplitMix64, as recommended by the xoshiro authors.
+func (st *Stream) reseed(key uint64) {
+	sm := key
+	for i := range st.s {
+		st.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not be seeded with the all-zero state.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	st.seed = key
+	st.init = true
+}
+
+// Derive returns a new independent stream keyed by this stream's own key
+// plus the given sub-path. Deriving does not consume randomness from the
+// parent, so derivation order never perturbs parent draws.
+func (st *Stream) Derive(path ...uint64) *Stream {
+	st.ensure()
+	return New(st.seed, path...)
+}
+
+// Seed reports the mixed key the stream was created from.
+func (st *Stream) Seed() uint64 {
+	st.ensure()
+	return st.seed
+}
+
+func (st *Stream) ensure() {
+	if !st.init {
+		st.reseed(0)
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (st *Stream) Uint64() uint64 {
+	st.ensure()
+	s := &st.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (st *Stream) Float64() float64 {
+	return float64(st.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p. Probabilities outside [0, 1]
+// are clamped: p <= 0 is always false, p >= 1 always true (no draw is
+// consumed in either degenerate case, keeping streams aligned across
+// engines that can skip certain trials analytically).
+func (st *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return st.Float64() < p
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Lemire's nearly-divisionless rejection method keeps the result unbiased.
+func (st *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	bound := uint64(n)
+	for {
+		v := st.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Perm returns a uniformly random permutation of [0, n) using the
+// Fisher-Yates shuffle.
+func (st *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := st.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Geometric returns the number of failures before the first success in a
+// sequence of Bernoulli(p) trials, i.e. a sample from Geometric(p) with
+// support {0, 1, 2, ...}. It is the workhorse of event-driven slot
+// simulation: a device that acts each slot with probability p next acts
+// after Geometric(p) silent slots.
+//
+// p >= 1 returns 0. p <= 0 returns math.MaxInt (never). The inversion
+// formula floor(ln U / ln(1-p)) is exact for the geometric distribution.
+func (st *Stream) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return math.MaxInt
+	}
+	u := st.Float64()
+	// Guard against u == 0, for which log is -inf and the sample would
+	// round to +inf anyway; resample cheaply by nudging to the smallest
+	// representable uniform instead (probability 2^-53 event).
+	if u == 0 {
+		u = 0x1p-53
+	}
+	g := math.Floor(math.Log(u) / math.Log1p(-p))
+	if g >= float64(math.MaxInt64/2) || math.IsNaN(g) {
+		return math.MaxInt
+	}
+	return int(g)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1,
+// via inversion. Used by statistical tests and workload generators.
+func (st *Stream) ExpFloat64() float64 {
+	u := st.Float64()
+	if u == 0 {
+		u = 0x1p-53
+	}
+	return -math.Log(u)
+}
+
+// NormFloat64 returns a standard normal sample using the Box-Muller
+// transform (the polar variant is avoided to keep draw counts fixed at two
+// per call, preserving cross-engine stream alignment).
+func (st *Stream) NormFloat64() float64 {
+	u1 := st.Float64()
+	if u1 == 0 {
+		u1 = 0x1p-53
+	}
+	u2 := st.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,340 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, 1, 2, 3)
+	b := New(42, 1, 2, 3)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestPathSensitivity(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *Stream
+	}{
+		{"different seed", New(1), New(2)},
+		{"different path", New(1, 7), New(1, 8)},
+		{"path order", New(1, 2, 3), New(1, 3, 2)},
+		{"path length", New(1, 2), New(1, 2, 0)},
+		{"zero vs none", New(1, 0), New(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			same := 0
+			for i := 0; i < 64; i++ {
+				if tc.a.Uint64() == tc.b.Uint64() {
+					same++
+				}
+			}
+			if same > 2 {
+				t.Fatalf("streams should differ, but %d/64 draws matched", same)
+			}
+		})
+	}
+}
+
+func TestMixOrderSensitive(t *testing.T) {
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix must be order-sensitive")
+	}
+	if Mix() == 0 {
+		t.Fatal("Mix() of empty path must be a usable nonzero key")
+	}
+	if Mix(0) == Mix(0, 0) {
+		t.Fatal("Mix must distinguish path lengths even with zero parts")
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	parent := New(99)
+	before := parent.Derive(5)
+	// Consuming parent draws must not affect later derivations.
+	for i := 0; i < 10; i++ {
+		parent.Uint64()
+	}
+	after := parent.Derive(5)
+	for i := 0; i < 100; i++ {
+		if before.Uint64() != after.Uint64() {
+			t.Fatal("Derive must not depend on parent draw position")
+		}
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var st Stream
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[st.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-value stream produced %d/100 distinct values", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	st := New(7)
+	for i := 0; i < 100000; i++ {
+		f := st.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	st := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += st.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliClamps(t *testing.T) {
+	st := New(3)
+	for i := 0; i < 100; i++ {
+		if st.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) must be false")
+		}
+		if st.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) must be false")
+		}
+		if !st.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) must be true")
+		}
+		if !st.Bernoulli(2) {
+			t.Fatal("Bernoulli(2) must be true")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9} {
+		st := New(5, uint64(p*1000))
+		const n = 100000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if st.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		// 5 sigma tolerance.
+		tol := 5 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(got-p) > tol {
+			t.Errorf("Bernoulli(%v) frequency = %v, want within %v", p, got, tol)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	st := New(13)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 1000; i++ {
+			v := st.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	st := New(17)
+	const n, draws = 10, 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[st.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn(%d): value %d occurred %d times, want ~%v", n, v, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	st := New(19)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := st.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	st := New(23)
+	if g := st.Geometric(1); g != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", g)
+	}
+	if g := st.Geometric(1.5); g != 0 {
+		t.Fatalf("Geometric(1.5) = %d, want 0", g)
+	}
+	if g := st.Geometric(0); g != math.MaxInt {
+		t.Fatalf("Geometric(0) = %d, want MaxInt", g)
+	}
+	if g := st.Geometric(-1); g != math.MaxInt {
+		t.Fatalf("Geometric(-1) = %d, want MaxInt", g)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	// E[Geometric(p)] = (1-p)/p.
+	for _, p := range []float64{0.5, 0.1, 0.01} {
+		st := New(29, uint64(1/p))
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(st.Geometric(p))
+		}
+		mean := sum / n
+		want := (1 - p) / p
+		sd := math.Sqrt(1-p) / p // std dev of Geometric(p)
+		if math.Abs(mean-want) > 5*sd/math.Sqrt(n) {
+			t.Errorf("Geometric(%v) mean = %v, want ~%v", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricMatchesBernoulliProcess(t *testing.T) {
+	// The number of failures before the first success must follow the same
+	// law as counting Bernoulli trials. Kolmogorov-Smirnov style check on
+	// the empirical CDF at a few points.
+	const p = 0.2
+	st := New(31)
+	const n = 50000
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		counts[st.Geometric(p)]++
+	}
+	for _, k := range []int{0, 1, 2, 5} {
+		want := math.Pow(1-p, float64(k)) * p
+		got := float64(counts[k]) / n
+		if math.Abs(got-want) > 5*math.Sqrt(want*(1-want)/n) {
+			t.Errorf("P[G=%d] = %v, want ~%v", k, got, want)
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	st := New(37)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := st.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64 negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("ExpFloat64 mean = %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	st := New(41)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := st.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("NormFloat64 mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("NormFloat64 variance = %v, want ~1", variance)
+	}
+}
+
+func TestSeedRoundTrip(t *testing.T) {
+	st := New(42, 7, 9)
+	clone := New(st.Seed())
+	for i := 0; i < 100; i++ {
+		if st.Uint64() != clone.Uint64() {
+			t.Fatal("stream recreated from Seed() must replay identically")
+		}
+	}
+}
+
+func TestMixPropertyDistinctness(t *testing.T) {
+	// Property: distinct short paths essentially never collide.
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return Mix(a) != Mix(b) && Mix(1, a) != Mix(1, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64BitBalance(t *testing.T) {
+	// Each of the 64 bit positions should be set about half the time.
+	st := New(43)
+	const n = 64000
+	var ones [64]int
+	for i := 0; i < n; i++ {
+		v := st.Uint64()
+		for b := 0; b < 64; b++ {
+			if v&(1<<b) != 0 {
+				ones[b]++
+			}
+		}
+	}
+	for b, c := range ones {
+		if math.Abs(float64(c)-n/2) > 5*math.Sqrt(n)/2 {
+			t.Errorf("bit %d set %d/%d times", b, c, n)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	st := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = st.Uint64()
+	}
+}
+
+func BenchmarkGeometric(b *testing.B) {
+	st := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = st.Geometric(0.01)
+	}
+}

@@ -1,0 +1,181 @@
+// Package sampling provides distribution samplers and the event-driven
+// slot scheduler used by the simulation engines.
+//
+// The central abstraction is the SlotSchedule: a device that, in each of s
+// slots, performs an action independently with probability p is simulated
+// not by s coin flips but by geometric skips between action slots. The
+// expected work is s*p draws instead of s, which is what makes whole-network
+// sweeps (n up to tens of thousands, phases of millions of slots) feasible
+// on a laptop. Both engines consume the same schedule stream, which keeps
+// them bit-for-bit equivalent.
+package sampling
+
+import (
+	"math"
+
+	"rcbcast/internal/rng"
+)
+
+// SlotSchedule enumerates, in increasing order, the slots within a phase of
+// a given length in which a Bernoulli(p)-per-slot actor acts. It is an
+// iterator; call Next until it returns false.
+type SlotSchedule struct {
+	st     *rng.Stream
+	p      float64
+	length int
+	next   int
+	done   bool
+}
+
+// NewSlotSchedule returns a schedule over [0, length) with per-slot action
+// probability p drawn from st. The schedule consumes st lazily; interleaving
+// draws from st elsewhere corrupts the schedule, so callers should dedicate
+// a derived stream to each schedule.
+func NewSlotSchedule(st *rng.Stream, p float64, length int) *SlotSchedule {
+	s := &SlotSchedule{st: st, p: p, length: length}
+	s.advance(0)
+	return s
+}
+
+func (s *SlotSchedule) advance(from int) {
+	if s.p <= 0 || from >= s.length {
+		s.done = true
+		return
+	}
+	if s.p >= 1 {
+		s.next = from
+		return
+	}
+	g := s.st.Geometric(s.p)
+	if g >= s.length-from { // also covers the MaxInt "never" sentinel
+		s.done = true
+		return
+	}
+	s.next = from + g
+}
+
+// Next returns the next action slot, or (0, false) when the phase is
+// exhausted.
+func (s *SlotSchedule) Next() (slot int, ok bool) {
+	if s.done {
+		return 0, false
+	}
+	slot = s.next
+	s.advance(slot + 1)
+	return slot, true
+}
+
+// Peek reports the next action slot without consuming it.
+func (s *SlotSchedule) Peek() (slot int, ok bool) {
+	if s.done {
+		return 0, false
+	}
+	return s.next, true
+}
+
+// Collect drains the schedule into a slice. Intended for tests and small
+// phases; large phases should iterate.
+func (s *SlotSchedule) Collect() []int {
+	var out []int
+	for {
+		slot, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, slot)
+	}
+}
+
+// Binomial samples the number of successes in n Bernoulli(p) trials.
+//
+// For small expected counts it counts geometric skips (O(np) expected time);
+// for large np it uses a normal approximation with continuity correction,
+// clamped to [0, n]. The simulator uses Binomial only for aggregate
+// accounting where per-slot identity does not matter (e.g. how many
+// Byzantine decoys landed in a phase), so the approximation in the large-np
+// regime is acceptable and documented.
+func Binomial(st *rng.Stream, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	if mean < 64 || float64(n)*(1-p) < 64 {
+		// Exact: count successes via geometric gaps between them.
+		count := 0
+		idx := 0
+		for {
+			g := st.Geometric(p)
+			if g >= n-idx {
+				return count
+			}
+			idx += g + 1
+			count++
+			if idx >= n {
+				return count
+			}
+		}
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	v := math.Round(mean + sd*st.NormFloat64())
+	if v < 0 {
+		v = 0
+	}
+	if v > float64(n) {
+		v = float64(n)
+	}
+	return int(v)
+}
+
+// Poisson samples from Poisson(lambda) using Knuth's method for small
+// lambda and a normal approximation for large lambda. Used by synthetic
+// workload generators.
+func Poisson(st *rng.Stream, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 64 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= st.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := math.Round(lambda + math.Sqrt(lambda)*st.NormFloat64())
+	if v < 0 {
+		v = 0
+	}
+	return int(v)
+}
+
+// SampleWithoutReplacement returns k distinct integers drawn uniformly from
+// [0, n), in random order. It panics if k > n or either is negative.
+// Floyd's algorithm gives O(k) time and space.
+func SampleWithoutReplacement(st *rng.Stream, n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("sampling: invalid SampleWithoutReplacement arguments")
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := st.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	// Shuffle so the output order carries no information about insertion.
+	for i := len(out) - 1; i > 0; i-- {
+		j := st.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

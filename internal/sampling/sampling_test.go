@@ -1,0 +1,287 @@
+package sampling
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rcbcast/internal/rng"
+)
+
+func TestSlotScheduleBounds(t *testing.T) {
+	st := rng.New(1)
+	s := NewSlotSchedule(st, 0.3, 100)
+	prev := -1
+	for {
+		slot, ok := s.Next()
+		if !ok {
+			break
+		}
+		if slot <= prev {
+			t.Fatalf("slots not strictly increasing: %d after %d", slot, prev)
+		}
+		if slot < 0 || slot >= 100 {
+			t.Fatalf("slot %d out of range [0,100)", slot)
+		}
+		prev = slot
+	}
+}
+
+func TestSlotScheduleDegenerate(t *testing.T) {
+	t.Run("p=0", func(t *testing.T) {
+		s := NewSlotSchedule(rng.New(1), 0, 100)
+		if _, ok := s.Next(); ok {
+			t.Fatal("p=0 schedule must be empty")
+		}
+	})
+	t.Run("p=1", func(t *testing.T) {
+		s := NewSlotSchedule(rng.New(1), 1, 5)
+		got := s.Collect()
+		want := []int{0, 1, 2, 3, 4}
+		if len(got) != len(want) {
+			t.Fatalf("p=1 schedule = %v, want %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("p=1 schedule = %v, want %v", got, want)
+			}
+		}
+	})
+	t.Run("length=0", func(t *testing.T) {
+		s := NewSlotSchedule(rng.New(1), 0.5, 0)
+		if _, ok := s.Next(); ok {
+			t.Fatal("empty phase must yield no slots")
+		}
+	})
+	t.Run("negative length", func(t *testing.T) {
+		s := NewSlotSchedule(rng.New(1), 0.5, -3)
+		if _, ok := s.Next(); ok {
+			t.Fatal("negative-length phase must yield no slots")
+		}
+	})
+}
+
+func TestSlotScheduleMatchesPerSlotBernoulli(t *testing.T) {
+	// The schedule must produce the same *distribution* as per-slot coin
+	// flips: per-slot inclusion frequency approximately p, independent
+	// across slots.
+	const p, length, trials = 0.1, 200, 5000
+	counts := make([]int, length)
+	for trial := 0; trial < trials; trial++ {
+		s := NewSlotSchedule(rng.New(7, uint64(trial)), p, length)
+		for {
+			slot, ok := s.Next()
+			if !ok {
+				break
+			}
+			counts[slot]++
+		}
+	}
+	for slot, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-p) > 5*math.Sqrt(p*(1-p)/trials) {
+			t.Errorf("slot %d inclusion freq = %v, want ~%v", slot, got, p)
+		}
+	}
+}
+
+func TestSlotSchedulePeek(t *testing.T) {
+	s := NewSlotSchedule(rng.New(3), 0.5, 50)
+	for {
+		peeked, ok1 := s.Peek()
+		got, ok2 := s.Next()
+		if ok1 != ok2 || (ok1 && peeked != got) {
+			t.Fatalf("Peek (%d,%v) disagrees with Next (%d,%v)", peeked, ok1, got, ok2)
+		}
+		if !ok2 {
+			return
+		}
+	}
+}
+
+func TestSlotScheduleDeterministic(t *testing.T) {
+	a := NewSlotSchedule(rng.New(9, 1), 0.2, 1000).Collect()
+	b := NewSlotSchedule(rng.New(9, 1), 0.2, 1000).Collect()
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	st := rng.New(11)
+	if got := Binomial(st, 0, 0.5); got != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", got)
+	}
+	if got := Binomial(st, 10, 0); got != 0 {
+		t.Fatalf("Binomial(10, 0) = %d", got)
+	}
+	if got := Binomial(st, 10, 1); got != 10 {
+		t.Fatalf("Binomial(10, 1) = %d", got)
+	}
+	if got := Binomial(st, -5, 0.5); got != 0 {
+		t.Fatalf("Binomial(-5, .5) = %d", got)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{100, 0.05},  // exact path
+		{50, 0.5},    // exact path
+		{10000, 0.3}, // normal approx path
+		{100000, 0.01},
+	}
+	for _, tc := range cases {
+		st := rng.New(13, uint64(tc.n))
+		const trials = 20000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < trials; i++ {
+			v := float64(Binomial(st, tc.n, tc.p))
+			if v < 0 || v > float64(tc.n) {
+				t.Fatalf("Binomial(%d,%v) = %v out of range", tc.n, tc.p, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / trials
+		wantMean := float64(tc.n) * tc.p
+		wantSD := math.Sqrt(wantMean * (1 - tc.p))
+		if math.Abs(mean-wantMean) > 5*wantSD/math.Sqrt(trials) {
+			t.Errorf("Binomial(%d,%v) mean = %v, want ~%v", tc.n, tc.p, mean, wantMean)
+		}
+		variance := sumSq/trials - mean*mean
+		if math.Abs(variance-wantSD*wantSD) > 0.2*wantSD*wantSD {
+			t.Errorf("Binomial(%d,%v) variance = %v, want ~%v", tc.n, tc.p, variance, wantSD*wantSD)
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 4, 100} {
+		st := rng.New(17, uint64(lambda*10))
+		const trials = 20000
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			v := float64(Poisson(st, lambda))
+			if v < 0 {
+				t.Fatalf("Poisson negative")
+			}
+			sum += v
+		}
+		mean := sum / trials
+		if math.Abs(mean-lambda) > 5*math.Sqrt(lambda/trials) {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if Poisson(rng.New(1), 0) != 0 {
+		t.Error("Poisson(0) must be 0")
+	}
+	if Poisson(rng.New(1), -3) != 0 {
+		t.Error("Poisson(-3) must be 0")
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	st := rng.New(19)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 1}, {10, 10}, {100, 7}} {
+		got := SampleWithoutReplacement(st, tc.n, tc.k)
+		if len(got) != tc.k {
+			t.Fatalf("n=%d k=%d: got %d samples", tc.n, tc.k, len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("n=%d k=%d: invalid sample set %v", tc.n, tc.k, got)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Every element should be included with probability k/n.
+	const n, k, trials = 20, 5, 40000
+	st := rng.New(23)
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range SampleWithoutReplacement(st, n, k) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * k / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("element %d included %d times, want ~%v", v, c, want)
+		}
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > n must panic")
+		}
+	}()
+	SampleWithoutReplacement(rng.New(1), 3, 4)
+}
+
+func TestScheduleCountMatchesBinomialLaw(t *testing.T) {
+	// Property: the *number* of action slots in a schedule is Binomial(s,p).
+	// Compare empirical mean against s*p across random (s, p).
+	f := func(seed uint64, sRaw uint16, pRaw uint8) bool {
+		s := int(sRaw%500) + 1
+		p := (float64(pRaw%100) + 1) / 200 // (0, 0.5]
+		const trials = 300
+		total := 0
+		for i := 0; i < trials; i++ {
+			sched := NewSlotSchedule(rng.New(seed, uint64(i)), p, s)
+			for {
+				if _, ok := sched.Next(); !ok {
+					break
+				}
+				total++
+			}
+		}
+		mean := float64(total) / trials
+		want := float64(s) * p
+		sd := math.Sqrt(float64(s) * p * (1 - p))
+		return math.Abs(mean-want) <= 6*sd/math.Sqrt(trials)+0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleSlotsSorted(t *testing.T) {
+	slots := NewSlotSchedule(rng.New(29), 0.05, 10000).Collect()
+	if !sort.IntsAreSorted(slots) {
+		t.Fatal("schedule slots must be sorted")
+	}
+}
+
+func BenchmarkScheduleSparse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSlotSchedule(rng.New(uint64(i)), 0.001, 100000)
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkBinomialLarge(b *testing.B) {
+	st := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = Binomial(st, 1_000_000, 0.01)
+	}
+}

@@ -1,0 +1,147 @@
+// Package slotsim models the paper's single-hop, time-slotted wireless
+// channel (§1.1):
+//
+//   - A slot with exactly one transmission delivers that frame to a
+//     listener, unless the adversary disrupts that particular listener.
+//   - Two or more transmissions collide: every listener perceives noise.
+//   - Jamming is indistinguishable from collision and is perceived only on
+//     the receiving end; disrupted listeners discard any data.
+//   - Silence cannot be forged: a slot with no transmission and no jamming
+//     is perceived as silent by everyone.
+//   - A transmitter cannot hear its own slot.
+//
+// The adversary is n-uniform: her jam in a slot names, per listener,
+// whether that listener is disrupted, which is how she can hand m to some
+// nodes and deny it to others during a blocked phase (§2.3).
+package slotsim
+
+import (
+	"fmt"
+
+	"rcbcast/internal/msg"
+)
+
+// Outcome is what one listener perceives in one slot.
+type Outcome uint8
+
+const (
+	// Silence: no channel activity. Unforgeable.
+	Silence Outcome = iota
+	// Received: exactly one transmission, delivered intact.
+	Received
+	// Noise: collision or jamming; any data is discarded.
+	Noise
+)
+
+var outcomeNames = [...]string{Silence: "silence", Received: "received", Noise: "noise"}
+
+// String returns the lower-case outcome name.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// Jam describes adversarial interference in a single slot.
+type Jam struct {
+	// Active reports whether the adversary spent a jamming unit on this
+	// slot at all.
+	Active bool
+	// Disrupt selects which listeners perceive the jam (n-uniform
+	// targeting). nil means every listener is disrupted. Ignored when
+	// Active is false.
+	Disrupt func(listener int) bool
+}
+
+// NoJam is the empty jam.
+var NoJam = Jam{}
+
+// JamAll returns a jam disrupting every listener.
+func JamAll() Jam { return Jam{Active: true} }
+
+// JamExcept returns a jam that disrupts every listener except those for
+// which spare returns true — the n-uniform adversary's tool for letting a
+// chosen subset receive m during a blocked phase.
+func JamExcept(spare func(listener int) bool) Jam {
+	return Jam{Active: true, Disrupt: func(l int) bool { return !spare(l) }}
+}
+
+// Slot is the complete channel state for one time slot: the set of
+// transmissions plus the adversary's jam decision.
+type Slot struct {
+	frames []msg.Frame
+	jam    Jam
+}
+
+// AddFrame records a transmission in the slot.
+func (s *Slot) AddFrame(f msg.Frame) { s.frames = append(s.frames, f) }
+
+// SetJam installs the adversary's decision for the slot.
+func (s *Slot) SetJam(j Jam) { s.jam = j }
+
+// Jammed reports whether the adversary spent a jam unit on this slot.
+func (s *Slot) Jammed() bool { return s.jam.Active }
+
+// Transmissions returns the number of frames sent in the slot.
+func (s *Slot) Transmissions() int { return len(s.frames) }
+
+// Frames returns the slot's transmissions. The returned slice is owned by
+// the slot; callers must not mutate it.
+func (s *Slot) Frames() []msg.Frame { return s.frames }
+
+// Reset clears the slot for reuse, retaining frame capacity.
+func (s *Slot) Reset() {
+	s.frames = s.frames[:0]
+	s.jam = NoJam
+}
+
+// HasActivity reports whether at least one transmission occupies the slot.
+// This is the RSSI bit a *reactive* adversary may observe before deciding
+// to jam (§4.1): it reveals that the channel is in use, never the content,
+// and does not include the adversary's own jamming.
+func (s *Slot) HasActivity() bool { return len(s.frames) > 0 }
+
+// Observe resolves the slot for one listener. A listener that transmitted
+// in this slot must not call Observe (a device cannot hear its own slot);
+// engines enforce that rule and Observe double-checks it by excluding the
+// listener's own frames, so a self-addressed call degrades to what the
+// rest of the channel looks like.
+//
+// CCA semantics fall out of the return value: the channel is "busy" iff
+// the outcome is not Silence.
+func (s *Slot) Observe(listener int) (Outcome, msg.Frame) {
+	jammed := s.jam.Active && (s.jam.Disrupt == nil || s.jam.Disrupt(listener))
+
+	// Count transmissions excluding the listener's own.
+	var only msg.Frame
+	count := 0
+	for i := range s.frames {
+		if s.frames[i].From == listener {
+			continue
+		}
+		count++
+		if count == 1 {
+			only = s.frames[i]
+		}
+	}
+
+	switch {
+	case count == 0 && !jammed:
+		return Silence, msg.Frame{}
+	case count == 1 && !jammed:
+		return Received, only
+	default:
+		// Collision, jam, or both: data is discarded.
+		return Noise, msg.Frame{}
+	}
+}
+
+// Noisy reports whether the listener would classify the slot as noisy —
+// the predicate the request phase counts (§2.2): any outcome other than
+// silence. Note that a received NACK also counts as a noisy slot for
+// Alice's termination test ("5c ln n nack messages or noisy slots").
+func (s *Slot) Noisy(listener int) bool {
+	out, _ := s.Observe(listener)
+	return out != Silence
+}

@@ -1,0 +1,198 @@
+package slotsim
+
+import (
+	"testing"
+
+	"rcbcast/internal/msg"
+)
+
+func auth() *msg.Authenticator { return msg.NewAuthenticator(1) }
+
+func TestSilenceWhenEmpty(t *testing.T) {
+	var s Slot
+	out, _ := s.Observe(0)
+	if out != Silence {
+		t.Fatalf("empty slot = %v, want silence", out)
+	}
+	if s.Noisy(0) {
+		t.Fatal("empty slot must not be noisy")
+	}
+	if s.HasActivity() {
+		t.Fatal("empty slot has no activity")
+	}
+}
+
+func TestSingleTransmissionDelivered(t *testing.T) {
+	var s Slot
+	f := auth().Sign([]byte("m"))
+	s.AddFrame(f)
+	out, got := s.Observe(5)
+	if out != Received {
+		t.Fatalf("single transmission = %v, want received", out)
+	}
+	if got.Kind != msg.KindData || string(got.Payload) != "m" {
+		t.Fatalf("delivered frame = %+v", got)
+	}
+	if !s.HasActivity() {
+		t.Fatal("slot with a frame must show activity")
+	}
+}
+
+func TestCollisionIsNoise(t *testing.T) {
+	var s Slot
+	s.AddFrame(msg.Nack(1))
+	s.AddFrame(msg.Nack(2))
+	out, _ := s.Observe(5)
+	if out != Noise {
+		t.Fatalf("two transmissions = %v, want noise", out)
+	}
+}
+
+func TestJamAllDisruptsEveryone(t *testing.T) {
+	var s Slot
+	s.AddFrame(auth().Sign([]byte("m")))
+	s.SetJam(JamAll())
+	for _, listener := range []int{0, 1, 99} {
+		if out, _ := s.Observe(listener); out != Noise {
+			t.Fatalf("listener %d under full jam = %v, want noise", listener, out)
+		}
+	}
+	if !s.Jammed() {
+		t.Fatal("Jammed() must report true")
+	}
+}
+
+func TestJamOnSilentSlotIsNoiseNotSilence(t *testing.T) {
+	// Silence cannot be forged, but jamming *creates* noise: a jammed
+	// empty slot reads as noise, never as silence.
+	var s Slot
+	s.SetJam(JamAll())
+	if out, _ := s.Observe(3); out != Noise {
+		t.Fatalf("jammed empty slot = %v, want noise", out)
+	}
+	if s.HasActivity() {
+		t.Fatal("jam is not RSSI transmission activity")
+	}
+}
+
+func TestNUniformTargeting(t *testing.T) {
+	// Carol disrupts only even-numbered listeners; odd ones receive m.
+	var s Slot
+	s.AddFrame(auth().Sign([]byte("m")))
+	s.SetJam(Jam{Active: true, Disrupt: func(l int) bool { return l%2 == 0 }})
+	if out, _ := s.Observe(2); out != Noise {
+		t.Fatal("targeted listener must perceive noise")
+	}
+	out, f := s.Observe(3)
+	if out != Received || string(f.Payload) != "m" {
+		t.Fatalf("spared listener = %v, want received m", out)
+	}
+}
+
+func TestJamExcept(t *testing.T) {
+	var s Slot
+	s.AddFrame(auth().Sign([]byte("m")))
+	spared := map[int]bool{4: true, 7: true}
+	s.SetJam(JamExcept(func(l int) bool { return spared[l] }))
+	for l := 0; l < 10; l++ {
+		out, _ := s.Observe(l)
+		if spared[l] && out != Received {
+			t.Errorf("spared listener %d = %v, want received", l, out)
+		}
+		if !spared[l] && out != Noise {
+			t.Errorf("targeted listener %d = %v, want noise", l, out)
+		}
+	}
+}
+
+func TestCannotHearOwnTransmission(t *testing.T) {
+	var s Slot
+	s.AddFrame(msg.Nack(7))
+	// Sender 7 observing its own slot sees what the rest of the channel
+	// contributes: nothing.
+	if out, _ := s.Observe(7); out != Silence {
+		t.Fatalf("sender observing own solo slot = %v, want silence", out)
+	}
+	// A second transmission from someone else is heard as that frame.
+	s.AddFrame(msg.Nack(9))
+	out, f := s.Observe(7)
+	if out != Received || f.From != 9 {
+		t.Fatalf("sender should hear the other frame alone, got %v from %d", out, f.From)
+	}
+	// A third party hears the collision.
+	if out, _ := s.Observe(0); out != Noise {
+		t.Fatal("third party must hear a collision")
+	}
+}
+
+func TestNoisyCountsReceivedNack(t *testing.T) {
+	// Alice's request-phase counter counts both noise and received NACKs;
+	// Noisy() must be true for a received NACK.
+	var s Slot
+	s.AddFrame(msg.Nack(3))
+	if !s.Noisy(0) {
+		t.Fatal("received NACK must count as noisy for the termination test")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Slot
+	s.AddFrame(msg.Nack(1))
+	s.SetJam(JamAll())
+	s.Reset()
+	if s.Transmissions() != 0 || s.Jammed() || s.HasActivity() {
+		t.Fatal("Reset must clear frames and jam")
+	}
+	if out, _ := s.Observe(0); out != Silence {
+		t.Fatal("reset slot must be silent")
+	}
+}
+
+func TestSpoofIsActivity(t *testing.T) {
+	// Byzantine spoof frames occupy the channel like any transmission:
+	// they can collide with Alice's send.
+	var s Slot
+	s.AddFrame(auth().Sign([]byte("m")))
+	s.AddFrame(msg.SpoofData(8, []byte("fake")))
+	if out, _ := s.Observe(0); out != Noise {
+		t.Fatal("spoof + data must collide into noise")
+	}
+}
+
+func TestReceivedSpoofFailsVerification(t *testing.T) {
+	// A solo spoof is "received" at the channel level but must fail
+	// authentication at the protocol level.
+	a := auth()
+	var s Slot
+	s.AddFrame(msg.SpoofData(8, []byte("fake m")))
+	out, f := s.Observe(0)
+	if out != Received {
+		t.Fatalf("solo spoof = %v, want received", out)
+	}
+	if a.Verify(f) {
+		t.Fatal("spoof must fail authentication")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{Silence: "silence", Received: "received", Noise: "noise"} {
+		if o.String() != want {
+			t.Errorf("Outcome %d = %q, want %q", o, o.String(), want)
+		}
+	}
+	if Outcome(9).String() != "Outcome(9)" {
+		t.Errorf("unknown outcome = %q", Outcome(9).String())
+	}
+}
+
+func TestFramesAccessor(t *testing.T) {
+	var s Slot
+	s.AddFrame(msg.Nack(1))
+	s.AddFrame(msg.Decoy(2))
+	if got := s.Transmissions(); got != 2 {
+		t.Fatalf("Transmissions = %d, want 2", got)
+	}
+	if len(s.Frames()) != 2 {
+		t.Fatalf("Frames() length = %d", len(s.Frames()))
+	}
+}

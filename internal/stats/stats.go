@@ -1,0 +1,139 @@
+// Package stats provides the statistics the experiment harness relies on:
+// summary statistics across seeds, log-log power-law fitting (the tool
+// that turns cost-vs-T sweeps into measured exponents comparable with
+// Theorem 1's 1/(k+1)), and plain-text/markdown table rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+	P25, P75         float64
+}
+
+// Summarize computes a Summary; an empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		Min:    sorted[0],
+		Median: Quantile(sorted, 0.5),
+		Max:    sorted[len(sorted)-1],
+		P25:    Quantile(sorted, 0.25),
+		P75:    Quantile(sorted, 0.75),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sorted sample using
+// linear interpolation. It panics on an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean is a convenience over Summarize.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// PowerLawFit is the least-squares fit of y = a * x^b on log-log axes.
+type PowerLawFit struct {
+	// Exponent is b, the quantity the resource-competitiveness
+	// experiments compare against 1/(k+1).
+	Exponent float64
+	// Scale is a.
+	Scale float64
+	// R2 is the coefficient of determination in log space.
+	R2 float64
+	// N is the number of points used.
+	N int
+}
+
+// FitPowerLaw fits y = a*x^b by ordinary least squares on (ln x, ln y).
+// Points with non-positive coordinates are skipped. Fewer than two usable
+// points yield a zero fit with N reporting how many were usable.
+func FitPowerLaw(xs, ys []float64) PowerLawFit {
+	if len(xs) != len(ys) {
+		panic("stats: FitPowerLaw requires equal-length slices")
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	n := float64(len(lx))
+	if len(lx) < 2 {
+		return PowerLawFit{N: len(lx)}
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+		syy += ly[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return PowerLawFit{N: len(lx)}
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	// R² in log space.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range lx {
+		pred := a + b*lx[i]
+		ssRes += (ly[i] - pred) * (ly[i] - pred)
+		ssTot += (ly[i] - meanY) * (ly[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return PowerLawFit{Exponent: b, Scale: math.Exp(a), R2: r2, N: len(lx)}
+}
+
+// String renders the fit compactly.
+func (f PowerLawFit) String() string {
+	return fmt.Sprintf("y ~ %.3g * x^%.3f (R²=%.3f, n=%d)", f.Scale, f.Exponent, f.R2, f.N)
+}

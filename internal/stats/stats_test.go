@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rcbcast/internal/rng"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 2.5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Median != 2.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	wantStd := math.Sqrt(1.25)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, wantStd)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if Summarize(nil) != (Summary{}) {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.Std != 0 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize must not reorder the caller's slice")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 4}, {0.5, 2}, {0.25, 1}, {0.125, 0.5}, {-1, 0}, {2, 4},
+	}
+	for _, tc := range cases {
+		if got := Quantile(sorted, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Quantile must panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	// y = 3 x^0.5 exactly.
+	xs := []float64{1, 4, 9, 16, 100}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Sqrt(x)
+	}
+	fit := FitPowerLaw(xs, ys)
+	if math.Abs(fit.Exponent-0.5) > 1e-9 {
+		t.Fatalf("exponent = %v, want 0.5", fit.Exponent)
+	}
+	if math.Abs(fit.Scale-3) > 1e-9 {
+		t.Fatalf("scale = %v, want 3", fit.Scale)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("R2 = %v for exact data", fit.R2)
+	}
+	if fit.N != 5 {
+		t.Fatalf("N = %d", fit.N)
+	}
+}
+
+func TestFitPowerLawNoisy(t *testing.T) {
+	st := rng.New(1)
+	var xs, ys []float64
+	for x := 10.0; x < 1e6; x *= 2 {
+		xs = append(xs, x)
+		noise := math.Exp(0.05 * st.NormFloat64())
+		ys = append(ys, 7*math.Pow(x, 1.0/3)*noise)
+	}
+	fit := FitPowerLaw(xs, ys)
+	if math.Abs(fit.Exponent-1.0/3) > 0.02 {
+		t.Fatalf("noisy exponent = %v, want ~1/3", fit.Exponent)
+	}
+	if fit.R2 < 0.98 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitPowerLawSkipsNonPositive(t *testing.T) {
+	fit := FitPowerLaw([]float64{0, -1, 2, 4}, []float64{5, 5, 2, 4})
+	if fit.N != 2 {
+		t.Fatalf("usable points = %d, want 2", fit.N)
+	}
+	if math.Abs(fit.Exponent-1) > 1e-9 {
+		t.Fatalf("exponent = %v, want 1", fit.Exponent)
+	}
+}
+
+func TestFitPowerLawDegenerate(t *testing.T) {
+	if fit := FitPowerLaw([]float64{5}, []float64{2}); fit.N != 1 || fit.Exponent != 0 {
+		t.Fatalf("single point fit = %+v", fit)
+	}
+	// All x identical: denominator zero.
+	if fit := FitPowerLaw([]float64{3, 3, 3}, []float64{1, 2, 3}); fit.Exponent != 0 {
+		t.Fatalf("degenerate fit = %+v", fit)
+	}
+}
+
+func TestFitPowerLawPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	FitPowerLaw([]float64{1}, []float64{1, 2})
+}
+
+func TestFitPowerLawProperty(t *testing.T) {
+	// Property: for clean power-law data with arbitrary positive scale
+	// and exponent in [-2, 2], the fit recovers both.
+	f := func(scaleRaw, expRaw uint8) bool {
+		scale := 0.5 + float64(scaleRaw)/32
+		exp := -2 + 4*float64(expRaw)/255
+		xs := []float64{2, 5, 17, 120, 999}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = scale * math.Pow(x, exp)
+		}
+		fit := FitPowerLaw(xs, ys)
+		return math.Abs(fit.Exponent-exp) < 1e-6 && math.Abs(fit.Scale-scale)/scale < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.34567)
+	out := tb.Render()
+	for _, want := range []string{"Demo", "name", "alpha", "beta", "2.346", "----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("x", "y")
+	md := tb.Markdown()
+	for _, want := range []string{"**T**", "| a | b |", "|---|---|", "| x | y |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableRowClamping(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "dropped")
+	rows := tb.Rows()
+	if rows[0][1] != "" {
+		t.Fatal("missing cells must render empty")
+	}
+	if len(rows[1]) != 2 {
+		t.Fatal("extra cells must be dropped")
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean broken")
+	}
+}
+
+func TestFitString(t *testing.T) {
+	fit := PowerLawFit{Exponent: 0.333, Scale: 2, R2: 0.99, N: 5}
+	if !strings.Contains(fit.String(), "0.333") {
+		t.Fatalf("fit string = %q", fit.String())
+	}
+}

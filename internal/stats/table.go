@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table used by the experiment
+// harness to print the rows each experiment regenerates. The zero value is
+// an empty table; set Headers before adding rows.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each argument is rendered
+// with %v, floats with 4 significant digits.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			out[i] = fmt.Sprintf("%.4g", v)
+		default:
+			out[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a copy of the table body.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > w[i] {
+				w[i] = len(cell)
+			}
+		}
+	}
+	return w
+}
+
+// Render returns the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	w := t.widths()
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", w[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Markdown returns the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, row := range t.rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,256 @@
+// Package trace provides structured observation of a protocol execution:
+// phase boundaries, information spread, terminations, and adversary
+// activity. Tracers receive events from the engine in deterministic order
+// (phase order, then node-id order within a phase), from a single
+// goroutine, regardless of which engine runs the protocol.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/core"
+)
+
+// Tracer receives execution events. Implementations need not be
+// concurrency-safe: the engine serializes all calls.
+type Tracer interface {
+	// PhaseStart fires before a phase executes.
+	PhaseStart(ph core.Phase)
+	// PhaseEnd fires after a phase, with its public outcome.
+	PhaseEnd(out adversary.PhaseOutcome)
+	// NodeInformed fires for each node that received m this phase.
+	NodeInformed(node int, ph core.Phase)
+	// NodeTerminated fires for each node that stopped this phase.
+	NodeTerminated(node int, informed bool, ph core.Phase)
+	// AliceTerminated fires when Alice passes her quiet test.
+	AliceTerminated(round int)
+	// Done fires once at the end of the run.
+	Done()
+}
+
+// Nop is a Tracer that ignores everything; embed it to implement only the
+// events you care about.
+type Nop struct{}
+
+// PhaseStart implements Tracer.
+func (Nop) PhaseStart(core.Phase) {}
+
+// PhaseEnd implements Tracer.
+func (Nop) PhaseEnd(adversary.PhaseOutcome) {}
+
+// NodeInformed implements Tracer.
+func (Nop) NodeInformed(int, core.Phase) {}
+
+// NodeTerminated implements Tracer.
+func (Nop) NodeTerminated(int, bool, core.Phase) {}
+
+// AliceTerminated implements Tracer.
+func (Nop) AliceTerminated(int) {}
+
+// Done implements Tracer.
+func (Nop) Done() {}
+
+// Text writes a human-readable line per event. Per-node events are
+// aggregated per phase to keep the output readable at large n.
+type Text struct {
+	W io.Writer
+
+	informedThisPhase   int
+	terminatedThisPhase int
+	strandedThisPhase   int
+}
+
+// NewText returns a text tracer writing to w.
+func NewText(w io.Writer) *Text { return &Text{W: w} }
+
+// PhaseStart implements Tracer.
+func (t *Text) PhaseStart(ph core.Phase) {
+	t.informedThisPhase, t.terminatedThisPhase, t.strandedThisPhase = 0, 0, 0
+	fmt.Fprintf(t.W, "▶ %s\n", ph)
+}
+
+// NodeInformed implements Tracer.
+func (t *Text) NodeInformed(int, core.Phase) { t.informedThisPhase++ }
+
+// NodeTerminated implements Tracer.
+func (t *Text) NodeTerminated(_ int, informed bool, _ core.Phase) {
+	if informed {
+		t.terminatedThisPhase++
+	} else {
+		t.strandedThisPhase++
+	}
+}
+
+// PhaseEnd implements Tracer.
+func (t *Text) PhaseEnd(out adversary.PhaseOutcome) {
+	fmt.Fprintf(t.W,
+		"  sends: alice=%d relays=%d nacks=%d decoys=%d | jam=%d spoof=%d | +informed=%d +done=%d +stranded=%d | informed=%d active=%d\n",
+		out.AliceSends, out.NodeDataSends, out.NodeNacks, out.NodeDecoys,
+		out.JammedSlots, out.InjectedFrames,
+		t.informedThisPhase, t.terminatedThisPhase, t.strandedThisPhase,
+		out.InformedAfter, out.ActiveAfter)
+}
+
+// AliceTerminated implements Tracer.
+func (t *Text) AliceTerminated(round int) {
+	fmt.Fprintf(t.W, "✓ alice terminated in round %d\n", round)
+}
+
+// Done implements Tracer.
+func (t *Text) Done() { fmt.Fprintln(t.W, "■ run complete") }
+
+// JSON writes one NDJSON object per event, suitable for offline analysis.
+type JSON struct {
+	W   io.Writer
+	enc *json.Encoder
+}
+
+// NewJSON returns an NDJSON tracer writing to w.
+func NewJSON(w io.Writer) *JSON { return &JSON{W: w, enc: json.NewEncoder(w)} }
+
+type jsonEvent struct {
+	Event    string `json:"event"`
+	Round    int    `json:"round,omitempty"`
+	Kind     string `json:"kind,omitempty"`
+	Step     int    `json:"step,omitempty"`
+	Sub      int    `json:"sub,omitempty"`
+	Node     int    `json:"node,omitempty"`
+	Informed bool   `json:"informed,omitempty"`
+
+	AliceSends int   `json:"alice_sends,omitempty"`
+	Relays     int   `json:"relays,omitempty"`
+	Nacks      int   `json:"nacks,omitempty"`
+	Decoys     int   `json:"decoys,omitempty"`
+	Jams       int64 `json:"jams,omitempty"`
+	Spoofs     int64 `json:"spoofs,omitempty"`
+	InformedN  int   `json:"informed_n,omitempty"`
+	ActiveN    int   `json:"active_n,omitempty"`
+}
+
+func (j *JSON) emit(e jsonEvent) {
+	if j.enc == nil {
+		j.enc = json.NewEncoder(j.W)
+	}
+	_ = j.enc.Encode(e)
+}
+
+// PhaseStart implements Tracer.
+func (j *JSON) PhaseStart(ph core.Phase) {
+	j.emit(jsonEvent{Event: "phase_start", Round: ph.Round, Kind: ph.Kind.String(), Step: ph.Step, Sub: ph.Sub})
+}
+
+// PhaseEnd implements Tracer.
+func (j *JSON) PhaseEnd(out adversary.PhaseOutcome) {
+	j.emit(jsonEvent{
+		Event: "phase_end", Round: out.Phase.Round, Kind: out.Phase.Kind.String(),
+		Step: out.Phase.Step, Sub: out.Phase.Sub,
+		AliceSends: out.AliceSends, Relays: out.NodeDataSends,
+		Nacks: out.NodeNacks, Decoys: out.NodeDecoys,
+		Jams: out.JammedSlots, Spoofs: out.InjectedFrames,
+		InformedN: out.InformedAfter, ActiveN: out.ActiveAfter,
+	})
+}
+
+// NodeInformed implements Tracer.
+func (j *JSON) NodeInformed(node int, ph core.Phase) {
+	j.emit(jsonEvent{Event: "node_informed", Node: node, Round: ph.Round, Kind: ph.Kind.String(), Step: ph.Step})
+}
+
+// NodeTerminated implements Tracer.
+func (j *JSON) NodeTerminated(node int, informed bool, ph core.Phase) {
+	j.emit(jsonEvent{Event: "node_terminated", Node: node, Informed: informed, Round: ph.Round})
+}
+
+// AliceTerminated implements Tracer.
+func (j *JSON) AliceTerminated(round int) {
+	j.emit(jsonEvent{Event: "alice_terminated", Round: round})
+}
+
+// Done implements Tracer.
+func (j *JSON) Done() { j.emit(jsonEvent{Event: "done"}) }
+
+// Multi fans events out to several tracers in order.
+type Multi []Tracer
+
+// PhaseStart implements Tracer.
+func (m Multi) PhaseStart(ph core.Phase) {
+	for _, t := range m {
+		t.PhaseStart(ph)
+	}
+}
+
+// PhaseEnd implements Tracer.
+func (m Multi) PhaseEnd(out adversary.PhaseOutcome) {
+	for _, t := range m {
+		t.PhaseEnd(out)
+	}
+}
+
+// NodeInformed implements Tracer.
+func (m Multi) NodeInformed(node int, ph core.Phase) {
+	for _, t := range m {
+		t.NodeInformed(node, ph)
+	}
+}
+
+// NodeTerminated implements Tracer.
+func (m Multi) NodeTerminated(node int, informed bool, ph core.Phase) {
+	for _, t := range m {
+		t.NodeTerminated(node, informed, ph)
+	}
+}
+
+// AliceTerminated implements Tracer.
+func (m Multi) AliceTerminated(round int) {
+	for _, t := range m {
+		t.AliceTerminated(round)
+	}
+}
+
+// Done implements Tracer.
+func (m Multi) Done() {
+	for _, t := range m {
+		t.Done()
+	}
+}
+
+// Counter tallies events; used by tests.
+type Counter struct {
+	Nop
+	Phases, Informed, Terminated, Stranded int
+	AliceRound                             int
+	DoneCalled                             bool
+}
+
+// PhaseStart implements Tracer.
+func (c *Counter) PhaseStart(core.Phase) { c.Phases++ }
+
+// NodeInformed implements Tracer.
+func (c *Counter) NodeInformed(int, core.Phase) { c.Informed++ }
+
+// NodeTerminated implements Tracer.
+func (c *Counter) NodeTerminated(_ int, informed bool, _ core.Phase) {
+	if informed {
+		c.Terminated++
+	} else {
+		c.Stranded++
+	}
+}
+
+// AliceTerminated implements Tracer.
+func (c *Counter) AliceTerminated(round int) { c.AliceRound = round }
+
+// Done implements Tracer.
+func (c *Counter) Done() { c.DoneCalled = true }
+
+// Compile-time interface checks.
+var (
+	_ Tracer = Nop{}
+	_ Tracer = (*Text)(nil)
+	_ Tracer = (*JSON)(nil)
+	_ Tracer = Multi{}
+	_ Tracer = (*Counter)(nil)
+)

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/core"
+)
+
+func samplePhase() core.Phase {
+	p := core.PracticalParams(64, 2)
+	return p.Round(6)[0]
+}
+
+func driveTracer(t Tracer) {
+	ph := samplePhase()
+	t.PhaseStart(ph)
+	t.NodeInformed(3, ph)
+	t.NodeInformed(4, ph)
+	t.NodeTerminated(3, true, ph)
+	t.NodeTerminated(9, false, ph)
+	t.PhaseEnd(adversary.PhaseOutcome{Phase: ph, AliceSends: 7, JammedSlots: 11, InformedAfter: 2, ActiveAfter: 62})
+	t.AliceTerminated(6)
+	t.Done()
+}
+
+func TestTextTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewText(&buf)
+	driveTracer(tr)
+	out := buf.String()
+	for _, want := range []string{
+		"r6/inform", "alice=7", "jam=11", "+informed=2", "+done=1", "+stranded=1",
+		"alice terminated in round 6", "run complete",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONTracerWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSON(&buf)
+	driveTracer(tr)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("expected 8 NDJSON events, got %d", len(lines))
+	}
+	events := []string{}
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", l, err)
+		}
+		events = append(events, m["event"].(string))
+	}
+	want := []string{"phase_start", "node_informed", "node_informed",
+		"node_terminated", "node_terminated", "phase_end", "alice_terminated"}
+	_ = want
+	if events[0] != "phase_start" || events[len(events)-1] != "done" {
+		t.Fatalf("event order wrong: %v", events)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := &Counter{}, &Counter{}
+	driveTracer(Multi{a, b})
+	for _, c := range []*Counter{a, b} {
+		if c.Phases != 1 || c.Informed != 2 || c.Terminated != 1 || c.Stranded != 1 {
+			t.Fatalf("counter: %+v", c)
+		}
+		if c.AliceRound != 6 || !c.DoneCalled {
+			t.Fatalf("counter: %+v", c)
+		}
+	}
+}
+
+func TestNopIsSilent(t *testing.T) {
+	driveTracer(Nop{}) // must not panic
+}

@@ -1,0 +1,191 @@
+// Package rcbcast is a faithful, executable reproduction of
+//
+//	Gilbert & Young, "Making Evildoers Pay: Resource-Competitive
+//	Broadcast in Sensor Networks", PODC 2012 (arXiv:1202.4576).
+//
+// It implements the ε-BROADCAST protocol (the paper's Figures 1 and 2),
+// the time-slotted single-hop channel model with an n-uniform Byzantine
+// jamming adversary, the §4.1 decoy defence against reactive jammers, the
+// §4.2 approximate-parameter mode, the baselines the paper compares
+// against, and a harness that regenerates every quantitative claim of
+// Theorem 1 as a measured experiment (see DESIGN.md and EXPERIMENTS.md).
+//
+// # Quickstart
+//
+//	params := rcbcast.PracticalParams(1024, 2) // n nodes, protocol k
+//	res, err := rcbcast.Run(rcbcast.Options{
+//		Params:   params,
+//		Seed:     1,
+//		Strategy: rcbcast.FullJam{},            // Carol jams everything...
+//		Pool:     rcbcast.NewPool(1 << 14),     // ...until her pool drains
+//	})
+//	if err != nil { ... }
+//	fmt.Printf("informed %d/%d, alice paid %d, median node paid %d, Carol paid %d\n",
+//		res.Informed, res.N, res.Alice.Cost, res.NodeCost.Median, res.AdversarySpent)
+//
+// The package is a façade over the implementation packages under
+// internal/; everything a downstream user needs is re-exported here.
+package rcbcast
+
+import (
+	"io"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/baseline"
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+	"rcbcast/internal/engine"
+	"rcbcast/internal/multihop"
+	"rcbcast/internal/trace"
+)
+
+// Protocol configuration (internal/core).
+type (
+	// Params fully determines an ε-BROADCAST instance; construct with
+	// PaperParams or PracticalParams and adjust fields as needed.
+	Params = core.Params
+	// Variant selects Figure 1 (k=2 exact) or Figure 2 (general k)
+	// probability constants.
+	Variant = core.Variant
+	// QuietMode selects the request-phase termination test.
+	QuietMode = core.QuietMode
+	// Phase is one resolved phase descriptor of the round schedule.
+	Phase = core.Phase
+)
+
+// Re-exported protocol constants.
+const (
+	VariantGeneralK = core.VariantGeneralK
+	VariantK2Exact  = core.VariantK2Exact
+	QuietAbsolute   = core.QuietAbsolute
+	QuietFraction   = core.QuietFraction
+)
+
+// PaperParams returns the protocol exactly as analyzed in the paper.
+func PaperParams(n, k int) Params { return core.PaperParams(n, k) }
+
+// PracticalParams returns the same functional forms tuned for
+// laptop-scale simulations (the experiment defaults).
+func PracticalParams(n, k int) Params { return core.PracticalParams(n, k) }
+
+// Execution (internal/engine).
+type (
+	// Options configures one protocol execution.
+	Options = engine.Options
+	// Result reports a finished execution.
+	Result = engine.Result
+	// AliceStats aggregates Alice's costs and exit status.
+	AliceStats = engine.AliceStats
+	// CostSummary summarizes the per-node cost distribution.
+	CostSummary = engine.CostSummary
+)
+
+// Run executes the protocol on the fast sequential engine.
+func Run(opts Options) (*Result, error) { return engine.Run(opts) }
+
+// RunActors executes the protocol with one goroutine per node. Results
+// are bit-for-bit identical to Run for identical Options.
+func RunActors(opts Options) (*Result, error) { return engine.RunActors(opts) }
+
+// Adversaries (internal/adversary).
+type (
+	// Strategy is Carol: she commits a jamming/spoofing plan per phase.
+	Strategy = adversary.Strategy
+	// Reactive strategies additionally see the current phase's RSSI
+	// activity bitmap (grant with Options.AllowReactive).
+	Reactive = adversary.Reactive
+	// Plan is a phase commitment; used when implementing custom
+	// strategies.
+	Plan = adversary.Plan
+	// History is the adaptive adversary's view of past phases.
+	History = adversary.History
+
+	// Null never jams.
+	Null = adversary.Null
+	// FullJam jams every slot until the pool drains.
+	FullJam = adversary.FullJam
+	// RandomJam jams each slot independently with probability P.
+	RandomJam = adversary.RandomJam
+	// Bursty alternates jammed bursts with silent gaps.
+	Bursty = adversary.Bursty
+	// PhaseBlocker jams whole targeted phases while affordable
+	// (Lemma 10's delay strategy).
+	PhaseBlocker = adversary.PhaseBlocker
+	// PartitionBlocker is the §2.3 n-uniform stranding attack.
+	PartitionBlocker = adversary.PartitionBlocker
+	// NackSpoofer is the §2.2 spoofed-NACK attack on the request phase.
+	NackSpoofer = adversary.NackSpoofer
+	// ReactiveJammer jams exactly the slots carrying transmissions
+	// (§4.1 threat model).
+	ReactiveJammer = adversary.ReactiveJammer
+)
+
+// Energy model (internal/energy).
+type (
+	// Pool is the adversary's shared energy purse.
+	Pool = energy.Pool
+	// BudgetModel computes the paper's budgets as functions of n and k.
+	BudgetModel = energy.BudgetModel
+)
+
+// Unlimited is the budget value meaning "no cap".
+const Unlimited = energy.Unlimited
+
+// NewPool returns an adversary pool with the given aggregate budget.
+func NewPool(budget int64) *Pool { return energy.NewPool(budget) }
+
+// DefaultBudgets returns the paper's budget model with leading constant c
+// for protocol parameter k.
+func DefaultBudgets(c float64, k int) BudgetModel { return energy.DefaultBudgets(c, k) }
+
+// Baselines (internal/baseline).
+type (
+	// BaselineResult reports a baseline protocol execution.
+	BaselineResult = baseline.Result
+	// KSYParams tunes the King–Saia–Young-style baseline.
+	KSYParams = baseline.KSYParams
+)
+
+// Tracing (internal/trace).
+type (
+	// Tracer receives structured execution events (set Options.Tracer).
+	Tracer = trace.Tracer
+	// TextTracer renders a human-readable trace.
+	TextTracer = trace.Text
+	// JSONTracer emits NDJSON events.
+	JSONTracer = trace.JSON
+	// NopTracer ignores everything; embed it in custom tracers.
+	NopTracer = trace.Nop
+)
+
+// NewTextTracer returns a human-readable tracer writing to w.
+func NewTextTracer(w io.Writer) *TextTracer { return trace.NewText(w) }
+
+// NewJSONTracer returns an NDJSON tracer writing to w.
+func NewJSONTracer(w io.Writer) *JSONTracer { return trace.NewJSON(w) }
+
+// Multi-hop extension (internal/multihop, the §5 open question).
+type (
+	// MultiHopOptions configures a cluster-pipeline execution.
+	MultiHopOptions = multihop.Options
+	// MultiHopResult is the end-to-end outcome.
+	MultiHopResult = multihop.Result
+	// HopResult summarizes one cluster's broadcast.
+	HopResult = multihop.HopResult
+)
+
+// RunMultiHop executes ε-BROADCAST across a path of single-hop clusters,
+// relaying m (still carrying Alice's authenticator) hop by hop.
+func RunMultiHop(opts MultiHopOptions) (*MultiHopResult, error) {
+	return multihop.Run(opts)
+}
+
+// RunNaive executes the naive always-on baseline against a T-slot jam.
+func RunNaive(jamSlots, maxSlots int64) BaselineResult {
+	return baseline.RunNaive(jamSlots, maxSlots)
+}
+
+// RunKSY executes the KSY'11-style baseline against a T-slot jam.
+func RunKSY(seed uint64, jamSlots, maxSlots int64, params KSYParams) BaselineResult {
+	return baseline.RunKSY(seed, jamSlots, maxSlots, params)
+}
