@@ -10,6 +10,8 @@ package rcbcast_test
 // experiments E1..E12; EXPERIMENTS.md records one full run.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"rcbcast/internal/adversary"
@@ -17,10 +19,13 @@ import (
 	"rcbcast/internal/energy"
 	"rcbcast/internal/engine"
 	"rcbcast/internal/experiment"
+	"rcbcast/internal/sim"
 )
 
 // benchConfig scales experiments for benchmarking: full sweeps, one seed
-// per point per iteration (b.N handles repetition).
+// per point per iteration (b.N handles repetition). Procs=0 lets each
+// experiment's trial runner use every core; reported values are
+// byte-identical to a sequential run.
 func benchConfig() experiment.Config {
 	return experiment.Config{Seeds: 1, BaseSeed: 7}
 }
@@ -123,36 +128,47 @@ func BenchmarkE11Engines(b *testing.B) {
 	})
 }
 
-// BenchmarkProtocolThroughput measures raw simulation speed: slots per
-// second across network sizes, for sizing larger studies.
+// BenchmarkProtocolThroughput measures raw simulation speed through the
+// parallel trial runner: trials and slots per second across network
+// sizes and worker counts, for sizing larger studies. Each iteration is
+// one batch of trialsPerBatch independent full-jam runs dispatched via
+// sim.RunTrials.
 func BenchmarkProtocolThroughput(b *testing.B) {
+	const trialsPerBatch = 8
+	procsVariants := []int{1, runtime.GOMAXPROCS(0)}
+	if procsVariants[1] == 1 {
+		procsVariants = procsVariants[:1]
+	}
 	for _, n := range []int{256, 1024, 4096} {
-		b.Run(benchName(n), func(b *testing.B) {
-			var slots int64
-			for i := 0; i < b.N; i++ {
-				res, err := engine.Run(engine.Options{
-					Params:   core.PracticalParams(n, 2),
-					Seed:     uint64(i),
-					Strategy: adversary.FullJam{},
-					Pool:     energy.NewPool(1 << 13),
-				})
-				if err != nil {
-					b.Fatal(err)
+		for _, procs := range procsVariants {
+			b.Run(benchName(n, procs), func(b *testing.B) {
+				var slots, trials int64
+				for i := 0; i < b.N; i++ {
+					specs := make([]sim.TrialSpec, trialsPerBatch)
+					for t := range specs {
+						specs[t] = sim.TrialSpec{
+							Params:   core.PracticalParams(n, 2),
+							Seed:     sim.TrialSeed(uint64(i), t),
+							Strategy: func() adversary.Strategy { return adversary.FullJam{} },
+							Pool:     func() *energy.Pool { return energy.NewPool(1 << 13) },
+						}
+					}
+					results, err := sim.RunTrials(procs, specs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, res := range results {
+						slots += res.SlotsSimulated
+					}
+					trials += trialsPerBatch
 				}
-				slots += res.SlotsSimulated
-			}
-			b.ReportMetric(float64(slots)/b.Elapsed().Seconds(), "slots/s")
-		})
+				b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
+				b.ReportMetric(float64(slots)/b.Elapsed().Seconds(), "slots/s")
+			})
+		}
 	}
 }
 
-func benchName(n int) string {
-	switch n {
-	case 256:
-		return "n=256"
-	case 1024:
-		return "n=1024"
-	default:
-		return "n=4096"
-	}
+func benchName(n, procs int) string {
+	return fmt.Sprintf("n=%d/procs=%d", n, procs)
 }

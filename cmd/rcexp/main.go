@@ -7,6 +7,9 @@
 //	rcexp                 run every experiment at full scale
 //	rcexp -id E1          run one experiment
 //	rcexp -quick          small sweeps (the test-suite scale)
+//	rcexp -procs 8        trial-runner workers (0 = GOMAXPROCS); output
+//	                      is byte-identical for every value, modulo the
+//	                      "wall time" lines
 //	rcexp -markdown       emit GitHub-flavored markdown tables
 //	rcexp -list           list experiments with their claims
 package main
@@ -38,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		seeds    = fs.Int("seeds", 0, "seeds per sweep point (0 = default)")
 		n        = fs.Int("n", 0, "network size override (0 = default)")
 		baseSeed = fs.Uint64("seed", 1, "base seed")
+		procs    = fs.Int("procs", 0, "parallel trial workers (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +59,7 @@ func run(args []string, out io.Writer) error {
 		Seeds:    *seeds,
 		N:        *n,
 		BaseSeed: *baseSeed,
+		Procs:    *procs,
 	}
 
 	var exps []experiment.Experiment

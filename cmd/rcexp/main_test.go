@@ -38,6 +38,30 @@ func TestRcexpMarkdown(t *testing.T) {
 	}
 }
 
+// TestRcexpProcsDeterministic asserts the CLI contract stated in the doc
+// comment: modulo wall-time lines, output is byte-identical for every
+// -procs value.
+func TestRcexpProcsDeterministic(t *testing.T) {
+	render := func(procs string) string {
+		var buf strings.Builder
+		args := []string{"-id", "E3", "-quick", "-n", "128", "-procs", procs}
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		var kept []string
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, "wall time") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	if p1, p8 := render("1"), render("8"); p1 != p8 {
+		t.Fatalf("-procs 1 and -procs 8 diverged:\n--- procs=1\n%s\n--- procs=8\n%s", p1, p8)
+	}
+}
+
 func TestRcexpUnknownID(t *testing.T) {
 	var buf strings.Builder
 	if err := run([]string{"-id", "E99"}, &buf); err == nil {

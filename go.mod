@@ -1,0 +1,3 @@
+module rcbcast
+
+go 1.24

@@ -36,7 +36,7 @@ const (
 	// form; substitutes a = 1/k, b = 1).
 	VariantGeneralK Variant = iota
 	// VariantK2Exact is Figure 1 verbatim; requires K == 2. Differs from
-	// VariantGeneralK at k = 2 only in logarithmic factors (DESIGN.md §5).
+	// VariantGeneralK at k = 2 only in logarithmic factors (DESIGN.md §2).
 	VariantK2Exact
 )
 

@@ -9,6 +9,7 @@ import (
 	"rcbcast/internal/core"
 	"rcbcast/internal/energy"
 	"rcbcast/internal/engine"
+	"rcbcast/internal/sim"
 	"rcbcast/internal/stats"
 )
 
@@ -22,33 +23,42 @@ type costPoint struct {
 }
 
 // costSweep runs FullJam with pool budgets `pools` and returns per-budget
-// averages over cfg seeds.
+// averages over cfg seeds. Trials run on the sim worker pool; each budget
+// reuses the same trial seeds (common random numbers), as the sequential
+// sweep always did.
 func costSweep(cfg Config, n, k, seeds int, pools []int64) ([]costPoint, error) {
-	points := make([]costPoint, 0, len(pools))
+	specs := make([]sim.TrialSpec, 0, len(pools)*seeds)
 	for _, budget := range pools {
-		var ts, alices, medians, maxes, rounds []float64
 		for s := 0; s < seeds; s++ {
-			res, err := engine.Run(engine.Options{
+			specs = append(specs, sim.TrialSpec{
 				Params:   core.PracticalParams(n, k),
-				Seed:     cfg.seed(s*1000 + len(ts)),
-				Strategy: adversary.FullJam{},
-				Pool:     energy.NewPool(budget),
+				Seed:     cfg.seed(s),
+				Strategy: func() adversary.Strategy { return adversary.FullJam{} },
+				Pool:     func() *energy.Pool { return energy.NewPool(budget) },
 			})
-			if err != nil {
-				return nil, err
-			}
-			ts = append(ts, float64(res.AdversarySpent))
-			alices = append(alices, float64(res.Alice.Cost))
-			medians = append(medians, float64(res.NodeCost.Median))
-			maxes = append(maxes, float64(res.NodeCost.Max))
-			rounds = append(rounds, float64(res.Rounds))
+		}
+	}
+	results, err := sim.RunTrials(cfg.Procs, specs)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]costPoint, 0, len(pools))
+	for bi := range pools {
+		var ts, alices, medians, maxes, rounds stats.Acc
+		for s := 0; s < seeds; s++ {
+			res := results[bi*seeds+s]
+			ts.Add(float64(res.AdversarySpent))
+			alices.Add(float64(res.Alice.Cost))
+			medians.Add(float64(res.NodeCost.Median))
+			maxes.Add(float64(res.NodeCost.Max))
+			rounds.Add(float64(res.Rounds))
 		}
 		points = append(points, costPoint{
-			T:          stats.Mean(ts),
-			Alice:      stats.Mean(alices),
-			NodeMedian: stats.Mean(medians),
-			NodeMax:    stats.Mean(maxes),
-			Rounds:     stats.Mean(rounds),
+			T:          ts.Mean(),
+			Alice:      alices.Mean(),
+			NodeMedian: medians.Mean(),
+			NodeMax:    maxes.Mean(),
+			Rounds:     rounds.Mean(),
 		})
 	}
 	return points, nil
@@ -96,18 +106,22 @@ func marginalSweep(cfg Config, n, k, seeds int) ([]marginalPoint, error) {
 	// cumulative sweep it does not need T capped at her Theorem-1 budget.
 	params := core.PracticalParams(n, k)
 	pool := params.TotalSlots(params.StartRound + 3)
-	byRound := map[int]*marginalPoint{}
-	for s := 0; s < seeds; s++ {
-		res, err := engine.Run(engine.Options{
-			Params:       core.PracticalParams(n, k),
-			Seed:         cfg.seed(777 + s),
-			Strategy:     adversary.FullJam{},
-			Pool:         energy.NewPool(pool),
-			RecordPhases: true,
-		})
-		if err != nil {
-			return nil, err
+	specs := make([]sim.TrialSpec, seeds)
+	for s := range specs {
+		specs[s] = sim.TrialSpec{
+			Params:    core.PracticalParams(n, k),
+			Seed:      cfg.seedAt(777, s),
+			Strategy:  func() adversary.Strategy { return adversary.FullJam{} },
+			Pool:      func() *energy.Pool { return energy.NewPool(pool) },
+			Configure: func(o *engine.Options) { o.RecordPhases = true },
 		}
+	}
+	results, err := sim.RunTrials(cfg.Procs, specs)
+	if err != nil {
+		return nil, err
+	}
+	byRound := map[int]*marginalPoint{}
+	for _, res := range results {
 		type agg struct {
 			slots, jammed     int64
 			nodeOps, aliceOps int64
@@ -318,26 +332,36 @@ func runE6(cfg Config) (*Report, error) {
 	tbl := stats.NewTable(
 		fmt.Sprintf("E6: per-device cost under a T-slot jam (n=%d)", n),
 		"T", "naive node", "KSY alice", "KSY node", "ours alice", "ours node(med)")
-	var ts, naives, ksyA, ksyN, oursA, oursN []float64
 	points, err := costSweep(cfg, n, 2, seeds, budgets)
 	if err != nil {
 		return nil, err
 	}
+	// The KSY baseline is not an engine run, so it rides the generic
+	// parallel map: trial index -> (sweep point, seed).
 	horizon := int64(1) << 26
+	ksy, err := sim.Map(cfg.Procs, len(points)*seeds, func(t int) (baseline.Result, error) {
+		i, s := t/seeds, t%seeds
+		jam := int64(points[i].T)
+		return baseline.RunKSY(cfg.seedAt(6000+i, s), jam, horizon, baseline.KSYParams{}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ts, naives, ksyA, ksyN, oursA, oursN []float64
 	for i, p := range points {
 		jam := int64(p.T)
 		nv := baseline.RunNaive(jam, horizon)
-		var ka, kn []float64
+		var ka, kn stats.Acc
 		for s := 0; s < seeds; s++ {
-			kr := baseline.RunKSY(cfg.seed(9000+s*100+i), jam, horizon, baseline.KSYParams{})
-			ka = append(ka, float64(kr.AliceCost))
-			kn = append(kn, float64(kr.NodeCost))
+			kr := ksy[i*seeds+s]
+			ka.Add(float64(kr.AliceCost))
+			kn.Add(float64(kr.NodeCost))
 		}
-		tbl.AddRowf(p.T, float64(nv.NodeCost), stats.Mean(ka), stats.Mean(kn), p.Alice, p.NodeMedian)
+		tbl.AddRowf(p.T, float64(nv.NodeCost), ka.Mean(), kn.Mean(), p.Alice, p.NodeMedian)
 		ts = append(ts, p.T)
 		naives = append(naives, float64(nv.NodeCost))
-		ksyA = append(ksyA, stats.Mean(ka))
-		ksyN = append(ksyN, stats.Mean(kn))
+		ksyA = append(ksyA, ka.Mean())
+		ksyN = append(ksyN, kn.Mean())
 		oursA = append(oursA, p.Alice)
 		oursN = append(oursN, p.NodeMedian)
 	}
@@ -367,27 +391,34 @@ func runE8(cfg Config) (*Report, error) {
 	tbl := stats.NewTable(
 		fmt.Sprintf("E8: Alice cost vs spoofing spend (n=%d, k=2)", n),
 		"spoof spend T", "alice cost", "alice term round", "informed frac")
-	var ts, alices []float64
+	specs := make([]sim.TrialSpec, 0, len(budgets)*seeds)
 	for i, budget := range budgets {
-		var t, a, rounds, fracs []float64
 		for s := 0; s < seeds; s++ {
-			res, err := engine.Run(engine.Options{
+			specs = append(specs, sim.TrialSpec{
 				Params:   core.PracticalParams(n, 2),
-				Seed:     cfg.seed(5000 + i*97 + s),
-				Strategy: &adversary.NackSpoofer{Rate: 0.5},
-				Pool:     energy.NewPool(budget),
+				Seed:     cfg.seedAt(5000+i, s),
+				Strategy: func() adversary.Strategy { return &adversary.NackSpoofer{Rate: 0.5} },
+				Pool:     func() *energy.Pool { return energy.NewPool(budget) },
 			})
-			if err != nil {
-				return nil, err
-			}
-			t = append(t, float64(res.AdversarySpent))
-			a = append(a, float64(res.Alice.Cost))
-			rounds = append(rounds, float64(res.Alice.Round))
-			fracs = append(fracs, res.InformedFrac())
 		}
-		tbl.AddRowf(stats.Mean(t), stats.Mean(a), stats.Mean(rounds), stats.Mean(fracs))
-		ts = append(ts, stats.Mean(t))
-		alices = append(alices, stats.Mean(a))
+	}
+	results, err := sim.RunTrials(cfg.Procs, specs)
+	if err != nil {
+		return nil, err
+	}
+	var ts, alices []float64
+	for i := range budgets {
+		var t, a, rounds, fracs stats.Acc
+		for s := 0; s < seeds; s++ {
+			res := results[i*seeds+s]
+			t.Add(float64(res.AdversarySpent))
+			a.Add(float64(res.Alice.Cost))
+			rounds.Add(float64(res.Alice.Round))
+			fracs.Add(res.InformedFrac())
+		}
+		tbl.AddRowf(t.Mean(), a.Mean(), rounds.Mean(), fracs.Mean())
+		ts = append(ts, t.Mean())
+		alices = append(alices, a.Mean())
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	fit := stats.FitPowerLaw(ts, alices)

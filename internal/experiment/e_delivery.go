@@ -2,12 +2,14 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 
 	"rcbcast/internal/adversary"
 	"rcbcast/internal/core"
 	"rcbcast/internal/energy"
 	"rcbcast/internal/engine"
 	"rcbcast/internal/rng"
+	"rcbcast/internal/sim"
 	"rcbcast/internal/stats"
 )
 
@@ -88,53 +90,55 @@ func e3Scenarios() []deliveryScenario {
 	}
 }
 
-func runDeliveryScenario(cfg Config, sc deliveryScenario, n, k, seedBase int) (informed, stranded, completed, spent float64, err error) {
-	seeds := cfg.seeds(3, 2)
-	var fracs, strandeds, completeds, spents []float64
-	for s := 0; s < seeds; s++ {
-		params := core.PracticalParams(n, k)
-		params.MaxRound = params.StartRound + 6 // bound hopeless runs
-		var pool *energy.Pool
-		if sc.pool != nil {
-			pool = sc.pool(n)
-		}
-		res, runErr := engine.Run(engine.Options{
-			Params:   params,
-			Seed:     cfg.seed(seedBase + s),
-			Strategy: sc.strategy(&params, n),
-			Pool:     pool,
-		})
-		if runErr != nil {
-			return 0, 0, 0, 0, runErr
-		}
-		fracs = append(fracs, res.InformedFrac())
-		strandeds = append(strandeds, float64(res.Stranded)/float64(n))
-		if res.Completed {
-			completeds = append(completeds, 1)
-		} else {
-			completeds = append(completeds, 0)
-		}
-		spents = append(spents, float64(res.AdversarySpent))
+// deliverySpec builds the trial spec for trial s of scenario `point`.
+// The strategy factory closes over the spec's own Params copy so pointer
+// strategies (PhaseBlocker) read protocol constants matching the run.
+func deliverySpec(cfg Config, sc deliveryScenario, n, k, point, s int) sim.TrialSpec {
+	params := core.PracticalParams(n, k)
+	params.MaxRound = params.StartRound + 6 // bound hopeless runs
+	spec := sim.TrialSpec{Params: params, Seed: cfg.seedAt(point, s)}
+	spec.Strategy = func() adversary.Strategy {
+		p := params
+		return sc.strategy(&p, n)
 	}
-	return stats.Mean(fracs), stats.Mean(strandeds), stats.Mean(completeds), stats.Mean(spents), nil
+	if sc.pool != nil {
+		spec.Pool = func() *energy.Pool { return sc.pool(n) }
+	}
+	return spec
 }
 
 func runE3(cfg Config) (*Report, error) {
 	rep := newReport("E3", "Delivery completeness across adversaries",
 		"informed fraction ≥ 1-ε for every in-model adversary")
 	n := cfg.n(512, 256)
+	seeds := cfg.seeds(3, 2)
+	scenarios := e3Scenarios()
+	specs := make([]sim.TrialSpec, 0, len(scenarios)*seeds)
+	for i, sc := range scenarios {
+		for s := 0; s < seeds; s++ {
+			specs = append(specs, deliverySpec(cfg, sc, n, 2, i, s))
+		}
+	}
+	results, err := sim.RunTrials(cfg.Procs, specs)
+	if err != nil {
+		return nil, err
+	}
 	tbl := stats.NewTable(
 		fmt.Sprintf("E3: informed fraction by adversary (n=%d, k=2, paper-scale pools)", n),
 		"adversary", "informed frac", "stranded frac", "completed", "T spent")
-	for i, sc := range e3Scenarios() {
-		informed, stranded, completed, spent, err := runDeliveryScenario(cfg, sc, n, 2, 100*i)
-		if err != nil {
-			return nil, err
+	for i, sc := range scenarios {
+		var fracs, strandeds, completeds, spents stats.Acc
+		for s := 0; s < seeds; s++ {
+			res := results[i*seeds+s]
+			fracs.Add(res.InformedFrac())
+			strandeds.Add(float64(res.Stranded) / float64(n))
+			completeds.Add(b2f(res.Completed))
+			spents.Add(float64(res.AdversarySpent))
 		}
-		tbl.AddRowf(sc.name, informed, stranded, completed, spent)
+		tbl.AddRowf(sc.name, fracs.Mean(), strandeds.Mean(), completeds.Mean(), spents.Mean())
 		key := sc.name
-		rep.Values["informed_"+key] = informed
-		rep.Values["completed_"+key] = completed
+		rep.Values["informed_"+key] = fracs.Mean()
+		rep.Values["completed_"+key] = completeds.Mean()
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.addFinding("every in-model adversary leaves ≥ (1-ε)n nodes informed")
@@ -152,37 +156,61 @@ func runE7(cfg Config) (*Report, error) {
 		"defence", "marginal node-vs-Carol exp", "budgeted: informed", "budgeted: rounds", "budgeted: delay slots", "budgeted: T")
 	bm := energy.DefaultBudgets(8, 2)
 	f := 1.0 / 25
+	mkParams := func(decoy bool) core.Params {
+		params := core.PracticalParams(n, 2)
+		if decoy {
+			params.Decoy = true
+			params.DecoyProb = 0.75 / float64(n)
+			params.ListenBoost = 4
+		}
+		return params
+	}
+	// One flat spec list per defence mode: seeds unlimited-pool probe
+	// trials (for the marginal fit) followed by seeds budgeted trials.
+	// Both variants run through a single worker-pool dispatch.
+	var specs []sim.TrialSpec
+	for ri, decoy := range []bool{false, true} {
+		for s := 0; s < seeds; s++ {
+			params := mkParams(decoy)
+			params.MaxRound = params.StartRound + 4
+			specs = append(specs, sim.TrialSpec{
+				Params:   params,
+				Seed:     cfg.seedAt(7000+ri, s),
+				Strategy: func() adversary.Strategy { return adversary.ReactiveJammer{} },
+				Configure: func(o *engine.Options) {
+					o.AllowReactive = true
+					o.RecordPhases = true
+				},
+			})
+		}
+		for s := 0; s < seeds; s++ {
+			params := mkParams(decoy)
+			params.MaxRound = params.StartRound + 8
+			specs = append(specs, sim.TrialSpec{
+				Params:    params,
+				Seed:      cfg.seedAt(7500+ri, s),
+				Strategy:  func() adversary.Strategy { return adversary.ReactiveJammer{} },
+				Pool:      func() *energy.Pool { return bm.AdversaryPool(n, f) },
+				Configure: func(o *engine.Options) { o.AllowReactive = true },
+			})
+		}
+	}
+	results, err := sim.RunTrials(cfg.Procs, specs)
+	if err != nil {
+		return nil, err
+	}
 	for ri, decoy := range []bool{false, true} {
 		suffix := "undefended"
 		if decoy {
 			suffix = "decoy"
 		}
-		mkParams := func() core.Params {
-			params := core.PracticalParams(n, 2)
-			if decoy {
-				params.Decoy = true
-				params.DecoyProb = 0.75 / float64(n)
-				params.ListenBoost = 4
-			}
-			return params
-		}
+		base := ri * 2 * seeds
 
 		// (a) Marginal exponent with an unlimited pool: fit per-round node
 		// cost against per-round Carol spend over the jammed rounds.
 		var xs, ys []float64
 		for s := 0; s < seeds; s++ {
-			params := mkParams()
-			params.MaxRound = params.StartRound + 4
-			res, err := engine.Run(engine.Options{
-				Params:        params,
-				Seed:          cfg.seed(7000 + ri*100 + s),
-				Strategy:      adversary.ReactiveJammer{},
-				AllowReactive: true,
-				RecordPhases:  true,
-			})
-			if err != nil {
-				return nil, err
-			}
+			res := results[base+s]
 			perRoundCarol := map[int]float64{}
 			perRoundNode := map[int]float64{}
 			for _, ph := range res.Phases {
@@ -190,8 +218,16 @@ func runE7(cfg Config) (*Report, error) {
 				perRoundNode[ph.Phase.Round] += float64(ph.NodeListens+
 					int64(ph.NodeDataSends+ph.NodeNacks+ph.NodeDecoys)) / float64(n)
 			}
-			for round, carol := range perRoundCarol {
-				if carol > 0 {
+			// Walk rounds in order: FitPowerLaw's sums are float-order
+			// sensitive, and map range order would leak into the rendered
+			// exponent, breaking byte-reproducibility.
+			rounds := make([]int, 0, len(perRoundCarol))
+			for round := range perRoundCarol {
+				rounds = append(rounds, round)
+			}
+			sort.Ints(rounds)
+			for _, round := range rounds {
+				if carol := perRoundCarol[round]; carol > 0 {
 					xs = append(xs, carol)
 					ys = append(ys, perRoundNode[round])
 				}
@@ -201,31 +237,20 @@ func runE7(cfg Config) (*Report, error) {
 
 		// (b) Budgeted outcome: with the Lemma-19 pool (f < 1/24) decoys
 		// drain Carol rounds earlier, cutting the delay exponentially.
-		var fracs, rounds, slots, spents []float64
+		var fracs, rounds, slots, spents stats.Acc
 		for s := 0; s < seeds; s++ {
-			params := mkParams()
-			params.MaxRound = params.StartRound + 8
-			res, err := engine.Run(engine.Options{
-				Params:        params,
-				Seed:          cfg.seed(7500 + ri*100 + s),
-				Strategy:      adversary.ReactiveJammer{},
-				Pool:          bm.AdversaryPool(n, f),
-				AllowReactive: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			fracs = append(fracs, res.InformedFrac())
-			rounds = append(rounds, float64(res.Rounds))
-			slots = append(slots, float64(res.SlotsSimulated))
-			spents = append(spents, float64(res.AdversarySpent))
+			res := results[base+seeds+s]
+			fracs.Add(res.InformedFrac())
+			rounds.Add(float64(res.Rounds))
+			slots.Add(float64(res.SlotsSimulated))
+			spents.Add(float64(res.AdversarySpent))
 		}
-		tbl.AddRowf(suffix, fit.Exponent, stats.Mean(fracs), stats.Mean(rounds),
-			stats.Mean(slots), stats.Mean(spents))
+		tbl.AddRowf(suffix, fit.Exponent, fracs.Mean(), rounds.Mean(),
+			slots.Mean(), spents.Mean())
 		rep.Values["exponent_"+suffix] = fit.Exponent
-		rep.Values["informed_"+suffix] = stats.Mean(fracs)
-		rep.Values["rounds_"+suffix] = stats.Mean(rounds)
-		rep.Values["delay_slots_"+suffix] = stats.Mean(slots)
+		rep.Values["informed_"+suffix] = fracs.Mean()
+		rep.Values["rounds_"+suffix] = rounds.Mean()
+		rep.Values["delay_slots_"+suffix] = slots.Mean()
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.addFinding("undefended: node cost ~ Carol spend^%.2f — she stalls the network at spend parity",
@@ -247,31 +272,40 @@ func runE9(cfg Config) (*Report, error) {
 	tbl := stats.NewTable(
 		fmt.Sprintf("E9: partition attack outcomes (n=%d, quiet fraction θ=%.3g)", n, 2*params0.Epsilon),
 		"stranded requested", "informed frac", "stranded frac", "still active frac", "completed")
+	specs := make([]sim.TrialSpec, 0, len(fracs)*seeds)
 	for fi, want := range fracs {
-		var informs, strandeds, actives, completeds []float64
+		limit := int(want * float64(n))
 		for s := 0; s < seeds; s++ {
 			params := core.PracticalParams(n, 2)
 			params.MaxRound = params.StartRound + 4
-			limit := int(want * float64(n))
-			res, err := engine.Run(engine.Options{
+			specs = append(specs, sim.TrialSpec{
 				Params: params,
-				Seed:   cfg.seed(9000 + fi*100 + s),
-				Strategy: &adversary.PartitionBlocker{
-					Stranded: func(node int) bool { return node < limit },
+				Seed:   cfg.seedAt(9000+fi, s),
+				Strategy: func() adversary.Strategy {
+					return &adversary.PartitionBlocker{
+						Stranded: func(node int) bool { return node < limit },
+					}
 				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			informs = append(informs, res.InformedFrac())
-			strandeds = append(strandeds, float64(res.Stranded)/float64(n))
-			actives = append(actives, float64(res.ActiveAtEnd)/float64(n))
-			completeds = append(completeds, b2f(res.Completed))
 		}
-		tbl.AddRowf(want, stats.Mean(informs), stats.Mean(strandeds),
-			stats.Mean(actives), stats.Mean(completeds))
-		rep.Values[fmt.Sprintf("stranded_at_%.2f", want)] = stats.Mean(strandeds)
-		rep.Values[fmt.Sprintf("completed_at_%.2f", want)] = stats.Mean(completeds)
+	}
+	results, err := sim.RunTrials(cfg.Procs, specs)
+	if err != nil {
+		return nil, err
+	}
+	for fi, want := range fracs {
+		var informs, strandeds, actives, completeds stats.Acc
+		for s := 0; s < seeds; s++ {
+			res := results[fi*seeds+s]
+			informs.Add(res.InformedFrac())
+			strandeds.Add(float64(res.Stranded) / float64(n))
+			actives.Add(float64(res.ActiveAtEnd) / float64(n))
+			completeds.Add(b2f(res.Completed))
+		}
+		tbl.AddRowf(want, informs.Mean(), strandeds.Mean(),
+			actives.Mean(), completeds.Mean())
+		rep.Values[fmt.Sprintf("stranded_at_%.2f", want)] = strandeds.Mean()
+		rep.Values[fmt.Sprintf("completed_at_%.2f", want)] = completeds.Mean()
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.addFinding("small partitions terminate uninformed (the ε loss); oversized ones leave the network active, so the attack fails closed")
@@ -309,31 +343,41 @@ func runE10(cfg Config) (*Report, error) {
 			p.PolyEstimate = float64(p.N) * float64(p.N)
 		}},
 	}
+	specs := make([]sim.TrialSpec, 0, len(variants)*seeds)
+	for vi, v := range variants {
+		for s := 0; s < seeds; s++ {
+			specs = append(specs, sim.TrialSpec{
+				Params: core.PracticalParams(n, 2),
+				Seed:   cfg.seedAt(10_000+vi, s),
+				Configure: func(o *engine.Options) {
+					v.tweak(&o.Params, o)
+				},
+			})
+		}
+	}
+	results, err := sim.RunTrials(cfg.Procs, specs)
+	if err != nil {
+		return nil, err
+	}
 	tbl := stats.NewTable(
 		fmt.Sprintf("E10: §4.2 approximation modes (n=%d, k=2)", n),
 		"mode", "informed frac", "completed", "node median cost", "cost vs exact")
 	baselineCost := 0.0
 	for vi, v := range variants {
-		var fracs, completeds, medians []float64
+		var fracs, completeds, medians stats.Acc
 		for s := 0; s < seeds; s++ {
-			params := core.PracticalParams(n, 2)
-			opts := engine.Options{Params: params, Seed: cfg.seed(10_000 + vi*100 + s)}
-			v.tweak(&opts.Params, &opts)
-			res, err := engine.Run(opts)
-			if err != nil {
-				return nil, err
-			}
-			fracs = append(fracs, res.InformedFrac())
-			completeds = append(completeds, b2f(res.Completed))
-			medians = append(medians, float64(res.NodeCost.Median))
+			res := results[vi*seeds+s]
+			fracs.Add(res.InformedFrac())
+			completeds.Add(b2f(res.Completed))
+			medians.Add(float64(res.NodeCost.Median))
 		}
-		med := stats.Mean(medians)
+		med := medians.Mean()
 		if vi == 0 {
 			baselineCost = med
 		}
 		ratio := med / baselineCost
-		tbl.AddRowf(v.name, stats.Mean(fracs), stats.Mean(completeds), med, ratio)
-		rep.Values[fmt.Sprintf("informed_v%d", vi)] = stats.Mean(fracs)
+		tbl.AddRowf(v.name, fracs.Mean(), completeds.Mean(), med, ratio)
+		rep.Values[fmt.Sprintf("informed_v%d", vi)] = fracs.Mean()
 		rep.Values[fmt.Sprintf("cost_ratio_v%d", vi)] = ratio
 	}
 	rep.Tables = append(rep.Tables, tbl)

@@ -7,6 +7,7 @@ import (
 	"rcbcast/internal/core"
 	"rcbcast/internal/energy"
 	"rcbcast/internal/multihop"
+	"rcbcast/internal/sim"
 	"rcbcast/internal/stats"
 )
 
@@ -29,40 +30,46 @@ func runE12(cfg Config) (*Report, error) {
 		hopsList = []int{1, 2, 4}
 	}
 
-	// Part 1: benign scaling in H.
+	// Part 1: benign scaling in H. Multi-hop pipelines are not single
+	// engine runs, so the sweep rides the generic parallel map: trial
+	// index -> (hop-count index, seed).
 	tbl := stats.NewTable(
 		fmt.Sprintf("E12a: benign pipeline scaling (n=%d per cluster, k=2)", n),
 		"hops", "total slots", "slots/hop", "worst median node cost", "end-to-end frac")
+	benign, err := sim.Map(cfg.Procs, len(hopsList)*seeds, func(t int) (*multihop.Result, error) {
+		hops, s := hopsList[t/seeds], t%seeds
+		return multihop.Run(multihop.Options{
+			Params: core.PracticalParams(n, 2),
+			Hops:   hops,
+			Seed:   cfg.seedAt(12_000+hops, s),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
 	var slotsPerHop1 float64
-	for _, hops := range hopsList {
-		var totals, medians, fracs []float64
+	for hi, hops := range hopsList {
+		var totals, medians, fracs stats.Acc
 		for s := 0; s < seeds; s++ {
-			res, err := multihop.Run(multihop.Options{
-				Params: core.PracticalParams(n, 2),
-				Hops:   hops,
-				Seed:   cfg.seed(12_000 + hops*10 + s),
-			})
-			if err != nil {
-				return nil, err
-			}
-			totals = append(totals, float64(res.TotalSlots))
+			res := benign[hi*seeds+s]
+			totals.Add(float64(res.TotalSlots))
 			worst := 0.0
 			for _, h := range res.Hops {
 				if float64(h.MedianNodeCost) > worst {
 					worst = float64(h.MedianNodeCost)
 				}
 			}
-			medians = append(medians, worst)
-			fracs = append(fracs, res.EndToEndFrac)
+			medians.Add(worst)
+			fracs.Add(res.EndToEndFrac)
 		}
-		total := stats.Mean(totals)
+		total := totals.Mean()
 		perHop := total / float64(hops)
 		if hops == 1 {
 			slotsPerHop1 = perHop
 		}
-		tbl.AddRowf(hops, total, perHop, stats.Mean(medians), stats.Mean(fracs))
-		rep.Values[fmt.Sprintf("median_cost_h%d", hops)] = stats.Mean(medians)
-		rep.Values[fmt.Sprintf("e2e_frac_h%d", hops)] = stats.Mean(fracs)
+		tbl.AddRowf(hops, total, perHop, medians.Mean(), fracs.Mean())
+		rep.Values[fmt.Sprintf("median_cost_h%d", hops)] = medians.Mean()
+		rep.Values[fmt.Sprintf("e2e_frac_h%d", hops)] = fracs.Mean()
 		rep.Values[fmt.Sprintf("slots_per_hop_h%d", hops)] = perHop
 	}
 	rep.Tables = append(rep.Tables, tbl)
@@ -71,32 +78,27 @@ func runE12(cfg Config) (*Report, error) {
 		rep.Values[fmt.Sprintf("slots_per_hop_h%d", lastH)] / slotsPerHop1
 
 	// Part 2: Carol concentrates one pool on a middle cluster of an
-	// H-hop path versus spending it on a single-hop network.
+	// H-hop path versus spending it on a single-hop network. Both arms
+	// share one parallel map: trials [0, seeds) are single-hop,
+	// [seeds, 2*seeds) are the attacked pipeline.
 	pool := int64(1 << 13)
 	tbl2 := stats.NewTable(
 		fmt.Sprintf("E12b: concentrated jammer, pool=%d (n=%d per cluster)", pool, n),
 		"topology", "total slots", "attacked-cluster slots", "informed frac", "T spent")
-	var singleSlots, pipeSlots []float64
-	for s := 0; s < seeds; s++ {
-		res, err := multihop.Run(multihop.Options{
-			Params:      core.PracticalParams(n, 2),
-			Hops:        1,
-			Seed:        cfg.seed(12_500 + s),
-			StrategyFor: func(int) adversary.Strategy { return adversary.FullJam{} },
-			Pool:        energy.NewPool(pool),
-		})
-		if err != nil {
-			return nil, err
+	concentrated, err := sim.Map(cfg.Procs, 2*seeds, func(t int) (*multihop.Result, error) {
+		if t < seeds {
+			return multihop.Run(multihop.Options{
+				Params:      core.PracticalParams(n, 2),
+				Hops:        1,
+				Seed:        cfg.seedAt(12_500, t),
+				StrategyFor: func(int) adversary.Strategy { return adversary.FullJam{} },
+				Pool:        energy.NewPool(pool),
+			})
 		}
-		singleSlots = append(singleSlots, float64(res.TotalSlots))
-	}
-	tbl2.AddRowf("single-hop", stats.Mean(singleSlots), stats.Mean(singleSlots), 1.0, float64(pool))
-	var attacked []float64
-	for s := 0; s < seeds; s++ {
-		res, err := multihop.Run(multihop.Options{
+		return multihop.Run(multihop.Options{
 			Params: core.PracticalParams(n, 2),
 			Hops:   4,
-			Seed:   cfg.seed(12_600 + s),
+			Seed:   cfg.seedAt(12_600, t-seeds),
 			StrategyFor: func(hop int) adversary.Strategy {
 				if hop == 2 {
 					return adversary.FullJam{}
@@ -105,18 +107,26 @@ func runE12(cfg Config) (*Report, error) {
 			},
 			Pool: energy.NewPool(pool),
 		})
-		if err != nil {
-			return nil, err
-		}
-		pipeSlots = append(pipeSlots, float64(res.TotalSlots))
-		attacked = append(attacked, float64(res.Hops[2].Slots))
+	})
+	if err != nil {
+		return nil, err
 	}
-	tbl2.AddRowf("4-hop, cluster 2 attacked", stats.Mean(pipeSlots), stats.Mean(attacked), 1.0, float64(pool))
+	var singleSlots, pipeSlots, attacked stats.Acc
+	for s := 0; s < seeds; s++ {
+		singleSlots.Add(float64(concentrated[s].TotalSlots))
+	}
+	tbl2.AddRowf("single-hop", singleSlots.Mean(), singleSlots.Mean(), 1.0, float64(pool))
+	for s := 0; s < seeds; s++ {
+		res := concentrated[seeds+s]
+		pipeSlots.Add(float64(res.TotalSlots))
+		attacked.Add(float64(res.Hops[2].Slots))
+	}
+	tbl2.AddRowf("4-hop, cluster 2 attacked", pipeSlots.Mean(), attacked.Mean(), 1.0, float64(pool))
 	rep.Tables = append(rep.Tables, tbl2)
 
 	// The attacked cluster's delay should match the single-hop delay for
 	// the same pool: no multi-hop amplification.
-	ratio := stats.Mean(attacked) / stats.Mean(singleSlots)
+	ratio := attacked.Mean() / singleSlots.Mean()
 	rep.Values["concentrated_delay_ratio"] = ratio
 	rep.addFinding("per-hop latency stays ~constant (ratio %.2f at H=%d)",
 		rep.Values["latency_per_hop_ratio"], lastH)

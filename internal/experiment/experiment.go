@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rcbcast/internal/sim"
 	"rcbcast/internal/stats"
 )
 
@@ -30,6 +31,9 @@ type Config struct {
 	// Quick shrinks sweeps for the test suite; benchmarks and the CLI
 	// use the full ranges.
 	Quick bool
+	// Procs is the trial runner's worker count (0 selects GOMAXPROCS).
+	// Reports are byte-identical for every value — see internal/sim.
+	Procs int
 }
 
 func (c Config) n(def, quickDef int) int {
@@ -52,7 +56,18 @@ func (c Config) seeds(def, quickDef int) int {
 	return def
 }
 
-func (c Config) seed(i int) uint64 { return c.BaseSeed*1_000_003 + uint64(i) + 1 }
+// seed derives the engine seed for trial index i of a one-dimensional
+// sweep. The SplitMix64 mix (sim.TrialSeed) makes trial-seed sets from
+// different BaseSeeds disjoint in practice; the previous affine scheme
+// BaseSeed*1_000_003+i collided across adjacent bases once a sweep used
+// ≥ 1_000_003 indices.
+func (c Config) seed(i int) uint64 { return sim.TrialSeed(c.BaseSeed, i) }
+
+// seedAt derives the engine seed for trial s of sweep point `point`.
+// The point is mixed as its own SplitMix64 dimension, so no stride can
+// make two points share trial seeds however large Config.Seeds gets.
+// Point ids only need to be unique within one experiment.
+func (c Config) seedAt(point, s int) uint64 { return sim.SweepSeed(c.BaseSeed, point, s) }
 
 // Report is an experiment's output.
 type Report struct {

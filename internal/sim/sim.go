@@ -1,0 +1,163 @@
+// Package sim is the shared execution layer for experiment sweeps: a
+// deterministic parallel trial runner.
+//
+// Every experiment in internal/experiment is a Monte-Carlo sweep — many
+// independent engine executions whose results are averaged per sweep
+// point. The engine derives every random decision from keyed streams
+// (seed, actor, round, phase, purpose), so a trial's outcome is a pure
+// function of its TrialSpec; trials are embarrassingly parallel without
+// giving up bit-for-bit reproducibility. RunTrials and Map exploit that:
+// a worker pool executes trials in whatever order scheduling happens to
+// produce, but workers write into a pre-indexed results slice, so the
+// output is byte-identical for Procs=1 and Procs=32. Callers then fold
+// results into accumulators in index order, which keeps even
+// floating-point aggregation independent of the execution schedule.
+//
+// Per-trial seeds come from TrialSeed, a SplitMix64 mix of
+// (base seed, trial index). Unlike affine schemes such as
+// base*1_000_003+i, mixed seeds from adjacent bases do not collide for
+// any realistic trial count, so repetitions with BaseSeed and BaseSeed+1
+// are statistically independent (see the disjointness test).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+	"rcbcast/internal/engine"
+	"rcbcast/internal/rng"
+)
+
+// TrialSeed derives the engine seed for one trial of a sweep by mixing
+// the sweep's base seed with the trial index through SplitMix64
+// (rng.Mix). The map (base, trial) -> seed behaves like a random
+// function: trial-seed sets from different bases are disjoint in
+// practice, so sweeps repeated with adjacent base seeds draw independent
+// randomness.
+func TrialSeed(base uint64, trial int) uint64 {
+	return rng.Mix(base, uint64(trial))
+}
+
+// SweepSeed derives the engine seed for trial `trial` of sweep point
+// `point` — a three-part SplitMix64 mix. Multi-point sweeps use this
+// instead of hand-packing point and trial into one TrialSeed index
+// (strides like point*100+trial collide across points as soon as a
+// point uses more trials than the stride).
+func SweepSeed(base uint64, point, trial int) uint64 {
+	return rng.Mix(base, uint64(point), uint64(trial))
+}
+
+// TrialSpec describes one engine execution: the protocol instance, the
+// fully derived seed, and factories for the per-trial adversary state.
+//
+// Strategy and Pool are factories rather than instances because several
+// strategies (NackSpoofer, SweepJammer, GreedyAdaptive, ...) and every
+// Pool carry per-run mutable state; sharing one instance across
+// concurrently running trials would race. Each worker calls the
+// factories once per trial.
+type TrialSpec struct {
+	// Params is the protocol instance. Required; must Validate.
+	Params core.Params
+	// Seed drives every random decision of the trial; derive it with
+	// TrialSeed.
+	Seed uint64
+	// Strategy constructs Carol for this trial; nil means no adversary.
+	Strategy func() adversary.Strategy
+	// Pool constructs Carol's energy purse; nil means unlimited.
+	Pool func() *energy.Pool
+	// Configure, if non-nil, adjusts the assembled Options before the
+	// run (RecordPhases, AllowReactive, Perturb, device budgets...). It
+	// runs on a worker goroutine and must not touch shared mutable
+	// state.
+	Configure func(*engine.Options)
+}
+
+// options assembles the engine.Options for the spec.
+func (s *TrialSpec) options() engine.Options {
+	opts := engine.Options{Params: s.Params, Seed: s.Seed}
+	if s.Strategy != nil {
+		opts.Strategy = s.Strategy()
+	}
+	if s.Pool != nil {
+		opts.Pool = s.Pool()
+	}
+	if s.Configure != nil {
+		s.Configure(&opts)
+	}
+	return opts
+}
+
+// Procs resolves a proc-count override: values <= 0 select
+// runtime.GOMAXPROCS.
+func Procs(procs int) int {
+	if procs > 0 {
+		return procs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0..n-1) on a pool of procs workers and returns the results
+// indexed by input — the deterministic parallel substrate under
+// RunTrials, exposed for sweeps that execute something other than the
+// single-hop engine (multi-hop pipelines, baseline protocols).
+//
+// fn must be a pure function of its index (it may of course read shared
+// immutable data). Workers claim indices from an atomic counter and
+// write only results[i], so the returned slice is identical for every
+// procs value; when multiple calls fail, the error for the lowest index
+// is returned, keeping even the failure deterministic.
+func Map[T any](procs, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	procs = Procs(procs)
+	if procs > n {
+		procs = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if procs == 1 {
+		// Inline fast path: no goroutines, same results by construction.
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(procs)
+		for w := 0; w < procs; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: trial %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// RunTrials executes every spec on the sequential engine across a pool
+// of procs workers (procs <= 0 selects GOMAXPROCS) and returns the
+// results indexed like specs. Output is byte-identical for every procs
+// value.
+func RunTrials(procs int, specs []TrialSpec) ([]*engine.Result, error) {
+	return Map(procs, len(specs), func(i int) (*engine.Result, error) {
+		return engine.Run(specs[i].options())
+	})
+}

@@ -1,0 +1,87 @@
+package stats
+
+import "math"
+
+// Acc is a mergeable streaming accumulator: mean, variance, and extrema
+// in O(1) space. Sweep points aggregate trial results through Acc instead
+// of retaining full per-trial slices, and shards of a sweep (worker
+// batches, future multi-machine splits) combine with Merge.
+//
+// The running mean/variance use Welford's algorithm; Merge uses the
+// parallel combination due to Chan et al. Both are numerically stable.
+// Note that floating-point accumulation is order-sensitive: callers that
+// need bit-for-bit reproducible output must Add (and Merge) in a
+// deterministic order — the sim runner's index-ordered results make that
+// natural.
+type Acc struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Acc) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// Merge folds another accumulator's observations into a, as if every
+// sample added to b had been added to a.
+func (a *Acc) Merge(b Acc) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	a.mean += delta * float64(b.n) / float64(n)
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	a.n = n
+}
+
+// N returns the number of observations.
+func (a *Acc) N() int64 { return a.n }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Sum returns the sample total.
+func (a *Acc) Sum() float64 { return a.mean * float64(a.n) }
+
+// Var returns the population variance (0 when empty).
+func (a *Acc) Var() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// Std returns the population standard deviation.
+func (a *Acc) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 when empty).
+func (a *Acc) Max() float64 { return a.max }

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"rcbcast/internal/rng"
+)
+
+func sample(n int, seed uint64) []float64 {
+	st := rng.New(seed, 42)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = st.NormFloat64()*3 + 10
+	}
+	return xs
+}
+
+func TestAccMatchesSummarize(t *testing.T) {
+	xs := sample(1000, 1)
+	var a Acc
+	for _, x := range xs {
+		a.Add(x)
+	}
+	s := Summarize(xs)
+	if a.N() != int64(s.N) {
+		t.Fatalf("N: %d vs %d", a.N(), s.N)
+	}
+	const tol = 1e-9
+	if math.Abs(a.Mean()-s.Mean) > tol {
+		t.Fatalf("mean: %v vs %v", a.Mean(), s.Mean)
+	}
+	if math.Abs(a.Std()-s.Std) > tol {
+		t.Fatalf("std: %v vs %v", a.Std(), s.Std)
+	}
+	if a.Min() != s.Min || a.Max() != s.Max {
+		t.Fatalf("extrema: [%v, %v] vs [%v, %v]", a.Min(), a.Max(), s.Min, s.Max)
+	}
+	if math.Abs(a.Sum()-a.Mean()*1000) > tol {
+		t.Fatalf("sum inconsistent: %v", a.Sum())
+	}
+}
+
+// TestAccMerge asserts the defining property: merging shard accumulators
+// equals accumulating the concatenated sample.
+func TestAccMerge(t *testing.T) {
+	xs := sample(997, 2) // odd length: uneven shards
+	var whole Acc
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, shards := range []int{2, 3, 10} {
+		var merged Acc
+		for s := 0; s < shards; s++ {
+			var part Acc
+			for i := s; i < len(xs); i += shards {
+				part.Add(xs[i])
+			}
+			merged.Merge(part)
+		}
+		if merged.N() != whole.N() {
+			t.Fatalf("shards=%d: N %d vs %d", shards, merged.N(), whole.N())
+		}
+		if math.Abs(merged.Mean()-whole.Mean()) > 1e-9 {
+			t.Fatalf("shards=%d: mean %v vs %v", shards, merged.Mean(), whole.Mean())
+		}
+		if math.Abs(merged.Std()-whole.Std()) > 1e-9 {
+			t.Fatalf("shards=%d: std %v vs %v", shards, merged.Std(), whole.Std())
+		}
+		if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("shards=%d: extrema diverge", shards)
+		}
+	}
+}
+
+func TestAccMergeEmpty(t *testing.T) {
+	var a, b Acc
+	a.Add(5)
+	a.Merge(b) // no-op
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatal("merging an empty accumulator must not change a")
+	}
+	b.Merge(a) // adopt
+	if b.N() != 1 || b.Mean() != 5 || b.Min() != 5 || b.Max() != 5 {
+		t.Fatal("empty accumulator must adopt the merged one")
+	}
+}
+
+func TestAccEmpty(t *testing.T) {
+	var a Acc
+	if a.N() != 0 || a.Mean() != 0 || a.Std() != 0 || a.Min() != 0 || a.Max() != 0 || a.Sum() != 0 {
+		t.Fatal("zero-value accumulator must report zeros")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"rcbcast/internal/energy"
 	"rcbcast/internal/engine"
 	"rcbcast/internal/multihop"
+	"rcbcast/internal/sim"
 	"rcbcast/internal/trace"
 )
 
@@ -86,6 +87,29 @@ func Run(opts Options) (*Result, error) { return engine.Run(opts) }
 // RunActors executes the protocol with one goroutine per node. Results
 // are bit-for-bit identical to Run for identical Options.
 func RunActors(opts Options) (*Result, error) { return engine.RunActors(opts) }
+
+// Parallel sweeps (internal/sim).
+
+// TrialSpec describes one engine execution for the parallel trial
+// runner: protocol params, a derived seed, and factories for per-trial
+// adversary state.
+type TrialSpec = sim.TrialSpec
+
+// RunTrials executes every spec across a pool of procs workers
+// (procs <= 0 selects GOMAXPROCS) and returns results indexed like
+// specs. Output is byte-identical for every procs value.
+func RunTrials(procs int, specs []TrialSpec) ([]*Result, error) {
+	return sim.RunTrials(procs, specs)
+}
+
+// TrialSeed derives the engine seed for one trial of a sweep by mixing
+// (base, trial) through SplitMix64; trial-seed sets from different bases
+// are disjoint in practice.
+func TrialSeed(base uint64, trial int) uint64 { return sim.TrialSeed(base, trial) }
+
+// SweepSeed derives the engine seed for trial `trial` of sweep point
+// `point` — use it instead of packing both into one TrialSeed index.
+func SweepSeed(base uint64, point, trial int) uint64 { return sim.SweepSeed(base, point, trial) }
 
 // Adversaries (internal/adversary).
 type (
