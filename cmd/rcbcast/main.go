@@ -1,19 +1,28 @@
 // Command rcbcast runs a single ε-BROADCAST simulation and prints the
 // outcome: delivery, latency, per-device costs, and the adversary's spend.
 //
+// Runs are described by declarative scenarios (internal/scenario): pick a
+// named one, load a JSON file, or assemble one from flags.
+//
 // Usage:
 //
 //	rcbcast [flags]
 //
-//	-n 1024          correct nodes
-//	-k 2             protocol parameter k >= 2
-//	-seed 1          RNG seed
-//	-adversary full  null | full | random | bursty | blocker | partition |
-//	                 spoofer | reactive
-//	-pool 16384      adversary energy pool (0 = unlimited)
-//	-decoy           enable the §4.1 decoy defence
-//	-engine fast     fast | actors
-//	-phases          print the per-phase trace
+//	-scenario full-jam      run a named scenario (see -list-scenarios)
+//	-scenario file.json     ... or a scenario from a JSON file
+//	-list-scenarios         list named scenarios and adversary kinds
+//	-dump-scenario          print the resolved scenario as JSON and exit
+//
+//	-n 1024                 correct nodes
+//	-k 2                    protocol parameter k >= 2
+//	-seed 1                 RNG seed
+//	-adversary full         adversary spec: KIND[:KNOB=V,...], composed
+//	                        with + (e.g. random:p=0.3, blocker:inform,prop,
+//	                        blocker:inform+spoofer:p=0.3)
+//	-pool 16384             adversary energy pool (0 = unlimited)
+//	-decoy                  enable the §4.1 decoy defence
+//	-engine fast            fast | actors
+//	-phases                 print the per-phase trace
 package main
 
 import (
@@ -21,11 +30,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
-	"rcbcast/internal/adversary"
-	"rcbcast/internal/core"
-	"rcbcast/internal/energy"
 	"rcbcast/internal/engine"
+	"rcbcast/internal/scenario"
 	"rcbcast/internal/trace"
 )
 
@@ -39,10 +47,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rcbcast", flag.ContinueOnError)
 	var (
+		scn     = fs.String("scenario", "", "named scenario or JSON scenario file (flags override its fields)")
+		list    = fs.Bool("list-scenarios", false, "list named scenarios and adversary kinds")
+		dump    = fs.Bool("dump-scenario", false, "print the resolved scenario as JSON and exit")
 		n       = fs.Int("n", 1024, "number of correct nodes")
 		k       = fs.Int("k", 2, "protocol parameter k >= 2")
 		seed    = fs.Uint64("seed", 1, "RNG seed")
-		adv     = fs.String("adversary", "full", "null|full|random|bursty|blocker|partition|spoofer|reactive")
+		adv     = fs.String("adversary", "full", "adversary spec KIND[:KNOB=V,...], composed with +")
 		pool    = fs.Int64("pool", 1<<14, "adversary energy pool (0 = unlimited)")
 		jamP    = fs.Float64("jam-p", 0.5, "per-slot probability for -adversary random")
 		strand  = fs.Float64("strand", 0.05, "stranded fraction for -adversary partition")
@@ -56,23 +67,93 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	var params core.Params
-	if *paper {
-		params = core.PaperParams(*n, *k)
-	} else {
-		params = core.PracticalParams(*n, *k)
-	}
-	if *decoy {
-		params.Decoy = true
-		params.DecoyProb = 0.75 / float64(*n)
-		params.ListenBoost = 4
+	if *list {
+		scenario.WriteList(out)
+		return nil
 	}
 
-	opts := engine.Options{
-		Params:       params,
-		Seed:         *seed,
-		RecordPhases: *phases,
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	var sc scenario.Scenario
+	if *scn != "" {
+		loaded, err := loadScenario(*scn)
+		if err != nil {
+			return err
+		}
+		sc = loaded
+	}
+
+	// Flags fill scenario fields they own, but when a scenario file or
+	// name was given, only explicitly-set flags override it.
+	override := func(name string, apply func()) {
+		if *scn == "" || set[name] {
+			apply()
+		}
+	}
+	if sc.N == 0 || set["n"] {
+		sc.N = *n
+	}
+	if sc.K == 0 || set["k"] {
+		sc.K = *k
+	}
+	if sc.Seed == 0 || set["seed"] {
+		sc.Seed = *seed
+	}
+	if *scn == "" || set["adversary"] {
+		spec, err := scenario.ParseAdversary(*adv)
+		if err != nil {
+			return err
+		}
+		sc.Adversary = spec
+		if spec.Reactive() && sc.Overrides.MaxRound == 0 && sc.Overrides.ExtraRounds == 0 {
+			// An unlimited reactive jammer stalls the protocol forever;
+			// bound the run the way the reactive experiments do.
+			sc.Overrides.ExtraRounds = 6
+		}
+	}
+	// The legacy knob flags target their kind wherever it appears —
+	// top-level, inside a composite, or in a loaded scenario — and
+	// error when the kind is absent rather than silently running with
+	// defaults.
+	if set["jam-p"] {
+		if !applyKnob(&sc.Adversary, "random", func(a *scenario.AdversarySpec) { a.P = *jamP }) {
+			return fmt.Errorf("-jam-p set but the adversary %q has no random part", sc.Adversary)
+		}
+	}
+	if set["strand"] {
+		if !applyKnob(&sc.Adversary, "partition", func(a *scenario.AdversarySpec) { a.Strand = *strand }) {
+			return fmt.Errorf("-strand set but the adversary %q has no partition part", sc.Adversary)
+		}
+	}
+	override("pool", func() { sc.Budget.Pool = *pool; sc.Budget.ModelC, sc.Budget.ModelF = 0, 0 })
+	override("decoy", func() { sc.Decoy = *decoy })
+	override("engine", func() { sc.Engine = *eng })
+	override("phases", func() { sc.RecordPhases = *phases })
+	override("paper", func() { sc.Paper = *paper })
+	override("budgets", func() {
+		if *budgets {
+			sc.Budget.DeviceC = 8
+		} else {
+			sc.Budget.DeviceC = 0 // explicit -budgets=false disables a scenario's device budgets
+		}
+	})
+	if sc.Engine == "fast" {
+		sc.Engine = "" // canonical form; Execute treats them identically
+	}
+
+	if *dump {
+		data, err := scenario.Encode(sc)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(data)
+		return err
+	}
+
+	opts, err := sc.Build()
+	if err != nil {
+		return err
 	}
 	switch {
 	case *traceTo == "":
@@ -88,58 +169,58 @@ func run(args []string, out io.Writer) error {
 		defer f.Close()
 		opts.Tracer = trace.NewJSON(f)
 	}
-	if *pool > 0 {
-		opts.Pool = energy.NewPool(*pool)
-	}
-	if *budgets {
-		bm := energy.DefaultBudgets(8, *k)
-		opts.NodeBudget = bm.Node(*n)
-		opts.AliceBudget = bm.Alice(*n)
-	}
 
-	switch *adv {
-	case "null":
-		opts.Strategy = adversary.Null{}
-	case "full":
-		opts.Strategy = adversary.FullJam{}
-	case "random":
-		opts.Strategy = adversary.RandomJam{P: *jamP}
-	case "bursty":
-		opts.Strategy = adversary.Bursty{Burst: 32, Gap: 32}
-	case "blocker":
-		opts.Strategy = adversary.PhaseBlocker{
-			BlockInform: true, BlockPropagate: true, Params: &params,
-		}
-	case "partition":
-		limit := int(*strand * float64(*n))
-		opts.Strategy = &adversary.PartitionBlocker{
-			Stranded: func(node int) bool { return node < limit },
-		}
-	case "spoofer":
-		opts.Strategy = &adversary.NackSpoofer{Rate: 0.5}
-	case "reactive":
-		opts.Strategy = adversary.ReactiveJammer{}
-		opts.AllowReactive = true
-		params.MaxRound = params.StartRound + 6
-		opts.Params = params
-	default:
-		return fmt.Errorf("unknown adversary %q", *adv)
-	}
-
-	var res *engine.Result
-	var err error
-	switch *eng {
-	case "fast":
-		res, err = engine.Run(opts)
-	case "actors":
-		res, err = engine.RunActors(opts)
-	default:
-		return fmt.Errorf("unknown engine %q", *eng)
-	}
+	res, err := scenario.Execute(sc.Engine, opts)
 	if err != nil {
 		return err
 	}
+	report(out, sc, opts, res)
+	return nil
+}
 
+// applyKnob applies f to every part of the spec with the given kind
+// (the spec itself or any composite part) and reports whether any
+// matched.
+func applyKnob(spec *scenario.AdversarySpec, kind string, f func(*scenario.AdversarySpec)) bool {
+	applied := false
+	if spec.Kind == kind {
+		f(spec)
+		applied = true
+	}
+	for i := range spec.Parts {
+		if applyKnob(&spec.Parts[i], kind, f) {
+			applied = true
+		}
+	}
+	return applied
+}
+
+// loadScenario resolves -scenario: a registry name, or a JSON file path.
+func loadScenario(arg string) (scenario.Scenario, error) {
+	if sc, ok := scenario.Lookup(arg); ok {
+		return sc, nil
+	}
+	if strings.HasSuffix(arg, ".json") || fileExists(arg) {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return scenario.Scenario{}, err
+		}
+		return scenario.Decode(data)
+	}
+	return scenario.Scenario{}, fmt.Errorf(
+		"unknown scenario %q: not a registry name (-list-scenarios) and not a readable .json file", arg)
+}
+
+func fileExists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && !info.IsDir()
+}
+
+func report(out io.Writer, sc scenario.Scenario, opts engine.Options, res *engine.Result) {
+	params := opts.Params
+	if sc.Name != "" {
+		fmt.Fprintf(out, "scenario:   %s\n", sc.Name)
+	}
 	fmt.Fprintf(out, "protocol:   ε-BROADCAST k=%d n=%d (%s, start round %d)\n",
 		params.K, params.N, params.Variant, params.StartRound)
 	fmt.Fprintf(out, "adversary:  %s (spent T=%d: %d jams, %d spoofs)\n",
@@ -156,7 +237,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "competitive: Carol paid %.1fx the median node (paper: node ~ T^{1/%d})\n",
 			float64(res.AdversarySpent)/float64(res.NodeCost.Median), params.K+1)
 	}
-	if *phases {
+	if sc.RecordPhases {
 		fmt.Fprintln(out, "\nper-phase trace:")
 		for _, ph := range res.Phases {
 			fmt.Fprintf(out, "  %-28s aliceSends=%-5d relays=%-6d nacks=%-6d decoys=%-6d jams=%-7d informed=%-5d active=%d\n",
@@ -164,5 +245,4 @@ func run(args []string, out io.Writer) error {
 				ph.NodeDecoys, ph.JammedSlots, ph.InformedAfter, ph.ActiveAfter)
 		}
 	}
-	return nil
 }

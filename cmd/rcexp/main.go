@@ -12,6 +12,8 @@
 //	                      "wall time" lines
 //	rcexp -markdown       emit GitHub-flavored markdown tables
 //	rcexp -list           list experiments with their claims
+//	rcexp -list-scenarios list the named scenarios and adversary kinds
+//	                      the experiments are built from (internal/scenario)
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"rcbcast/internal/experiment"
+	"rcbcast/internal/scenario"
 )
 
 func main() {
@@ -38,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		quick    = fs.Bool("quick", false, "small sweeps")
 		markdown = fs.Bool("markdown", false, "emit markdown tables")
 		list     = fs.Bool("list", false, "list experiments")
+		listScn  = fs.Bool("list-scenarios", false, "list named scenarios and adversary kinds")
 		seeds    = fs.Int("seeds", 0, "seeds per sweep point (0 = default)")
 		n        = fs.Int("n", 0, "network size override (0 = default)")
 		baseSeed = fs.Uint64("seed", 1, "base seed")
@@ -47,6 +51,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *listScn {
+		scenario.WriteList(out)
+		return nil
+	}
 	if *list {
 		for _, e := range experiment.All() {
 			fmt.Fprintf(out, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)

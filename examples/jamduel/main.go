@@ -21,12 +21,11 @@ func main() {
 		"T (Carol)", "ours: node", "ours: alice", "naive: node", "KSY: alice", "T^(1/3)")
 
 	for pool := int64(1 << 10); pool <= 1<<16; pool *= 4 {
-		res, err := rcbcast.Run(rcbcast.Options{
-			Params:   rcbcast.PracticalParams(n, 2),
-			Seed:     42,
-			Strategy: rcbcast.FullJam{},
-			Pool:     rcbcast.NewPool(pool),
-		})
+		res, err := rcbcast.Scenario{
+			N: n, K: 2, Seed: 42,
+			Adversary: rcbcast.AdversarySpec{Kind: "full"},
+			Budget:    rcbcast.BudgetSpec{Pool: pool},
+		}.Run()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -35,14 +35,18 @@ func main() {
 	fmt.Println("— benign pipeline —")
 	printHops(benign)
 
-	// Carol drops a 16k pool entirely on the middle cluster.
+	// Carol drops a 16k pool entirely on the middle cluster. The
+	// adversary is a declarative spec; MustNew mints the per-cluster
+	// strategy instance.
+	params := rcbcast.PracticalParams(n, 2)
+	fullJam := rcbcast.AdversarySpec{Kind: "full"}
 	attacked, err := rcbcast.RunMultiHop(rcbcast.MultiHopOptions{
-		Params: rcbcast.PracticalParams(n, 2),
+		Params: params,
 		Hops:   hops,
 		Seed:   1,
 		StrategyFor: func(hop int) rcbcast.Strategy {
 			if hop == hops/2 {
-				return rcbcast.FullJam{}
+				return fullJam.MustNew(params)
 			}
 			return nil
 		},

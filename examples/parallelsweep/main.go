@@ -11,14 +11,21 @@ import (
 
 func main() {
 	const trials = 16
+	// One declarative scenario fans out into per-trial specs; the
+	// spec factories mint fresh adversary state per trial, so the batch
+	// is safe on any worker count.
+	sc := rcbcast.Scenario{
+		N: 512, K: 2,
+		Adversary: rcbcast.AdversarySpec{Kind: "full"},
+		Budget:    rcbcast.BudgetSpec{Pool: 1 << 12},
+	}
 	specs := make([]rcbcast.TrialSpec, trials)
 	for i := range specs {
-		specs[i] = rcbcast.TrialSpec{
-			Params:   rcbcast.PracticalParams(512, 2),
-			Seed:     rcbcast.TrialSeed(1, i),
-			Strategy: func() rcbcast.Strategy { return rcbcast.FullJam{} },
-			Pool:     func() *rcbcast.Pool { return rcbcast.NewPool(1 << 12) },
+		spec, err := sc.TrialSpec(rcbcast.TrialSeed(1, i))
+		if err != nil {
+			panic(err)
 		}
+		specs[i] = spec
 	}
 	for _, procs := range []int{1, 8} {
 		results, err := rcbcast.RunTrials(procs, specs)

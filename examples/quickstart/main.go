@@ -15,11 +15,8 @@ func main() {
 	const n = 1024
 
 	// A benign run: Alice delivers m, everyone terminates, costs are
-	// polylogarithmic-ish.
-	benign, err := rcbcast.Run(rcbcast.Options{
-		Params: rcbcast.PracticalParams(n, 2),
-		Seed:   1,
-	})
+	// polylogarithmic-ish. Runs are declarative Scenario values.
+	benign, err := rcbcast.Scenario{N: n, K: 2, Seed: 1}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,12 +26,11 @@ func main() {
 	// Now Carol shows up with a 16k-slot energy pool and jams everything
 	// she can afford. Delivery still happens; she just goes broke first,
 	// and every correct device pays only ~T^{1/3}.
-	jammed, err := rcbcast.Run(rcbcast.Options{
-		Params:   rcbcast.PracticalParams(n, 2),
-		Seed:     1,
-		Strategy: rcbcast.FullJam{},
-		Pool:     rcbcast.NewPool(1 << 14),
-	})
+	jammed, err := rcbcast.Scenario{
+		N: n, K: 2, Seed: 1,
+		Adversary: rcbcast.AdversarySpec{Kind: "full"},
+		Budget:    rcbcast.BudgetSpec{Pool: 1 << 14},
+	}.Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -25,17 +25,14 @@ func main() {
 		"attack", "informed", "stranded", "terminated?", "majority quorum viable?")
 
 	for _, strandFrac := range []float64{0.0, 0.05, 0.10, 0.30} {
-		limit := int(strandFrac * float64(n))
-		params := rcbcast.PracticalParams(n, 2)
-		params.MaxRound = params.StartRound + 4
-
-		opts := rcbcast.Options{Params: params, Seed: 3}
-		if limit > 0 {
-			opts.Strategy = &rcbcast.PartitionBlocker{
-				Stranded: func(node int) bool { return node < limit },
-			}
+		sc := rcbcast.Scenario{
+			N: n, K: 2, Seed: 3,
+			Overrides: rcbcast.ScenarioOverrides{ExtraRounds: 4},
 		}
-		res, err := rcbcast.Run(opts)
+		if strandFrac > 0 {
+			sc.Adversary = rcbcast.AdversarySpec{Kind: "partition", Strand: strandFrac}
+		}
+		res, err := sc.Run()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -45,7 +42,7 @@ func main() {
 			quorum = "NO"
 		}
 		label := fmt.Sprintf("strand %.0f%%", 100*strandFrac)
-		if limit == 0 {
+		if strandFrac == 0 {
 			label = "none"
 		}
 		fmt.Printf("%18s  %10d  %10d  %12t  %s\n",

@@ -23,20 +23,17 @@ func main() {
 	fmt.Printf("reactive jammer with a %d-unit pool (f = 1/25), n = %d\n\n", pool.Budget(), n)
 
 	run := func(label string, decoy bool) *rcbcast.Result {
-		params := rcbcast.PracticalParams(n, 2)
-		params.MaxRound = params.StartRound + 8
-		if decoy {
-			params.Decoy = true
-			params.DecoyProb = 0.75 / float64(n) // ~half of all slots carry chaff
-			params.ListenBoost = 4               // compensate decoy collisions
-		}
-		res, err := rcbcast.Run(rcbcast.Options{
-			Params:        params,
-			Seed:          7,
-			Strategy:      rcbcast.ReactiveJammer{},
-			Pool:          rcbcast.DefaultBudgets(8, 2).AdversaryPool(n, 1.0/25),
-			AllowReactive: true,
-		})
+		// One declarative scenario per defence mode; the "reactive"
+		// adversary kind implies the within-slot RSSI grant, and Decoy
+		// selects the §4.1 chaff defence (Params.EnableDecoy: ~half of
+		// all slots carry chaff, listeners boosted 4x).
+		res, err := rcbcast.Scenario{
+			N: n, K: 2, Seed: 7,
+			Decoy:     decoy,
+			Adversary: rcbcast.AdversarySpec{Kind: "reactive"},
+			Budget:    rcbcast.BudgetSpec{ModelC: 8, ModelF: 1.0 / 25},
+			Overrides: rcbcast.ScenarioOverrides{ExtraRounds: 8},
+		}.Run()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -212,6 +212,19 @@ func PracticalParams(n, k int) Params {
 	return p
 }
 
+// EnableDecoy turns on the §4.1 decoy defence with the constants the
+// repo's experiments and CLIs standardize on: DecoyProb = 3/(4n), so
+// roughly half of all slots carry chaff at practical ε′, and
+// ListenBoost = 4 to compensate decoy-on-decoy collisions (DESIGN.md
+// §3 derives both). This is the single source of truth for the
+// defence's tuning — adjust DecoyProb/ListenBoost afterwards to
+// deviate.
+func (p *Params) EnableDecoy() {
+	p.Decoy = true
+	p.DecoyProb = 0.75 / float64(p.N)
+	p.ListenBoost = 4
+}
+
 // quietFrac returns the effective fraction threshold.
 func (p *Params) quietFrac() float64 {
 	if p.QuietFrac > 0 {

@@ -4,11 +4,9 @@ import (
 	"fmt"
 	"math"
 
-	"rcbcast/internal/adversary"
 	"rcbcast/internal/baseline"
 	"rcbcast/internal/core"
-	"rcbcast/internal/energy"
-	"rcbcast/internal/engine"
+	"rcbcast/internal/scenario"
 	"rcbcast/internal/sim"
 	"rcbcast/internal/stats"
 )
@@ -22,20 +20,24 @@ type costPoint struct {
 	Rounds     float64
 }
 
-// costSweep runs FullJam with pool budgets `pools` and returns per-budget
-// averages over cfg seeds. Trials run on the sim worker pool; each budget
-// reuses the same trial seeds (common random numbers), as the sequential
-// sweep always did.
+// costSweep runs the full jammer with pool budgets `pools` and returns
+// per-budget averages over cfg seeds. Trials run on the sim worker pool;
+// each budget reuses the same trial seeds (common random numbers), as the
+// sequential sweep always did.
 func costSweep(cfg Config, n, k, seeds int, pools []int64) ([]costPoint, error) {
 	specs := make([]sim.TrialSpec, 0, len(pools)*seeds)
 	for _, budget := range pools {
+		sc := scenario.Scenario{
+			N: n, K: k,
+			Adversary: scenario.AdversarySpec{Kind: "full"},
+			Budget:    scenario.BudgetSpec{Pool: budget},
+		}
 		for s := 0; s < seeds; s++ {
-			specs = append(specs, sim.TrialSpec{
-				Params:   core.PracticalParams(n, k),
-				Seed:     cfg.seed(s),
-				Strategy: func() adversary.Strategy { return adversary.FullJam{} },
-				Pool:     func() *energy.Pool { return energy.NewPool(budget) },
-			})
+			ts, err := sc.TrialSpec(cfg.seed(s))
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, ts)
 		}
 	}
 	results, err := sim.RunTrials(cfg.Procs, specs)
@@ -106,15 +108,19 @@ func marginalSweep(cfg Config, n, k, seeds int) ([]marginalPoint, error) {
 	// cumulative sweep it does not need T capped at her Theorem-1 budget.
 	params := core.PracticalParams(n, k)
 	pool := params.TotalSlots(params.StartRound + 3)
+	sc := scenario.Scenario{
+		N: n, K: k,
+		Adversary:    scenario.AdversarySpec{Kind: "full"},
+		Budget:       scenario.BudgetSpec{Pool: pool},
+		RecordPhases: true,
+	}
 	specs := make([]sim.TrialSpec, seeds)
 	for s := range specs {
-		specs[s] = sim.TrialSpec{
-			Params:    core.PracticalParams(n, k),
-			Seed:      cfg.seedAt(777, s),
-			Strategy:  func() adversary.Strategy { return adversary.FullJam{} },
-			Pool:      func() *energy.Pool { return energy.NewPool(pool) },
-			Configure: func(o *engine.Options) { o.RecordPhases = true },
+		ts, err := sc.TrialSpec(cfg.seedAt(777, s))
+		if err != nil {
+			return nil, err
 		}
+		specs[s] = ts
 	}
 	results, err := sim.RunTrials(cfg.Procs, specs)
 	if err != nil {
@@ -393,13 +399,17 @@ func runE8(cfg Config) (*Report, error) {
 		"spoof spend T", "alice cost", "alice term round", "informed frac")
 	specs := make([]sim.TrialSpec, 0, len(budgets)*seeds)
 	for i, budget := range budgets {
+		sc := scenario.Scenario{
+			N: n, K: 2,
+			Adversary: scenario.AdversarySpec{Kind: "spoofer", P: 0.5},
+			Budget:    scenario.BudgetSpec{Pool: budget},
+		}
 		for s := 0; s < seeds; s++ {
-			specs = append(specs, sim.TrialSpec{
-				Params:   core.PracticalParams(n, 2),
-				Seed:     cfg.seedAt(5000+i, s),
-				Strategy: func() adversary.Strategy { return &adversary.NackSpoofer{Rate: 0.5} },
-				Pool:     func() *energy.Pool { return energy.NewPool(budget) },
-			})
+			ts, err := sc.TrialSpec(cfg.seedAt(5000+i, s))
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, ts)
 		}
 	}
 	results, err := sim.RunTrials(cfg.Procs, specs)

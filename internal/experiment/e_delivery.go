@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"sort"
 
-	"rcbcast/internal/adversary"
 	"rcbcast/internal/core"
-	"rcbcast/internal/energy"
 	"rcbcast/internal/engine"
 	"rcbcast/internal/rng"
+	"rcbcast/internal/scenario"
 	"rcbcast/internal/sim"
 	"rcbcast/internal/stats"
 )
@@ -40,71 +39,29 @@ func init() {
 	})
 }
 
-// deliveryScenario is one row of E3.
-type deliveryScenario struct {
-	name     string
-	strategy func(params *core.Params, n int) adversary.Strategy
-	pool     func(n int) *energy.Pool
+// e3Scenarios names the registry scenarios E3 sweeps — every in-model
+// attack the paper analyzes, in the report's row order. The reactive
+// jammer is deliberately absent (its damage is economic, not
+// delivery-absolute; E7 measures it).
+var e3Scenarios = []string{
+	"benign", "full-jam", "random-jam", "bursty",
+	"inform-blocker", "inform+prop-blocker", "request-blocker",
+	"partition-5%", "nack-spoofer", "data-spoofer",
+	"sweep", "greedy-adaptive", "blocker+spoofer",
 }
 
-func e3Scenarios() []deliveryScenario {
-	paperPool := func(n int) *energy.Pool {
-		return energy.DefaultBudgets(1, 2).AdversaryPool(n, 1.0)
+// deliveryScenario scales the named scenario to the E3 sweep: n nodes,
+// k = 2, runs bounded at six rounds past the start (hopeless runs
+// otherwise grind to the natural lg n + 4 limit).
+func deliveryScenario(name string, n int) (scenario.Scenario, error) {
+	sc, ok := scenario.Lookup(name)
+	if !ok {
+		return scenario.Scenario{}, fmt.Errorf("experiment: unknown scenario %q", name)
 	}
-	return []deliveryScenario{
-		{name: "benign", strategy: func(*core.Params, int) adversary.Strategy { return adversary.Null{} }},
-		{name: "full-jam", strategy: func(*core.Params, int) adversary.Strategy { return adversary.FullJam{} }, pool: paperPool},
-		{name: "random-jam", strategy: func(*core.Params, int) adversary.Strategy { return adversary.RandomJam{P: 0.5} }, pool: paperPool},
-		{name: "bursty", strategy: func(*core.Params, int) adversary.Strategy { return adversary.Bursty{Burst: 32, Gap: 32} }, pool: paperPool},
-		{name: "inform-blocker", strategy: func(p *core.Params, _ int) adversary.Strategy {
-			return adversary.PhaseBlocker{BlockInform: true, Params: p}
-		}, pool: paperPool},
-		{name: "inform+prop-blocker", strategy: func(p *core.Params, _ int) adversary.Strategy {
-			return adversary.PhaseBlocker{BlockInform: true, BlockPropagate: true, Params: p}
-		}, pool: paperPool},
-		{name: "request-blocker", strategy: func(p *core.Params, _ int) adversary.Strategy {
-			return adversary.PhaseBlocker{BlockRequest: true, Params: p}
-		}, pool: paperPool},
-		{name: "partition-5%", strategy: func(_ *core.Params, n int) adversary.Strategy {
-			limit := n / 20
-			return &adversary.PartitionBlocker{Stranded: func(node int) bool { return node < limit }}
-		}},
-		{name: "nack-spoofer", strategy: func(*core.Params, int) adversary.Strategy {
-			return &adversary.NackSpoofer{Rate: 0.5}
-		}, pool: paperPool},
-		{name: "data-spoofer", strategy: func(*core.Params, int) adversary.Strategy {
-			return adversary.DataSpoofer{Rate: 0.25}
-		}, pool: paperPool},
-		{name: "sweep", strategy: func(*core.Params, int) adversary.Strategy {
-			return &adversary.SweepJammer{Fraction: 0.5}
-		}, pool: paperPool},
-		{name: "greedy-adaptive", strategy: func(*core.Params, int) adversary.Strategy {
-			return &adversary.GreedyAdaptive{}
-		}, pool: paperPool},
-		{name: "blocker+spoofer", strategy: func(p *core.Params, _ int) adversary.Strategy {
-			return adversary.Composite{Parts: []adversary.Strategy{
-				adversary.PhaseBlocker{BlockInform: true, BlockPropagate: true, Params: p},
-				&adversary.NackSpoofer{Rate: 0.3},
-			}}
-		}, pool: paperPool},
-	}
-}
-
-// deliverySpec builds the trial spec for trial s of scenario `point`.
-// The strategy factory closes over the spec's own Params copy so pointer
-// strategies (PhaseBlocker) read protocol constants matching the run.
-func deliverySpec(cfg Config, sc deliveryScenario, n, k, point, s int) sim.TrialSpec {
-	params := core.PracticalParams(n, k)
-	params.MaxRound = params.StartRound + 6 // bound hopeless runs
-	spec := sim.TrialSpec{Params: params, Seed: cfg.seedAt(point, s)}
-	spec.Strategy = func() adversary.Strategy {
-		p := params
-		return sc.strategy(&p, n)
-	}
-	if sc.pool != nil {
-		spec.Pool = func() *energy.Pool { return sc.pool(n) }
-	}
-	return spec
+	sc.N = n
+	sc.K = 2
+	sc.Overrides.ExtraRounds = 6
+	return sc, nil
 }
 
 func runE3(cfg Config) (*Report, error) {
@@ -112,11 +69,18 @@ func runE3(cfg Config) (*Report, error) {
 		"informed fraction ≥ 1-ε for every in-model adversary")
 	n := cfg.n(512, 256)
 	seeds := cfg.seeds(3, 2)
-	scenarios := e3Scenarios()
-	specs := make([]sim.TrialSpec, 0, len(scenarios)*seeds)
-	for i, sc := range scenarios {
+	specs := make([]sim.TrialSpec, 0, len(e3Scenarios)*seeds)
+	for i, name := range e3Scenarios {
+		sc, err := deliveryScenario(name, n)
+		if err != nil {
+			return nil, err
+		}
 		for s := 0; s < seeds; s++ {
-			specs = append(specs, deliverySpec(cfg, sc, n, 2, i, s))
+			ts, err := sc.TrialSpec(cfg.seedAt(i, s))
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, ts)
 		}
 	}
 	results, err := sim.RunTrials(cfg.Procs, specs)
@@ -126,7 +90,7 @@ func runE3(cfg Config) (*Report, error) {
 	tbl := stats.NewTable(
 		fmt.Sprintf("E3: informed fraction by adversary (n=%d, k=2, paper-scale pools)", n),
 		"adversary", "informed frac", "stranded frac", "completed", "T spent")
-	for i, sc := range scenarios {
+	for i, name := range e3Scenarios {
 		var fracs, strandeds, completeds, spents stats.Acc
 		for s := 0; s < seeds; s++ {
 			res := results[i*seeds+s]
@@ -135,10 +99,9 @@ func runE3(cfg Config) (*Report, error) {
 			completeds.Add(b2f(res.Completed))
 			spents.Add(float64(res.AdversarySpent))
 		}
-		tbl.AddRowf(sc.name, fracs.Mean(), strandeds.Mean(), completeds.Mean(), spents.Mean())
-		key := sc.name
-		rep.Values["informed_"+key] = fracs.Mean()
-		rep.Values["completed_"+key] = completeds.Mean()
+		tbl.AddRowf(name, fracs.Mean(), strandeds.Mean(), completeds.Mean(), spents.Mean())
+		rep.Values["informed_"+name] = fracs.Mean()
+		rep.Values["completed_"+name] = completeds.Mean()
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.addFinding("every in-model adversary leaves ≥ (1-ε)n nodes informed")
@@ -154,45 +117,39 @@ func runE7(cfg Config) (*Report, error) {
 	tbl := stats.NewTable(
 		fmt.Sprintf("E7: reactive jammer economics (n=%d, f=1/25 budgeted pools)", n),
 		"defence", "marginal node-vs-Carol exp", "budgeted: informed", "budgeted: rounds", "budgeted: delay slots", "budgeted: T")
-	bm := energy.DefaultBudgets(8, 2)
-	f := 1.0 / 25
-	mkParams := func(decoy bool) core.Params {
-		params := core.PracticalParams(n, 2)
-		if decoy {
-			params.Decoy = true
-			params.DecoyProb = 0.75 / float64(n)
-			params.ListenBoost = 4
-		}
-		return params
-	}
 	// One flat spec list per defence mode: seeds unlimited-pool probe
 	// trials (for the marginal fit) followed by seeds budgeted trials.
-	// Both variants run through a single worker-pool dispatch.
-	var specs []sim.TrialSpec
-	for ri, decoy := range []bool{false, true} {
-		for s := 0; s < seeds; s++ {
-			params := mkParams(decoy)
-			params.MaxRound = params.StartRound + 4
-			specs = append(specs, sim.TrialSpec{
-				Params:   params,
-				Seed:     cfg.seedAt(7000+ri, s),
-				Strategy: func() adversary.Strategy { return adversary.ReactiveJammer{} },
-				Configure: func(o *engine.Options) {
-					o.AllowReactive = true
-					o.RecordPhases = true
-				},
-			})
+	// Both variants run through a single worker-pool dispatch. The
+	// reactive kind grants the RSSI view; Decoy selects the §4.1
+	// defence via Params.EnableDecoy.
+	mk := func(decoy bool, extraRounds int) scenario.Scenario {
+		return scenario.Scenario{
+			N: n, K: 2, Decoy: decoy,
+			Adversary: scenario.AdversarySpec{Kind: "reactive"},
+			Overrides: scenario.Overrides{ExtraRounds: extraRounds},
 		}
+	}
+	var specs []sim.TrialSpec
+	appendSpecs := func(sc scenario.Scenario, point int) error {
 		for s := 0; s < seeds; s++ {
-			params := mkParams(decoy)
-			params.MaxRound = params.StartRound + 8
-			specs = append(specs, sim.TrialSpec{
-				Params:    params,
-				Seed:      cfg.seedAt(7500+ri, s),
-				Strategy:  func() adversary.Strategy { return adversary.ReactiveJammer{} },
-				Pool:      func() *energy.Pool { return bm.AdversaryPool(n, f) },
-				Configure: func(o *engine.Options) { o.AllowReactive = true },
-			})
+			ts, err := sc.TrialSpec(cfg.seedAt(point, s))
+			if err != nil {
+				return err
+			}
+			specs = append(specs, ts)
+		}
+		return nil
+	}
+	for ri, decoy := range []bool{false, true} {
+		probe := mk(decoy, 4)
+		probe.RecordPhases = true
+		if err := appendSpecs(probe, 7000+ri); err != nil {
+			return nil, err
+		}
+		budgeted := mk(decoy, 8)
+		budgeted.Budget = scenario.BudgetSpec{ModelC: 8, ModelF: 1.0 / 25}
+		if err := appendSpecs(budgeted, 7500+ri); err != nil {
+			return nil, err
 		}
 	}
 	results, err := sim.RunTrials(cfg.Procs, specs)
@@ -274,19 +231,17 @@ func runE9(cfg Config) (*Report, error) {
 		"stranded requested", "informed frac", "stranded frac", "still active frac", "completed")
 	specs := make([]sim.TrialSpec, 0, len(fracs)*seeds)
 	for fi, want := range fracs {
-		limit := int(want * float64(n))
+		sc := scenario.Scenario{
+			N: n, K: 2,
+			Adversary: scenario.AdversarySpec{Kind: "partition", Strand: want},
+			Overrides: scenario.Overrides{ExtraRounds: 4},
+		}
 		for s := 0; s < seeds; s++ {
-			params := core.PracticalParams(n, 2)
-			params.MaxRound = params.StartRound + 4
-			specs = append(specs, sim.TrialSpec{
-				Params: params,
-				Seed:   cfg.seedAt(9000+fi, s),
-				Strategy: func() adversary.Strategy {
-					return &adversary.PartitionBlocker{
-						Stranded: func(node int) bool { return node < limit },
-					}
-				},
-			})
+			ts, err := sc.TrialSpec(cfg.seedAt(9000+fi, s))
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, ts)
 		}
 	}
 	results, err := sim.RunTrials(cfg.Procs, specs)
@@ -317,42 +272,51 @@ func runE10(cfg Config) (*Report, error) {
 		"running with 2x-off estimates of ln n and n changes costs by a constant factor only")
 	n := cfg.n(512, 256)
 	seeds := cfg.seeds(3, 2)
+	// The scale approximations are declarative overrides; the per-node
+	// mode needs a function-valued perturbation, which stays a
+	// TrialSpec.Configure on top of the scenario-built spec (Perturb is
+	// the one knob a serializable value cannot carry).
+	perturb := func(o *engine.Options) {
+		o.Perturb = func(node int) (float64, float64) {
+			// Deterministic per-node scale in [0.5, 2].
+			u := rng.New(12345, uint64(node)).Float64()
+			scale := 0.5 * (1 + 3*u)
+			return scale, 1 / scale
+		}
+	}
 	type variant struct {
-		name  string
-		tweak func(*core.Params, *engine.Options)
+		name      string
+		overrides scenario.Overrides
+		configure func(*engine.Options)
 	}
 	variants := []variant{
-		{"exact", func(*core.Params, *engine.Options) {}},
-		{"global ln 2x, n 2x", func(p *core.Params, _ *engine.Options) {
-			p.LnOverride = 2 * p.LnN()
-			p.NOverride = 2 * float64(p.N)
-		}},
-		{"global ln 0.5x, n 0.5x", func(p *core.Params, _ *engine.Options) {
-			p.LnOverride = 0.5 * p.LnN()
-			p.NOverride = 0.5 * float64(p.N)
-		}},
-		{"per-node ±2x", func(_ *core.Params, o *engine.Options) {
-			o.Perturb = func(node int) (float64, float64) {
-				// Deterministic per-node scale in [0.5, 2].
-				u := rng.New(12345, uint64(node)).Float64()
-				scale := 0.5 * (1 + 3*u)
-				return scale, 1 / scale
-			}
-		}},
-		{"poly overestimate ν=n² (g-sweep)", func(p *core.Params, _ *engine.Options) {
-			p.PolyEstimate = float64(p.N) * float64(p.N)
-		}},
+		{name: "exact"},
+		{name: "global ln 2x, n 2x", overrides: scenario.Overrides{LnScale: 2, NScale: 2}},
+		{name: "global ln 0.5x, n 0.5x", overrides: scenario.Overrides{LnScale: 0.5, NScale: 0.5}},
+		{name: "per-node ±2x", configure: perturb},
+		{name: "poly overestimate ν=n² (g-sweep)", overrides: scenario.Overrides{PolyEstimate: float64(n) * float64(n)}},
 	}
 	specs := make([]sim.TrialSpec, 0, len(variants)*seeds)
 	for vi, v := range variants {
+		sc := scenario.Scenario{N: n, K: 2, Overrides: v.overrides}
 		for s := 0; s < seeds; s++ {
-			specs = append(specs, sim.TrialSpec{
-				Params: core.PracticalParams(n, 2),
-				Seed:   cfg.seedAt(10_000+vi, s),
-				Configure: func(o *engine.Options) {
-					v.tweak(&o.Params, o)
-				},
-			})
+			ts, err := sc.TrialSpec(cfg.seedAt(10_000+vi, s))
+			if err != nil {
+				return nil, err
+			}
+			// Chain rather than overwrite: the scenario may install its
+			// own Configure (reactive grant, phase recording, budgets).
+			if v.configure != nil {
+				prev := ts.Configure
+				extra := v.configure
+				ts.Configure = func(o *engine.Options) {
+					if prev != nil {
+						prev(o)
+					}
+					extra(o)
+				}
+			}
+			specs = append(specs, ts)
 		}
 	}
 	results, err := sim.RunTrials(cfg.Procs, specs)

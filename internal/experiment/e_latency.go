@@ -6,10 +6,8 @@ import (
 	"reflect"
 	"time"
 
-	"rcbcast/internal/adversary"
-	"rcbcast/internal/core"
-	"rcbcast/internal/energy"
 	"rcbcast/internal/engine"
+	"rcbcast/internal/scenario"
 	"rcbcast/internal/sim"
 	"rcbcast/internal/stats"
 )
@@ -43,21 +41,17 @@ func runE4(cfg Config) (*Report, error) {
 		"n", "slots", "rounds", "informed frac", "n^{1+1/k}")
 	specs := make([]sim.TrialSpec, 0, len(ns)*seeds)
 	for ni, n := range ns {
+		sc := scenario.Scenario{
+			N: n, K: k,
+			Adversary: scenario.AdversarySpec{Kind: "blocker", Inform: true, Propagate: true},
+			Budget:    scenario.BudgetSpec{ModelC: 1, ModelF: 1},
+		}
 		for s := 0; s < seeds; s++ {
-			params := core.PracticalParams(n, k)
-			specs = append(specs, sim.TrialSpec{
-				Params: params,
-				Seed:   cfg.seedAt(4000+ni, s),
-				Strategy: func() adversary.Strategy {
-					p := params
-					return adversary.PhaseBlocker{
-						BlockInform: true, BlockPropagate: true, Params: &p,
-					}
-				},
-				Pool: func() *energy.Pool {
-					return energy.DefaultBudgets(1, k).AdversaryPool(n, 1.0)
-				},
-			})
+			ts, err := sc.TrialSpec(cfg.seedAt(4000+ni, s))
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, ts)
 		}
 	}
 	results, err := sim.RunTrials(cfg.Procs, specs)
@@ -90,23 +84,30 @@ func runE11(cfg Config) (*Report, error) {
 	rep := newReport("E11", "Engine ablation: sequential vs actor",
 		"identical seeds yield identical results; the actor engine parallelizes node work")
 	n := cfg.n(1024, 256)
-	mk := func() engine.Options {
-		params := core.PracticalParams(n, 2)
-		return engine.Options{
-			Params:   params,
-			Seed:     cfg.seed(11_000),
-			Strategy: adversary.FullJam{},
-			Pool:     energy.NewPool(1 << 14),
-		}
+	// Build fresh options per engine: pools are stateful, and the point
+	// of the ablation is that one scenario value drives both executors.
+	sc := scenario.Scenario{
+		N: n, K: 2,
+		Seed:      cfg.seed(11_000),
+		Adversary: scenario.AdversarySpec{Kind: "full"},
+		Budget:    scenario.BudgetSpec{Pool: 1 << 14},
+	}
+	seqOpts, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	actOpts, err := sc.Build()
+	if err != nil {
+		return nil, err
 	}
 	t0 := time.Now()
-	seq, err := engine.Run(mk())
+	seq, err := engine.Run(seqOpts)
 	if err != nil {
 		return nil, err
 	}
 	seqD := time.Since(t0)
 	t1 := time.Now()
-	act, err := engine.RunActors(mk())
+	act, err := engine.RunActors(actOpts)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"rcbcast/internal/core"
 	"rcbcast/internal/energy"
 	"rcbcast/internal/multihop"
+	"rcbcast/internal/scenario"
 	"rcbcast/internal/sim"
 	"rcbcast/internal/stats"
 )
@@ -82,26 +83,31 @@ func runE12(cfg Config) (*Report, error) {
 	// share one parallel map: trials [0, seeds) are single-hop,
 	// [seeds, 2*seeds) are the attacked pipeline.
 	pool := int64(1 << 13)
+	// Multi-hop pipelines are not single engine runs, so the scenario
+	// layer contributes the adversary construction (one fresh strategy
+	// per attacked cluster) while multihop.Options wires the topology.
+	fullJam := scenario.AdversarySpec{Kind: "full"}
 	tbl2 := stats.NewTable(
 		fmt.Sprintf("E12b: concentrated jammer, pool=%d (n=%d per cluster)", pool, n),
 		"topology", "total slots", "attacked-cluster slots", "informed frac", "T spent")
 	concentrated, err := sim.Map(cfg.Procs, 2*seeds, func(t int) (*multihop.Result, error) {
+		params := core.PracticalParams(n, 2)
 		if t < seeds {
 			return multihop.Run(multihop.Options{
-				Params:      core.PracticalParams(n, 2),
+				Params:      params,
 				Hops:        1,
 				Seed:        cfg.seedAt(12_500, t),
-				StrategyFor: func(int) adversary.Strategy { return adversary.FullJam{} },
+				StrategyFor: func(int) adversary.Strategy { return fullJam.MustNew(params) },
 				Pool:        energy.NewPool(pool),
 			})
 		}
 		return multihop.Run(multihop.Options{
-			Params: core.PracticalParams(n, 2),
+			Params: params,
 			Hops:   4,
 			Seed:   cfg.seedAt(12_600, t-seeds),
 			StrategyFor: func(hop int) adversary.Strategy {
 				if hop == 2 {
-					return adversary.FullJam{}
+					return fullJam.MustNew(params)
 				}
 				return nil
 			},

@@ -90,10 +90,10 @@ func TestE3DeliveryAcrossAdversaries(t *testing.T) {
 	// Every in-model adversary leaves at least (1-ε) informed; with the
 	// practical quiet fraction 2ε' = 1/8 the worst allowed loss is ~13%.
 	const minInformed = 0.85
-	for _, sc := range e3Scenarios() {
-		frac := rep.Values["informed_"+sc.name]
+	for _, name := range e3Scenarios {
+		frac := rep.Values["informed_"+name]
 		if frac < minInformed {
-			t.Errorf("%s: informed %v < %v", sc.name, frac, minInformed)
+			t.Errorf("%s: informed %v < %v", name, frac, minInformed)
 		}
 	}
 }

@@ -1,0 +1,500 @@
+// Package scenario makes a complete run description — protocol choice,
+// adversary, budgets, engine — a first-class serializable value.
+//
+// The paper's contribution is a protocol evaluated *against a space of
+// adversaries* (full, bursty, phase-blocking, partition, spoofing,
+// reactive — §§2–4). Before this package existed, every entry point
+// wired up that space independently: a flag switch in cmd/rcbcast, ad
+// hoc per-trial factories in internal/experiment, hand-built structs in
+// the examples. A Scenario is instead plain data: it round-trips
+// through JSON and a compact flag syntax ("random:p=0.3"), builds
+// engine.Options or sim.TrialSpec deterministically, and runs on either
+// engine. A registry of named scenarios ships every attack the paper
+// analyzes plus composite ones; both CLIs list it.
+//
+// The layering is strict: scenario sits above core, adversary, energy,
+// engine and sim, and below the CLIs, the experiments, the examples and
+// the rcbcast façade. Identical Scenario values produce bit-for-bit
+// identical Results (the engines' determinism guarantee lifts to the
+// declarative layer).
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/core"
+)
+
+// AdversarySpec is a plain-data description of Carol: a Kind naming a
+// registered strategy family plus the numeric knobs that family reads.
+// Unused knobs must be zero. The zero value (or Kind "null") means no
+// adversary.
+//
+// The spec replaces the stateful-strategy factory closures that
+// sim.TrialSpec forces every caller to hand-roll: because the spec is
+// pure data, New can mint a fresh strategy instance per trial, so
+// per-run mutable state (NackSpoofer, SweepJammer, ...) never leaks
+// across concurrently executing trials.
+type AdversarySpec struct {
+	// Kind selects the strategy family; Kinds() lists the registry.
+	Kind string `json:"kind,omitempty"`
+
+	// P is a per-slot probability: jam probability for "random", spoof
+	// rate for "spoofer" and "data-spoofer".
+	P float64 `json:"p,omitempty"`
+	// Burst and Gap shape the "bursty" jammer.
+	Burst int `json:"burst,omitempty"`
+	Gap   int `json:"gap,omitempty"`
+	// Inform, Propagate and Request select the "blocker" targets.
+	Inform    bool `json:"inform,omitempty"`
+	Propagate bool `json:"propagate,omitempty"`
+	Request   bool `json:"request,omitempty"`
+	// Fraction is the jammed fraction for "blocker" and "sweep"
+	// (0 selects the strategy's default).
+	Fraction float64 `json:"fraction,omitempty"`
+	// Strand is the stranded node fraction for "partition".
+	Strand float64 `json:"strand,omitempty"`
+	// Rounds bounds the attack where the strategy supports it:
+	// StopAfterRounds for "partition", MaxRounds for "spoofer".
+	Rounds int `json:"rounds,omitempty"`
+	// PerRound is the "greedy" jammer's per-round allowance (0 selects
+	// one full phase length).
+	PerRound int64 `json:"per_round,omitempty"`
+	// Parts are the sub-specs of a "composite" adversary.
+	Parts []AdversarySpec `json:"parts,omitempty"`
+}
+
+// Kind metadata: how a registered strategy family validates and builds.
+type kindInfo struct {
+	name    string
+	summary string
+	// knobs documents the flag-syntax keys the kind reads.
+	knobs string
+	// reactive marks kinds that want the engine's within-slot RSSI view.
+	reactive bool
+	// defaults fills the knobs the CLI historically defaulted. seen
+	// reports whether the flag syntax set a knob key explicitly — an
+	// explicit value (zero included) is never overwritten.
+	defaults func(s *AdversarySpec, seen func(string) bool)
+	validate func(AdversarySpec) error
+	// build mints a fresh strategy instance. params is the resolved
+	// protocol instance of the run (pointer strategies copy it).
+	build func(AdversarySpec, core.Params) adversary.Strategy
+}
+
+// KindInfo describes one registered adversary kind for listings.
+type KindInfo struct {
+	// Name is the Kind value.
+	Name string
+	// Summary is a one-line description.
+	Summary string
+	// Knobs names the flag-syntax keys the kind reads ("" if none).
+	Knobs string
+}
+
+// kinds is the ordered registry. Order is presentation order for
+// listings; lookup goes through kindByName.
+var kinds = []kindInfo{
+	{
+		name:    "null",
+		summary: "no adversary",
+		build:   func(AdversarySpec, core.Params) adversary.Strategy { return adversary.Null{} },
+	},
+	{
+		name:    "full",
+		summary: "jam every slot until the pool drains (Theorem 1 baseline)",
+		build:   func(AdversarySpec, core.Params) adversary.Strategy { return adversary.FullJam{} },
+	},
+	{
+		name:    "random",
+		summary: "jam each slot independently with probability p",
+		knobs:   "p",
+		defaults: func(s *AdversarySpec, seen func(string) bool) {
+			if !seen("p") {
+				setF(&s.P, 0.5)
+			}
+		},
+		// p = 0 is a valid no-op jammer (an explicit zero must not be
+		// silently replaced, and the strategy jams nothing at 0).
+		validate: func(s AdversarySpec) error { return probRange("p", s.P, false) },
+		build: func(s AdversarySpec, _ core.Params) adversary.Strategy {
+			return adversary.RandomJam{P: s.P}
+		},
+	},
+	{
+		name:    "bursty",
+		summary: "alternate `burst` jammed slots with `gap` silent ones (§1.2)",
+		knobs:   "burst, gap",
+		defaults: func(s *AdversarySpec, seen func(string) bool) {
+			if !seen("burst") && s.Burst == 0 {
+				s.Burst = 32
+			}
+			if !seen("gap") && s.Gap == 0 {
+				s.Gap = 32
+			}
+		},
+		validate: func(s AdversarySpec) error {
+			if s.Burst <= 0 || s.Gap < 0 {
+				return fmt.Errorf("bursty needs burst > 0 and gap >= 0 (got %d/%d)", s.Burst, s.Gap)
+			}
+			return nil
+		},
+		build: func(s AdversarySpec, _ core.Params) adversary.Strategy {
+			return adversary.Bursty{Burst: s.Burst, Gap: s.Gap}
+		},
+	},
+	{
+		name:    "blocker",
+		summary: "jam whole targeted phases while affordable (Lemma 10)",
+		knobs:   "inform, prop, req, frac",
+		defaults: func(s *AdversarySpec, seen func(string) bool) {
+			if seen("inform") || seen("prop") || seen("req") {
+				return
+			}
+			if !s.Inform && !s.Propagate && !s.Request {
+				s.Inform, s.Propagate = true, true
+			}
+		},
+		validate: func(s AdversarySpec) error {
+			if !s.Inform && !s.Propagate && !s.Request {
+				return errors.New("blocker needs at least one of inform/prop/req")
+			}
+			return probRange("frac", s.Fraction, false)
+		},
+		build: func(s AdversarySpec, params core.Params) adversary.Strategy {
+			p := params
+			return adversary.PhaseBlocker{
+				BlockInform:    s.Inform,
+				BlockPropagate: s.Propagate,
+				BlockRequest:   s.Request,
+				Fraction:       s.Fraction,
+				Params:         &p,
+			}
+		},
+	},
+	{
+		name:    "partition",
+		summary: "strand a chosen node fraction while informing the rest (§2.3)",
+		knobs:   "strand, rounds",
+		defaults: func(s *AdversarySpec, seen func(string) bool) {
+			if !seen("strand") {
+				setF(&s.Strand, 0.05)
+			}
+		},
+		validate: func(s AdversarySpec) error {
+			if s.Strand <= 0 || s.Strand >= 1 {
+				return fmt.Errorf("partition needs strand in (0,1) (got %v)", s.Strand)
+			}
+			return nonNegRounds(s.Rounds)
+		},
+		build: func(s AdversarySpec, params core.Params) adversary.Strategy {
+			limit := int(s.Strand * float64(params.N))
+			return &adversary.PartitionBlocker{
+				Stranded:        func(node int) bool { return node < limit },
+				StopAfterRounds: s.Rounds,
+			}
+		},
+	},
+	{
+		name:    "spoofer",
+		summary: "forge NACKs in request phases to stall termination (§2.2)",
+		knobs:   "p, rounds",
+		defaults: func(s *AdversarySpec, seen func(string) bool) {
+			if !seen("p") {
+				setF(&s.P, 0.5)
+			}
+		},
+		// p = 0 is rejected rather than allowed as a no-op: the
+		// strategy itself substitutes its 0.5 default for a zero rate,
+		// so accepting 0 would silently run a different attack.
+		validate: func(s AdversarySpec) error {
+			if err := probRange("p", s.P, true); err != nil {
+				return err
+			}
+			return nonNegRounds(s.Rounds)
+		},
+		build: func(s AdversarySpec, _ core.Params) adversary.Strategy {
+			return &adversary.NackSpoofer{Rate: s.P, MaxRounds: s.Rounds}
+		},
+	},
+	{
+		name:    "data-spoofer",
+		summary: "inject forged copies of m that fail authentication but occupy slots",
+		knobs:   "p",
+		defaults: func(s *AdversarySpec, seen func(string) bool) {
+			if !seen("p") {
+				setF(&s.P, 0.25)
+			}
+		},
+		// Strict like "spoofer": DataSpoofer turns rate 0 into 0.25.
+		validate: func(s AdversarySpec) error { return probRange("p", s.P, true) },
+		build: func(s AdversarySpec, _ core.Params) adversary.Strategy {
+			return adversary.DataSpoofer{Rate: s.P}
+		},
+	},
+	{
+		name:    "sweep",
+		summary: "rotate a contiguous jamming window of the given fraction across phases",
+		knobs:   "frac",
+		defaults: func(s *AdversarySpec, seen func(string) bool) {
+			if !seen("frac") {
+				setF(&s.Fraction, 0.5)
+			}
+		},
+		// Strict: SweepJammer turns fraction 0 into 0.5.
+		validate: func(s AdversarySpec) error { return probRange("frac", s.Fraction, true) },
+		build: func(s AdversarySpec, _ core.Params) adversary.Strategy {
+			return &adversary.SweepJammer{Fraction: s.Fraction}
+		},
+	},
+	{
+		name:    "greedy",
+		summary: "reallocate a per-round allowance to the phase making the most progress",
+		knobs:   "perround",
+		validate: func(s AdversarySpec) error {
+			if s.PerRound < 0 {
+				return fmt.Errorf("greedy needs perround >= 0 (got %d)", s.PerRound)
+			}
+			return nil
+		},
+		build: func(s AdversarySpec, _ core.Params) adversary.Strategy {
+			return &adversary.GreedyAdaptive{PerRound: s.PerRound}
+		},
+	},
+	{
+		name:     "reactive",
+		summary:  "sense within-slot RSSI and jam exactly the used slots (§4.1)",
+		reactive: true,
+		build:    func(AdversarySpec, core.Params) adversary.Strategy { return adversary.ReactiveJammer{} },
+	},
+	{
+		name:    "composite",
+		summary: "run several strategies at once, unioning their plans",
+		knobs:   "parts (flag syntax: join sub-specs with +)",
+		validate: func(s AdversarySpec) error {
+			if len(s.Parts) == 0 {
+				return errors.New("composite needs at least one part")
+			}
+			for i, part := range s.Parts {
+				// Composite implements no PlanReactive, so a reactive
+				// part would silently degrade to a no-op; reject it
+				// rather than run a weaker attack than requested.
+				if part.Reactive() {
+					return fmt.Errorf("part %d: reactive strategies cannot compose (the composite has no within-slot RSSI path)", i)
+				}
+				if err := part.Validate(); err != nil {
+					return fmt.Errorf("part %d: %w", i, err)
+				}
+			}
+			return nil
+		},
+		build: func(s AdversarySpec, params core.Params) adversary.Strategy {
+			parts := make([]adversary.Strategy, len(s.Parts))
+			for i, part := range s.Parts {
+				parts[i] = part.MustNew(params)
+			}
+			return adversary.Composite{Parts: parts}
+		},
+	},
+}
+
+// kindByName is populated in init (a var initializer would form an
+// initialization cycle through the composite kind's recursive
+// validate).
+var kindByName map[string]*kindInfo
+
+func init() {
+	kindByName = make(map[string]*kindInfo, len(kinds))
+	for i := range kinds {
+		kindByName[kinds[i].name] = &kinds[i]
+	}
+}
+
+func setF(v *float64, def float64) {
+	if *v == 0 {
+		*v = def
+	}
+}
+
+func probRange(name string, v float64, strict bool) error {
+	if v < 0 || v > 1 || (strict && v == 0) {
+		lo := "["
+		if strict {
+			lo = "("
+		}
+		return fmt.Errorf("%s must be in %s0,1] (got %v)", name, lo, v)
+	}
+	return nil
+}
+
+func nonNegRounds(r int) error {
+	if r < 0 {
+		return fmt.Errorf("rounds must be >= 0 (got %d)", r)
+	}
+	return nil
+}
+
+// knobChecks names every numeric/bool knob and reports whether a spec
+// sets it (zero counts as unset). Validate uses it to reject knobs a
+// kind does not read — a typo'd kind must not silently run a different
+// attack than the knobs describe.
+var knobChecks = []struct {
+	name string
+	set  func(AdversarySpec) bool
+}{
+	{"p", func(s AdversarySpec) bool { return s.P != 0 }},
+	{"burst", func(s AdversarySpec) bool { return s.Burst != 0 }},
+	{"gap", func(s AdversarySpec) bool { return s.Gap != 0 }},
+	{"inform", func(s AdversarySpec) bool { return s.Inform }},
+	{"prop", func(s AdversarySpec) bool { return s.Propagate }},
+	{"req", func(s AdversarySpec) bool { return s.Request }},
+	{"frac", func(s AdversarySpec) bool { return s.Fraction != 0 }},
+	{"strand", func(s AdversarySpec) bool { return s.Strand != 0 }},
+	{"rounds", func(s AdversarySpec) bool { return s.Rounds != 0 }},
+	{"perround", func(s AdversarySpec) bool { return s.PerRound != 0 }},
+}
+
+// extraneousKnob returns the first set knob the kind does not read, or
+// "". The composite kind reads no scalar knobs (only Parts).
+func (s AdversarySpec) extraneousKnob(k *kindInfo) string {
+	allowed := map[string]bool{}
+	if k.name != "composite" {
+		for _, key := range strings.Split(k.knobs, ",") {
+			if key = strings.TrimSpace(key); key != "" {
+				allowed[key] = true
+			}
+		}
+	}
+	for _, knob := range knobChecks {
+		if knob.set(s) && !allowed[knob.name] {
+			return knob.name
+		}
+	}
+	return ""
+}
+
+// Kinds lists the registered adversary kinds in presentation order.
+func Kinds() []KindInfo {
+	out := make([]KindInfo, len(kinds))
+	for i, k := range kinds {
+		out[i] = KindInfo{Name: k.name, Summary: k.summary, Knobs: k.knobs}
+	}
+	return out
+}
+
+// kind resolves the spec's registry entry ("" aliases "null").
+func (s AdversarySpec) kind() (*kindInfo, error) {
+	name := s.Kind
+	if name == "" {
+		name = "null"
+	}
+	k, ok := kindByName[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown adversary kind %q", name)
+	}
+	return k, nil
+}
+
+// IsNull reports whether the spec describes the absent adversary.
+func (s AdversarySpec) IsNull() bool { return s.Kind == "" || s.Kind == "null" }
+
+// Reactive reports whether the spec wants the engine's within-slot RSSI
+// view (the §4.1 threat model). Composite parts do not propagate: the
+// Composite strategy exposes no reactive interface.
+func (s AdversarySpec) Reactive() bool {
+	k, err := s.kind()
+	return err == nil && k.reactive
+}
+
+// clone returns a deep copy: Parts get their own backing array, so
+// mutating the clone never reaches the original.
+func (s AdversarySpec) clone() AdversarySpec {
+	out := s
+	if len(s.Parts) > 0 {
+		out.Parts = make([]AdversarySpec, len(s.Parts))
+		for i, p := range s.Parts {
+			out.Parts[i] = p.clone()
+		}
+	}
+	return out
+}
+
+// WithDefaults returns a copy with the kind's historical CLI defaults
+// filled into zero knobs (random p=0.5, bursty 32/32, blocker
+// inform+prop, ...), recursing into composite parts. ParseAdversary
+// applies it (respecting knobs the flag string set explicitly, zero
+// values included); specs assembled as data — JSON files, Go literals —
+// state their knobs explicitly and fail validation otherwise, so an
+// explicit zero is never silently replaced at build time.
+func (s AdversarySpec) WithDefaults() AdversarySpec {
+	return s.withDefaults(func(string) bool { return false })
+}
+
+func (s AdversarySpec) withDefaults(seen func(string) bool) AdversarySpec {
+	out := s
+	if len(s.Parts) > 0 {
+		out.Parts = append([]AdversarySpec(nil), s.Parts...)
+		for i := range out.Parts {
+			out.Parts[i] = out.Parts[i].WithDefaults()
+		}
+	}
+	k, err := s.kind()
+	if err != nil || k.defaults == nil {
+		return out
+	}
+	k.defaults(&out, seen)
+	return out
+}
+
+// Validate reports the first violated knob constraint, or nil.
+func (s AdversarySpec) Validate() error {
+	k, err := s.kind()
+	if err != nil {
+		return err
+	}
+	if k.name != "composite" && len(s.Parts) > 0 {
+		return fmt.Errorf("scenario: kind %q does not take parts", k.name)
+	}
+	if bad := s.extraneousKnob(k); bad != "" {
+		reads := "no knobs"
+		if k.name == "composite" {
+			reads = "only parts"
+		} else if k.knobs != "" {
+			reads = k.knobs
+		}
+		return fmt.Errorf("scenario: adversary %q does not read knob %q (it reads %s)", k.name, bad, reads)
+	}
+	if k.validate == nil {
+		return nil
+	}
+	if err := k.validate(s); err != nil {
+		return fmt.Errorf("scenario: adversary %q: %w", k.name, err)
+	}
+	return nil
+}
+
+// New validates the spec and mints a fresh strategy instance for one
+// run of the given protocol instance. Call once per trial: several
+// strategies carry per-run mutable state.
+func (s AdversarySpec) New(params core.Params) (adversary.Strategy, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	k, err := s.kind()
+	if err != nil {
+		return nil, err
+	}
+	return k.build(s, params), nil
+}
+
+// MustNew is New for specs already validated; it panics on error.
+func (s AdversarySpec) MustNew(params core.Params) adversary.Strategy {
+	st, err := s.New(params)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}

@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAdversary decodes the compact flag syntax for adversary specs:
+//
+//	KIND[:KEY=VALUE[,KEY=VALUE...]] ["+" SPEC ...]
+//
+// Examples:
+//
+//	full
+//	random:p=0.3
+//	blocker:inform,prop,frac=0.55
+//	partition:strand=0.1,rounds=4
+//	blocker:inform,prop+spoofer:p=0.3     (composite)
+//
+// Boolean knobs may be given bare ("inform") or explicitly
+// ("inform=true"). Kind defaults are applied (WithDefaults), matching
+// the historical CLI behaviour of bare kind names. The inverse is
+// AdversarySpec.String.
+func ParseAdversary(s string) (AdversarySpec, error) {
+	parts := strings.Split(s, "+")
+	if len(parts) == 1 {
+		return parseOne(parts[0])
+	}
+	spec := AdversarySpec{Kind: "composite", Parts: make([]AdversarySpec, len(parts))}
+	for i, part := range parts {
+		sub, err := parseOne(part)
+		if err != nil {
+			return AdversarySpec{}, err
+		}
+		if sub.Kind == "composite" {
+			return AdversarySpec{}, fmt.Errorf("scenario: composite parts cannot nest in flag syntax (%q)", s)
+		}
+		spec.Parts[i] = sub
+	}
+	return spec, spec.Validate()
+}
+
+func parseOne(s string) (AdversarySpec, error) {
+	kind, knobs, hasKnobs := strings.Cut(strings.TrimSpace(s), ":")
+	if kind == "" {
+		return AdversarySpec{}, fmt.Errorf("scenario: empty adversary spec (use %q for no adversary)", "null")
+	}
+	spec := AdversarySpec{Kind: kind}
+	if _, err := spec.kind(); err != nil {
+		return AdversarySpec{}, err
+	}
+	seen := map[string]bool{}
+	if hasKnobs {
+		for _, kv := range strings.Split(knobs, ",") {
+			key, val, hasVal := strings.Cut(kv, "=")
+			if !hasVal {
+				val = "true"
+			}
+			key = strings.TrimSpace(key)
+			if err := spec.setKnob(key, strings.TrimSpace(val)); err != nil {
+				return AdversarySpec{}, err
+			}
+			seen[key] = true
+		}
+	}
+	// Defaults fill only knobs the string did not set: an explicit
+	// zero (p=0, gap=0) stays zero.
+	spec = spec.withDefaults(func(key string) bool { return seen[key] })
+	return spec, spec.Validate()
+}
+
+// setKnob assigns one flag-syntax key. The keys are deliberately short;
+// the JSON field names are the long forms.
+func (s *AdversarySpec) setKnob(key, val string) error {
+	switch key {
+	case "p":
+		return parseF(key, val, &s.P)
+	case "burst":
+		return parseI(key, val, &s.Burst)
+	case "gap":
+		return parseI(key, val, &s.Gap)
+	case "inform":
+		return parseB(key, val, &s.Inform)
+	case "prop":
+		return parseB(key, val, &s.Propagate)
+	case "req":
+		return parseB(key, val, &s.Request)
+	case "frac":
+		return parseF(key, val, &s.Fraction)
+	case "strand":
+		return parseF(key, val, &s.Strand)
+	case "rounds":
+		return parseI(key, val, &s.Rounds)
+	case "perround":
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return knobErr(key, val)
+		}
+		s.PerRound = v
+		return nil
+	default:
+		return fmt.Errorf("scenario: unknown adversary knob %q (have p, burst, gap, inform, prop, req, frac, strand, rounds, perround)", key)
+	}
+}
+
+func parseF(key, val string, dst *float64) error {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return knobErr(key, val)
+	}
+	*dst = v
+	return nil
+}
+
+func parseI(key, val string, dst *int) error {
+	v, err := strconv.Atoi(val)
+	if err != nil {
+		return knobErr(key, val)
+	}
+	*dst = v
+	return nil
+}
+
+func parseB(key, val string, dst *bool) error {
+	v, err := strconv.ParseBool(val)
+	if err != nil {
+		return knobErr(key, val)
+	}
+	*dst = v
+	return nil
+}
+
+func knobErr(key, val string) error {
+	return fmt.Errorf("scenario: bad value %q for adversary knob %q", val, key)
+}
+
+// String renders the spec in the compact flag syntax. The output
+// reparses (via ParseAdversary) to an identical spec once defaults are
+// applied; the round-trip tests pin that.
+func (s AdversarySpec) String() string {
+	if s.Kind == "composite" || (s.Kind == "" && len(s.Parts) > 0) {
+		parts := make([]string, len(s.Parts))
+		for i, p := range s.Parts {
+			parts[i] = p.String()
+		}
+		return strings.Join(parts, "+")
+	}
+	kind := s.Kind
+	if kind == "" {
+		kind = "null"
+	}
+	// Numeric knobs are emitted when they differ from the kind's
+	// parse-time default (not from zero): a default value may be
+	// omitted, while an explicit zero (e.g. random p=0) must be
+	// rendered so the output reparses to the identical spec.
+	bare := AdversarySpec{Kind: kind}.WithDefaults()
+	var knobs []string
+	add := func(key, val string) { knobs = append(knobs, key+"="+val) }
+	if s.P != bare.P {
+		add("p", fmtF(s.P))
+	}
+	if s.Burst != bare.Burst {
+		add("burst", strconv.Itoa(s.Burst))
+	}
+	if s.Gap != bare.Gap {
+		add("gap", strconv.Itoa(s.Gap))
+	}
+	if s.Inform {
+		knobs = append(knobs, "inform")
+	}
+	if s.Propagate {
+		knobs = append(knobs, "prop")
+	}
+	if s.Request {
+		knobs = append(knobs, "req")
+	}
+	if s.Fraction != bare.Fraction {
+		add("frac", fmtF(s.Fraction))
+	}
+	if s.Strand != bare.Strand {
+		add("strand", fmtF(s.Strand))
+	}
+	if s.Rounds != 0 {
+		add("rounds", strconv.Itoa(s.Rounds))
+	}
+	if s.PerRound != 0 {
+		add("perround", strconv.FormatInt(s.PerRound, 10))
+	}
+	if len(knobs) == 0 {
+		return kind
+	}
+	return kind + ":" + strings.Join(knobs, ",")
+}
+
+// fmtF renders a float with the shortest representation that parses
+// back to the identical value.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

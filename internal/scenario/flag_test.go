@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"rcbcast/internal/core"
+)
+
+// TestParseAdversaryGolden pins the flag syntax: input → spec (with
+// defaults applied) → canonical String.
+func TestParseAdversaryGolden(t *testing.T) {
+	cases := []struct {
+		in   string
+		spec AdversarySpec
+		out  string
+	}{
+		{"null", AdversarySpec{Kind: "null"}, "null"},
+		{"full", AdversarySpec{Kind: "full"}, "full"},
+		{"random", AdversarySpec{Kind: "random", P: 0.5}, "random"},
+		{"random:p=0.3", AdversarySpec{Kind: "random", P: 0.3}, "random:p=0.3"},
+		// An explicit zero knob survives parsing AND rendering (it is a
+		// valid no-op jammer, distinct from the 0.5 default).
+		{"random:p=0", AdversarySpec{Kind: "random"}, "random:p=0"},
+		{"bursty", AdversarySpec{Kind: "bursty", Burst: 32, Gap: 32}, "bursty"},
+		{"bursty:burst=8,gap=56", AdversarySpec{Kind: "bursty", Burst: 8, Gap: 56}, "bursty:burst=8,gap=56"},
+		{"bursty:burst=8", AdversarySpec{Kind: "bursty", Burst: 8, Gap: 32}, "bursty:burst=8"},
+		{"bursty:burst=8,gap=0", AdversarySpec{Kind: "bursty", Burst: 8}, "bursty:burst=8,gap=0"},
+		{"blocker", AdversarySpec{Kind: "blocker", Inform: true, Propagate: true}, "blocker:inform,prop"},
+		{"blocker:req,frac=0.55", AdversarySpec{Kind: "blocker", Request: true, Fraction: 0.55}, "blocker:req,frac=0.55"},
+		{"partition", AdversarySpec{Kind: "partition", Strand: 0.05}, "partition"},
+		{"partition:strand=0.1,rounds=4", AdversarySpec{Kind: "partition", Strand: 0.1, Rounds: 4}, "partition:strand=0.1,rounds=4"},
+		{"spoofer", AdversarySpec{Kind: "spoofer", P: 0.5}, "spoofer"},
+		{"data-spoofer", AdversarySpec{Kind: "data-spoofer", P: 0.25}, "data-spoofer"},
+		{"sweep:frac=0.75", AdversarySpec{Kind: "sweep", Fraction: 0.75}, "sweep:frac=0.75"},
+		{"greedy", AdversarySpec{Kind: "greedy"}, "greedy"},
+		{"greedy:perround=512", AdversarySpec{Kind: "greedy", PerRound: 512}, "greedy:perround=512"},
+		{"reactive", AdversarySpec{Kind: "reactive"}, "reactive"},
+		{"blocker:inform,prop+spoofer:p=0.3", AdversarySpec{Kind: "composite", Parts: []AdversarySpec{
+			{Kind: "blocker", Inform: true, Propagate: true},
+			{Kind: "spoofer", P: 0.3},
+		}}, "blocker:inform,prop+spoofer:p=0.3"},
+	}
+	for _, c := range cases {
+		spec, err := ParseAdversary(c.in)
+		if err != nil {
+			t.Errorf("ParseAdversary(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(spec, c.spec) {
+			t.Errorf("ParseAdversary(%q) = %+v, want %+v", c.in, spec, c.spec)
+		}
+		if got := spec.String(); got != c.out {
+			t.Errorf("ParseAdversary(%q).String() = %q, want %q", c.in, got, c.out)
+		}
+		// The canonical form must reparse to the same spec.
+		again, err := ParseAdversary(spec.String())
+		if err != nil {
+			t.Errorf("reparse %q: %v", spec.String(), err)
+		} else if !reflect.DeepEqual(again, spec) {
+			t.Errorf("round trip of %q drifted: %+v vs %+v", c.in, again, spec)
+		}
+	}
+}
+
+func TestParseAdversaryErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"warp",
+		"full:p=0.9", // full reads no knobs; a typo'd kind must not silently drop them
+		"random:p=zebra",
+		"random:zebra=1",
+		"random:p=1.5",
+		"partition:strand=2",
+		"partition:strand=0", // stranding nobody is a misconfiguration, not a default
+		"bursty:burst=-1",
+		"spoofer:p=0",                       // NackSpoofer substitutes 0.5 for rate 0 — reject, don't surprise
+		"sweep:frac=0",                      // SweepJammer substitutes 0.5 for fraction 0 — reject
+		"reactive+full",                     // Composite has no RSSI path; the reactive part would be inert
+		"full+random:p=0.3+blocker:inform+", // trailing empty part
+	} {
+		if _, err := ParseAdversary(in); err == nil {
+			t.Errorf("ParseAdversary(%q) = nil error, want failure", in)
+		}
+	}
+}
+
+// TestParseAdversaryStrategyNames asserts each parsed kind builds the
+// strategy family it names.
+func TestParseAdversaryStrategyNames(t *testing.T) {
+	params := mustParams(t, Scenario{N: 64})
+	cases := map[string]string{
+		"null":               "null",
+		"full":               "full-jam",
+		"random":             "random-jam(p=0.5)",
+		"bursty":             "bursty(32/32)",
+		"blocker":            "phase-blocker(inform=true,prop=true,req=false)",
+		"partition":          "partition-blocker",
+		"spoofer":            "nack-spoofer",
+		"data-spoofer":       "data-spoofer",
+		"sweep":              "sweep(0.5)",
+		"greedy":             "greedy-adaptive",
+		"reactive":           "reactive-jammer",
+		"full+spoofer:p=0.4": "composite(full-jam+nack-spoofer)",
+	}
+	for in, want := range cases {
+		spec, err := ParseAdversary(in)
+		if err != nil {
+			t.Fatalf("ParseAdversary(%q): %v", in, err)
+		}
+		st, err := spec.New(params)
+		if err != nil {
+			t.Fatalf("New(%q): %v", in, err)
+		}
+		if st.Name() != want {
+			t.Errorf("%q built %q, want %q", in, st.Name(), want)
+		}
+	}
+}
+
+func mustParams(t *testing.T, sc Scenario) core.Params {
+	t.Helper()
+	params, err := sc.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params
+}

@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseAdversary asserts the flag-syntax decoder never panics and
+// that every accepted input round-trips: String() reparses to the
+// identical spec.
+func FuzzParseAdversary(f *testing.F) {
+	for _, seed := range []string{
+		"null", "full", "random:p=0.3", "bursty:burst=8,gap=56",
+		"blocker:inform,prop,frac=0.55", "partition:strand=0.1,rounds=4",
+		"spoofer:p=0.5", "data-spoofer", "sweep:frac=0.75",
+		"greedy:perround=512", "reactive",
+		"blocker:inform,prop+spoofer:p=0.3", "full+random:p=0.1+reactive",
+		"random:p=1e-3", "random:p=0.0625", "blocker:req=true,frac=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseAdversary(in)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseAdversary(%q) accepted a spec that fails Validate: %v", in, err)
+		}
+		out := spec.String()
+		again, err := ParseAdversary(out)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", out, in, err)
+		}
+		if !reflect.DeepEqual(again, spec) {
+			t.Fatalf("round trip drifted for %q:\n  first:  %+v\n  second: %+v", in, spec, again)
+		}
+	})
+}
+
+// FuzzAdversarySpecJSON asserts JSON decoding of adversary specs never
+// panics and that accepted specs re-encode byte-stably and build.
+func FuzzAdversarySpecJSON(f *testing.F) {
+	for _, seed := range []string{
+		`{"kind":"full"}`,
+		`{"kind":"random","p":0.3}`,
+		`{"kind":"partition","strand":0.05,"rounds":4}`,
+		`{"kind":"composite","parts":[{"kind":"full"},{"kind":"spoofer","p":0.3}]}`,
+		`{"kind":"blocker","inform":true,"propagate":true,"fraction":0.55}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	params := Scenario{N: 16}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec AdversarySpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		spec = spec.WithDefaults()
+		if err := spec.Validate(); err != nil {
+			return
+		}
+		first, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("valid spec does not marshal: %v", err)
+		}
+		var decoded AdversarySpec
+		if err := json.Unmarshal(first, &decoded); err != nil {
+			t.Fatalf("marshal output does not unmarshal: %v", err)
+		}
+		second, err := json.Marshal(decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(first) != string(second) {
+			t.Fatalf("JSON round trip not byte-stable:\n%s\n%s", first, second)
+		}
+		p, err := params.Params()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := spec.New(p); err != nil {
+			t.Fatalf("valid spec does not build: %v", err)
+		}
+	})
+}

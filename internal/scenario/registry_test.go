@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNamedScenariosValidateAndRun asserts every registry entry is
+// complete: it validates once scaled, runs at quick scale, and the run
+// reflects its declared adversary.
+func TestNamedScenariosValidateAndRun(t *testing.T) {
+	if len(named) == 0 {
+		t.Fatal("registry is empty")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			sc := quickScenario(e.Scenario)
+			sc.Seed = 2
+			if err := sc.Validate(); err != nil {
+				t.Fatalf("named scenario does not validate: %v", err)
+			}
+			res, err := sc.Run()
+			if err != nil {
+				t.Fatalf("named scenario does not run: %v", err)
+			}
+			if res.N != 64 {
+				t.Fatalf("ran with n=%d, want 64", res.N)
+			}
+			if sc.Adversary.IsNull() && res.AdversarySpent != 0 {
+				t.Errorf("benign scenario spent adversary energy: %d", res.AdversarySpent)
+			}
+			if !sc.Adversary.IsNull() && res.StrategyName == "null" {
+				t.Errorf("adversarial scenario ran with the null strategy")
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	sc, ok := Lookup("full-jam")
+	if !ok {
+		t.Fatal("full-jam missing from registry")
+	}
+	if sc.Name != "full-jam" || sc.Adversary.Kind != "full" {
+		t.Errorf("Lookup returned %+v", sc)
+	}
+	if _, ok := Lookup("no-such-scenario"); ok {
+		t.Error("bogus name resolved")
+	}
+	// Lookup must hand out copies: mutating one must not poison the
+	// registry.
+	sc.N = 1 << 20
+	again, _ := Lookup("full-jam")
+	if again.N != 0 {
+		t.Error("Lookup leaked a mutable reference into the registry")
+	}
+	// Deep copies: composite Parts must not share a backing array with
+	// the registry entry.
+	comp, _ := Lookup("blocker+spoofer")
+	comp.Adversary.Parts[1].P = 0.99
+	fresh, _ := Lookup("blocker+spoofer")
+	if fresh.Adversary.Parts[1].P != 0.3 {
+		t.Errorf("mutating a looked-up composite corrupted the registry: P=%v", fresh.Adversary.Parts[1].P)
+	}
+	All()[0].Scenario.Adversary.Kind = "mutated"
+	if name0, _ := Lookup(Names()[0]); name0.Adversary.Kind == "mutated" {
+		t.Error("mutating All() output corrupted the registry")
+	}
+}
+
+func TestNamesMatchRegistryOrder(t *testing.T) {
+	names := Names()
+	if len(names) != len(All()) {
+		t.Fatalf("Names() has %d entries, registry %d", len(names), len(All()))
+	}
+	for i, e := range All() {
+		if names[i] != e.Name {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], e.Name)
+		}
+	}
+}
+
+func TestWriteListMentionsEverything(t *testing.T) {
+	var sb strings.Builder
+	WriteList(&sb)
+	out := sb.String()
+	for _, e := range All() {
+		if !strings.Contains(out, e.Name) {
+			t.Errorf("listing missing scenario %q", e.Name)
+		}
+	}
+	for _, k := range Kinds() {
+		if !strings.Contains(out, k.Name) {
+			t.Errorf("listing missing kind %q", k.Name)
+		}
+	}
+}
+
+// TestPaperAttackScenariosCoverStrategies sanity-checks that the
+// registry spans every strategy family the adversary package ships.
+func TestPaperAttackScenariosCoverStrategies(t *testing.T) {
+	covered := map[string]bool{}
+	var walk func(AdversarySpec)
+	walk = func(s AdversarySpec) {
+		covered[s.WithDefaults().Kind] = true
+		for _, p := range s.Parts {
+			walk(p)
+		}
+	}
+	for _, e := range All() {
+		walk(e.Scenario.Adversary)
+	}
+	for _, k := range Kinds() {
+		if k.Name == "composite" {
+			continue // covered implicitly by the composite entries
+		}
+		if !covered[k.Name] {
+			t.Errorf("no named scenario exercises adversary kind %q", k.Name)
+		}
+	}
+}

@@ -12,16 +12,25 @@
 //
 // # Quickstart
 //
-//	params := rcbcast.PracticalParams(1024, 2) // n nodes, protocol k
-//	res, err := rcbcast.Run(rcbcast.Options{
-//		Params:   params,
-//		Seed:     1,
-//		Strategy: rcbcast.FullJam{},            // Carol jams everything...
-//		Pool:     rcbcast.NewPool(1 << 14),     // ...until her pool drains
-//	})
+// A run is described by a declarative, JSON-serializable Scenario:
+//
+//	res, err := rcbcast.Scenario{
+//		N: 1024, K: 2, Seed: 1,
+//		Adversary: rcbcast.AdversarySpec{Kind: "full"}, // Carol jams everything...
+//		Budget:    rcbcast.BudgetSpec{Pool: 1 << 14},   // ...until her pool drains
+//	}.Run()
 //	if err != nil { ... }
 //	fmt.Printf("informed %d/%d, alice paid %d, median node paid %d, Carol paid %d\n",
 //		res.Informed, res.N, res.Alice.Cost, res.NodeCost.Median, res.AdversarySpent)
+//
+// Named scenarios ship every attack the paper analyzes:
+//
+//	sc, _ := rcbcast.LookupScenario("reactive-decoy")
+//	sc.N = 1024
+//	res, err := sc.Run()
+//
+// The lower-level Options API remains for callers wiring custom
+// strategies or tracers.
 //
 // The package is a façade over the implementation packages under
 // internal/; everything a downstream user needs is re-exported here.
@@ -36,6 +45,7 @@ import (
 	"rcbcast/internal/energy"
 	"rcbcast/internal/engine"
 	"rcbcast/internal/multihop"
+	"rcbcast/internal/scenario"
 	"rcbcast/internal/sim"
 	"rcbcast/internal/trace"
 )
@@ -110,6 +120,51 @@ func TrialSeed(base uint64, trial int) uint64 { return sim.TrialSeed(base, trial
 // SweepSeed derives the engine seed for trial `trial` of sweep point
 // `point` — use it instead of packing both into one TrialSeed index.
 func SweepSeed(base uint64, point, trial int) uint64 { return sim.SweepSeed(base, point, trial) }
+
+// Declarative scenarios (internal/scenario).
+type (
+	// Scenario is a complete, serializable run description: protocol
+	// choice, adversary, budgets, engine. It round-trips through JSON,
+	// builds Options or TrialSpecs, and runs on either engine.
+	Scenario = scenario.Scenario
+	// AdversarySpec is the plain-data description of Carol: a Kind from
+	// the registry plus numeric knobs. New mints fresh strategy
+	// instances, replacing hand-rolled factory closures.
+	AdversarySpec = scenario.AdversarySpec
+	// BudgetSpec declares Carol's pool (fixed or the paper's model) and
+	// the optional per-device budgets.
+	BudgetSpec = scenario.BudgetSpec
+	// ScenarioOverrides are optional protocol-parameter adjustments.
+	ScenarioOverrides = scenario.Overrides
+	// NamedScenario couples a registry name with its scenario.
+	NamedScenario = scenario.Named
+	// AdversaryKind describes one registered adversary kind.
+	AdversaryKind = scenario.KindInfo
+)
+
+// ParseAdversary decodes the compact adversary flag syntax, e.g.
+// "random:p=0.3" or "blocker:inform,prop+spoofer:p=0.3".
+func ParseAdversary(s string) (AdversarySpec, error) { return scenario.ParseAdversary(s) }
+
+// LookupScenario returns a copy of a named scenario from the registry;
+// set N (and usually K and Seed) before running it.
+func LookupScenario(name string) (Scenario, bool) { return scenario.Lookup(name) }
+
+// Scenarios returns the named-scenario registry in order.
+func Scenarios() []NamedScenario { return scenario.All() }
+
+// ScenarioNames returns the registry names in order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// AdversaryKinds lists the registered adversary kinds.
+func AdversaryKinds() []AdversaryKind { return scenario.Kinds() }
+
+// DecodeScenario parses a JSON scenario (unknown fields rejected).
+func DecodeScenario(data []byte) (Scenario, error) { return scenario.Decode(data) }
+
+// EncodeScenario renders a scenario as indented JSON; encode→decode→
+// encode is byte-stable.
+func EncodeScenario(s Scenario) ([]byte, error) { return scenario.Encode(s) }
 
 // Adversaries (internal/adversary).
 type (

@@ -205,6 +205,57 @@ func TestPublicVariantAndQuietConstants(t *testing.T) {
 	}
 }
 
+func TestPublicScenarioSurface(t *testing.T) {
+	// The declarative path: a scenario value runs directly...
+	sc := rcbcast.Scenario{
+		N: 96, K: 2, Seed: 19,
+		Adversary: rcbcast.AdversarySpec{Kind: "full"},
+		Budget:    rcbcast.BudgetSpec{Pool: 2048},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StrategyName != "full-jam" || res.AdversarySpent == 0 {
+		t.Fatalf("scenario run: %q spent %d", res.StrategyName, res.AdversarySpent)
+	}
+	// ...round-trips through JSON...
+	data, err := rcbcast.EncodeScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := rcbcast.DecodeScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := decoded.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.AdversarySpent != res.AdversarySpent || res2.Informed != res.Informed {
+		t.Fatal("decoded scenario ran differently")
+	}
+	// ...and the registry, flag syntax, and kind listing are reachable.
+	if len(rcbcast.Scenarios()) == 0 || len(rcbcast.ScenarioNames()) == 0 || len(rcbcast.AdversaryKinds()) == 0 {
+		t.Fatal("scenario registries empty")
+	}
+	named, ok := rcbcast.LookupScenario("partition-5%")
+	if !ok {
+		t.Fatal("named scenario missing")
+	}
+	named.N = 96
+	if _, err := named.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := rcbcast.ParseAdversary("random:p=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != "random" || spec.P != 0.3 {
+		t.Fatalf("ParseAdversary: %+v", spec)
+	}
+}
+
 func TestPublicAdversarySurface(t *testing.T) {
 	// Exercise each re-exported strategy end to end at small n.
 	params := rcbcast.PracticalParams(96, 2)
