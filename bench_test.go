@@ -10,8 +10,10 @@ package rcbcast_test
 // experiments E1..E12; EXPERIMENTS.md records one full run.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"rcbcast/internal/adversary"
@@ -20,6 +22,8 @@ import (
 	"rcbcast/internal/engine"
 	"rcbcast/internal/experiment"
 	"rcbcast/internal/sim"
+	"rcbcast/internal/sim/sink"
+	"rcbcast/internal/stats"
 )
 
 // benchConfig scales experiments for benchmarking: full sweeps, one seed
@@ -171,4 +175,82 @@ func BenchmarkProtocolThroughput(b *testing.B) {
 
 func benchName(n, procs int) string {
 	return fmt.Sprintf("n=%d/procs=%d", n, procs)
+}
+
+// BenchmarkStreamTrials measures the streaming session against the
+// collect-everything wrapper on the same batch, with -benchmem
+// reporting allocs/op and a live_results metric — the O(trials) vs
+// O(procs) memory claim as numbers, not assertions. Total allocations
+// are dominated by the engine runs and match between variants; the win
+// is peak *live* results: collect retains the whole batch, the stream
+// variant folds each result into a stats.Acc and drops it, so its peak
+// equals the reorder window. The first BENCH_STREAM.json entry records
+// one run of this benchmark.
+func BenchmarkStreamTrials(b *testing.B) {
+	const trialsPerBatch = 64
+	// started/released track live results: a result is live from its
+	// trial's start (strategy factory — the earliest per-trial hook)
+	// until the caller is done with it.
+	var started, released, maxLive atomic.Int64
+	sampleLive := func() {
+		live := started.Add(1) - released.Load()
+		for {
+			old := maxLive.Load()
+			if live <= old || maxLive.CompareAndSwap(old, live) {
+				return
+			}
+		}
+	}
+	mkSpecs := func(iter int) []sim.TrialSpec {
+		specs := make([]sim.TrialSpec, trialsPerBatch)
+		for t := range specs {
+			specs[t] = sim.TrialSpec{
+				Params: core.PracticalParams(256, 2),
+				Seed:   sim.TrialSeed(uint64(iter), t),
+				Strategy: func() adversary.Strategy {
+					sampleLive()
+					return adversary.FullJam{}
+				},
+				Pool: func() *energy.Pool { return energy.NewPool(1 << 12) },
+			}
+		}
+		return specs
+	}
+	reset := func() { started.Store(0); released.Store(0); maxLive.Store(0) }
+	b.Run("collect", func(b *testing.B) {
+		b.ReportAllocs()
+		reset()
+		for i := 0; i < b.N; i++ {
+			results, err := sim.RunTrials(0, mkSpecs(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var informed stats.Acc
+			for _, res := range results {
+				informed.Add(res.InformedFrac())
+				released.Add(1)
+			}
+			if informed.N() != trialsPerBatch {
+				b.Fatal("missing results")
+			}
+		}
+		b.ReportMetric(float64(maxLive.Load()), "live_results")
+	})
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		reset()
+		for i := 0; i < b.N; i++ {
+			fold := sink.NewFold(trialsPerBatch,
+				func(r *engine.Result) float64 { return r.InformedFrac() })
+			drop := sink.Func(func(int, *engine.Result) error { released.Add(1); return nil })
+			if err := sim.Stream(context.Background(), 0, mkSpecs(i), fold, drop); err != nil {
+				b.Fatal(err)
+			}
+			acc := fold.Acc(0, 0)
+			if acc.N() != trialsPerBatch {
+				b.Fatal("missing results")
+			}
+		}
+		b.ReportMetric(float64(maxLive.Load()), "live_results")
+	})
 }

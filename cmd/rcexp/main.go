@@ -1,5 +1,5 @@
-// Command rcexp runs the reproduction experiments E1–E11 (DESIGN.md §4)
-// and prints their tables and findings. It is the tool that regenerates
+// Command rcexp runs the reproduction experiments E1–E12 (DESIGN.md §4)
+// and streams raw scenario sweeps. It is the tool that regenerates
 // EXPERIMENTS.md.
 //
 // Usage:
@@ -14,27 +14,50 @@
 //	rcexp -list           list experiments with their claims
 //	rcexp -list-scenarios list the named scenarios and adversary kinds
 //	                      the experiments are built from (internal/scenario)
+//
+// Raw sweep mode streams per-trial records instead of aggregated
+// reports — bounded memory however many trials, so it is the mode for
+// Theorem-1-scale runs:
+//
+//	rcexp -scenario full-jam -n 1024 -trials 100000 > runs.jsonl
+//	rcexp -scenario file.json -trials 50000 -out csv > runs.csv
+//	rcexp -scenario full-jam -trials 100000 -progress \
+//	      -checkpoint sweep.ckpt > runs.jsonl
+//
+// Ctrl-C stops a sweep (or an experiment) gracefully at the next engine
+// phase boundary; with -checkpoint, rerunning the same command resumes
+// from the completed-trial journal and the final output is
+// byte-identical to an uninterrupted run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"rcbcast/internal/experiment"
 	"rcbcast/internal/scenario"
+	"rcbcast/internal/sim"
+	"rcbcast/internal/sim/sink"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rcexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rcexp", flag.ContinueOnError)
 	var (
 		id       = fs.String("id", "", "run a single experiment (e.g. E1)")
@@ -46,6 +69,12 @@ func run(args []string, out io.Writer) error {
 		n        = fs.Int("n", 0, "network size override (0 = default)")
 		baseSeed = fs.Uint64("seed", 1, "base seed")
 		procs    = fs.Int("procs", 0, "parallel trial workers (0 = GOMAXPROCS)")
+
+		scn        = fs.String("scenario", "", "raw sweep mode: stream trials of a named scenario or JSON scenario file")
+		trials     = fs.Int("trials", 0, "raw sweep trial count (requires -scenario)")
+		outFormat  = fs.String("out", "jsonl", "raw sweep output format: jsonl or csv")
+		progress   = fs.Bool("progress", false, "report sweep progress on stderr")
+		checkpoint = fs.String("checkpoint", "", "journal completed trials here; rerun to resume")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +90,18 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+	if *scn != "" {
+		return runSweep(ctx, out, sweepConfig{
+			scenario:   *scn,
+			n:          *n,
+			trials:     *trials,
+			baseSeed:   *baseSeed,
+			procs:      *procs,
+			outFormat:  *outFormat,
+			progress:   *progress,
+			checkpoint: *checkpoint,
+		})
+	}
 
 	cfg := experiment.Config{
 		Quick:    *quick,
@@ -68,6 +109,7 @@ func run(args []string, out io.Writer) error {
 		N:        *n,
 		BaseSeed: *baseSeed,
 		Procs:    *procs,
+		Context:  ctx,
 	}
 
 	var exps []experiment.Experiment
@@ -85,6 +127,12 @@ func run(args []string, out io.Writer) error {
 		start := time.Now()
 		rep, err := e.Run(cfg)
 		if err != nil {
+			// Both the sweep layer (*sim.PartialError) and direct engine
+			// runs (*engine.PartialRunError, e.g. E11) unwrap to the
+			// context error on Ctrl-C.
+			if errors.Is(err, context.Canceled) {
+				return fmt.Errorf("%s interrupted: %w", e.ID, err)
+			}
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		if *markdown {
@@ -102,4 +150,90 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// sweepConfig gathers the raw-sweep flags.
+type sweepConfig struct {
+	scenario   string
+	n          int
+	trials     int
+	baseSeed   uint64
+	procs      int
+	outFormat  string
+	progress   bool
+	checkpoint string
+}
+
+// runSweep streams per-trial records of one scenario through the
+// session API: O(procs) live results, optional progress reporting, and
+// a resumable completed-trial journal.
+func runSweep(ctx context.Context, out io.Writer, cfg sweepConfig) error {
+	sc, err := loadScenario(cfg.scenario)
+	if err != nil {
+		return err
+	}
+	if cfg.n > 0 {
+		sc.N = cfg.n
+	} else if sc.N == 0 {
+		sc.N = 512
+	}
+	if cfg.trials <= 0 {
+		return errors.New("-trials must be positive in sweep mode")
+	}
+	specs, err := sc.TrialSpecs(cfg.baseSeed, 0, cfg.trials)
+	if err != nil {
+		return err
+	}
+	var sinks []sim.Sink
+	switch cfg.outFormat {
+	case "jsonl":
+		sinks = append(sinks, sink.NewNDJSON(out))
+	case "csv":
+		sinks = append(sinks, sink.NewCSV(out))
+	default:
+		return fmt.Errorf("unknown -out %q (have jsonl, csv)", cfg.outFormat)
+	}
+	if cfg.progress {
+		every := cfg.trials / 20
+		sinks = append(sinks, sink.NewProgress(os.Stderr, cfg.trials, every))
+	}
+	if cfg.checkpoint != "" {
+		cp, cerr := sink.OpenCheckpoint(cfg.checkpoint)
+		if cerr != nil {
+			return cerr
+		}
+		defer cp.Close()
+		if cp.Done() > 0 {
+			fmt.Fprintf(os.Stderr, "rcexp: resuming %d/%d journaled trials from %s\n",
+				cp.Done(), cfg.trials, cfg.checkpoint)
+		}
+		err = sink.StreamCheckpointed(ctx, cfg.procs, specs, cp, sinks...)
+	} else {
+		err = sim.Stream(ctx, cfg.procs, specs, sinks...)
+	}
+	var pe *sim.PartialError
+	if errors.As(err, &pe) && errors.Is(pe, context.Canceled) {
+		hint := "rerun with -checkpoint to make sweeps resumable"
+		if cfg.checkpoint != "" {
+			hint = fmt.Sprintf("rerun the same command to resume from %s", cfg.checkpoint)
+		}
+		return fmt.Errorf("sweep interrupted (%s): %w", hint, err)
+	}
+	return err
+}
+
+// loadScenario resolves a registry name or a JSON scenario file.
+func loadScenario(arg string) (scenario.Scenario, error) {
+	if sc, ok := scenario.Lookup(arg); ok {
+		return sc, nil
+	}
+	if strings.HasSuffix(arg, ".json") {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return scenario.Scenario{}, err
+		}
+		return scenario.Decode(data)
+	}
+	return scenario.Scenario{}, fmt.Errorf(
+		"unknown scenario %q: not a registry name (-list-scenarios) and not a .json file", arg)
 }

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestRcexpList(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-list"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -20,7 +23,7 @@ func TestRcexpList(t *testing.T) {
 
 func TestRcexpSingleQuick(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-id", "E9", "-quick", "-n", "128", "-seeds", "1"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-id", "E9", "-quick", "-n", "128", "-seeds", "1"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "E9") || !strings.Contains(buf.String(), "wall time") {
@@ -30,7 +33,7 @@ func TestRcexpSingleQuick(t *testing.T) {
 
 func TestRcexpMarkdown(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-id", "E9", "-quick", "-n", "128", "-seeds", "1", "-markdown"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-id", "E9", "-quick", "-n", "128", "-seeds", "1", "-markdown"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "### E9") || !strings.Contains(buf.String(), "|---|") {
@@ -45,7 +48,7 @@ func TestRcexpProcsDeterministic(t *testing.T) {
 	render := func(procs string) string {
 		var buf strings.Builder
 		args := []string{"-id", "E3", "-quick", "-n", "128", "-procs", procs}
-		if err := run(args, &buf); err != nil {
+		if err := run(context.Background(), args, &buf); err != nil {
 			t.Fatal(err)
 		}
 		var kept []string
@@ -64,7 +67,114 @@ func TestRcexpProcsDeterministic(t *testing.T) {
 
 func TestRcexpUnknownID(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-id", "E99"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-id", "E99"}, &buf); err == nil {
 		t.Fatal("unknown id must error")
+	}
+}
+
+// TestRcexpSweepJSONL runs the raw streaming sweep mode end to end: one
+// NDJSON record per trial, in trial order, byte-identical across -procs.
+func TestRcexpSweepJSONL(t *testing.T) {
+	render := func(procs string) string {
+		var buf strings.Builder
+		args := []string{"-scenario", "full-jam", "-n", "64", "-trials", "6", "-procs", procs}
+		if err := run(context.Background(), args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := render("1")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("want 6 NDJSON lines, got %d:\n%s", len(lines), out)
+	}
+	for i, line := range lines {
+		var rec struct {
+			Trial    int    `json:"trial"`
+			N        int    `json:"n"`
+			Strategy string `json:"strategy"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if rec.Trial != i || rec.N != 64 || rec.Strategy != "full-jam" {
+			t.Fatalf("line %d: %+v", i, rec)
+		}
+	}
+	if out8 := render("8"); out8 != out {
+		t.Fatalf("sweep output diverges across -procs:\n%s\n---\n%s", out, out8)
+	}
+}
+
+func TestRcexpSweepCSV(t *testing.T) {
+	var buf strings.Builder
+	args := []string{"-scenario", "full-jam", "-n", "64", "-trials", "3", "-out", "csv"}
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 || !strings.HasPrefix(lines[0], "trial,n,informed") {
+		t.Fatalf("csv output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRcexpSweepErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(context.Background(), []string{"-scenario", "no-such-scenario", "-trials", "2"}, &buf); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+	if err := run(context.Background(), []string{"-scenario", "full-jam", "-n", "64"}, &buf); err == nil {
+		t.Fatal("missing -trials must error")
+	}
+	if err := run(context.Background(), []string{"-scenario", "full-jam", "-n", "64", "-trials", "2", "-out", "xml"}, &buf); err == nil {
+		t.Fatal("unknown -out must error")
+	}
+}
+
+// TestRcexpSweepCheckpointResume drives the CLI path of the resume
+// contract: a canceled sweep journals its prefix, and rerunning the
+// same command completes the remaining trials.
+func TestRcexpSweepCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	args := func() []string {
+		return []string{"-scenario", "full-jam", "-n", "64", "-trials", "8", "-checkpoint", ckpt}
+	}
+
+	// Uninterrupted reference.
+	var want strings.Builder
+	refCkpt := filepath.Join(t.TempDir(), "ref.ckpt")
+	refArgs := []string{"-scenario", "full-jam", "-n", "64", "-trials", "8", "-checkpoint", refCkpt}
+	if err := run(context.Background(), refArgs, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Canceled first attempt: the pre-canceled context stops the sweep
+	// before any trial is delivered, but exercises the full error path.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var first strings.Builder
+	err := run(ctx, args(), &first)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("canceled sweep: %v", err)
+	}
+
+	// Resume run completes and the journal now covers every trial.
+	var second strings.Builder
+	if err := run(context.Background(), args(), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String()+second.String() != want.String() {
+		t.Fatalf("resumed output differs from uninterrupted run:\n%q\n+\n%q\nwant\n%q",
+			first.String(), second.String(), want.String())
+	}
+}
+
+func TestRcexpExperimentCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf strings.Builder
+	err := run(ctx, []string{"-id", "E3", "-quick", "-n", "128"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("canceled experiment: %v", err)
 	}
 }

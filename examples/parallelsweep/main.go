@@ -1,10 +1,15 @@
-// Command parallelsweep demonstrates the deterministic parallel trial
-// runner: a batch of full-jam runs dispatched across workers, with
-// byte-identical aggregates whatever the worker count.
+// Command parallelsweep demonstrates the streaming run session: a batch
+// of full-jam runs dispatched across workers, results delivered to
+// composable sinks — a CSV writer, count-based progress, and an ad-hoc
+// aggregator — in deterministic trial order, with byte-identical
+// aggregates whatever the worker count and only O(procs) results live.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"os"
 
 	"rcbcast"
 )
@@ -28,16 +33,25 @@ func main() {
 		specs[i] = spec
 	}
 	for _, procs := range []int{1, 8} {
-		results, err := rcbcast.RunTrials(procs, specs)
+		// Three sinks share one streaming pass: the aggregator folds the
+		// summary, the CSV writer captures per-trial records, and the
+		// progress sink reports on stderr (stdout stays byte-identical).
+		var informed, alice, carol int64
+		var csvBuf bytes.Buffer
+		err := rcbcast.Stream(context.Background(), procs, specs,
+			rcbcast.FuncSink(func(_ int, res *rcbcast.Result) error {
+				informed += int64(res.Informed)
+				alice += res.Alice.Cost
+				carol += res.AdversarySpent
+				return nil
+			}),
+			rcbcast.NewCSVSink(&csvBuf),
+			rcbcast.NewProgressSink(os.Stderr, trials, trials/2),
+		)
 		if err != nil {
 			panic(err)
 		}
-		var informed, alice, carol int64
-		for _, res := range results {
-			informed += int64(res.Informed)
-			alice += res.Alice.Cost
-			carol += res.AdversarySpent
-		}
+		fmt.Fprintf(os.Stderr, "procs=%d: CSV sink captured %d bytes\n", procs, csvBuf.Len())
 		fmt.Printf("procs=%-2d  %d trials: informed %d nodes total, alice paid %d, carol paid %d\n",
 			procs, trials, informed, alice, carol)
 	}

@@ -27,7 +27,7 @@ func RunActors(opts Options) (*Result, error) {
 	}
 	exec := newActorPool(r)
 	defer exec.shutdown()
-	if err := r.loop(exec); err != nil {
+	if err := r.loop(nil, exec); err != nil {
 		return nil, err
 	}
 	return r.result(), nil

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -616,11 +617,21 @@ func (r *run) emitTrace(ph core.Phase, aliceWasActive bool, terminatedBefore []b
 }
 
 // loop drives phases until everyone stops or the round limit is reached.
-func (r *run) loop(exec phaseExecutor) error {
+// A nil ctx (the plain Run/RunActors path) skips cancellation checks
+// entirely; otherwise ctx is polled at every phase boundary and
+// cancellation surfaces as a *PartialRunError.
+func (r *run) loop(ctx context.Context, exec phaseExecutor) error {
 	sched := core.NewSchedule(r.params)
 	for {
 		if r.done() {
 			break
+		}
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return &PartialRunError{Rounds: r.lastRound, Slots: r.slots, Err: ctx.Err()}
+			default:
+			}
 		}
 		ph, ok := sched.Next()
 		if !ok {
@@ -718,7 +729,7 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := r.loop(seqExecutor{r}); err != nil {
+	if err := r.loop(nil, seqExecutor{r}); err != nil {
 		return nil, err
 	}
 	return r.result(), nil

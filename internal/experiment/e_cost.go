@@ -1,13 +1,16 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"rcbcast/internal/baseline"
 	"rcbcast/internal/core"
+	"rcbcast/internal/engine"
 	"rcbcast/internal/scenario"
 	"rcbcast/internal/sim"
+	"rcbcast/internal/sim/sink"
 	"rcbcast/internal/stats"
 )
 
@@ -21,9 +24,10 @@ type costPoint struct {
 }
 
 // costSweep runs the full jammer with pool budgets `pools` and returns
-// per-budget averages over cfg seeds. Trials run on the sim worker pool;
-// each budget reuses the same trial seeds (common random numbers), as the
-// sequential sweep always did.
+// per-budget averages over cfg seeds. Trials run through the streaming
+// session into a Fold sink — per-budget accumulators, never the full
+// result slice — and each budget reuses the same trial seeds (common
+// random numbers), as the sequential sweep always did.
 func costSweep(cfg Config, n, k, seeds int, pools []int64) ([]costPoint, error) {
 	specs := make([]sim.TrialSpec, 0, len(pools)*seeds)
 	for _, budget := range pools {
@@ -40,27 +44,24 @@ func costSweep(cfg Config, n, k, seeds int, pools []int64) ([]costPoint, error) 
 			specs = append(specs, ts)
 		}
 	}
-	results, err := sim.RunTrials(cfg.Procs, specs)
-	if err != nil {
+	fold := sink.NewFold(seeds,
+		func(r *engine.Result) float64 { return float64(r.AdversarySpent) },
+		func(r *engine.Result) float64 { return float64(r.Alice.Cost) },
+		func(r *engine.Result) float64 { return float64(r.NodeCost.Median) },
+		func(r *engine.Result) float64 { return float64(r.NodeCost.Max) },
+		func(r *engine.Result) float64 { return float64(r.Rounds) },
+	)
+	if err := sim.Stream(cfg.ctx(), cfg.Procs, specs, fold); err != nil {
 		return nil, err
 	}
 	points := make([]costPoint, 0, len(pools))
 	for bi := range pools {
-		var ts, alices, medians, maxes, rounds stats.Acc
-		for s := 0; s < seeds; s++ {
-			res := results[bi*seeds+s]
-			ts.Add(float64(res.AdversarySpent))
-			alices.Add(float64(res.Alice.Cost))
-			medians.Add(float64(res.NodeCost.Median))
-			maxes.Add(float64(res.NodeCost.Max))
-			rounds.Add(float64(res.Rounds))
-		}
 		points = append(points, costPoint{
-			T:          ts.Mean(),
-			Alice:      alices.Mean(),
-			NodeMedian: medians.Mean(),
-			NodeMax:    maxes.Mean(),
-			Rounds:     rounds.Mean(),
+			T:          fold.Mean(bi, 0),
+			Alice:      fold.Mean(bi, 1),
+			NodeMedian: fold.Mean(bi, 2),
+			NodeMax:    fold.Mean(bi, 3),
+			Rounds:     fold.Mean(bi, 4),
 		})
 	}
 	return points, nil
@@ -122,12 +123,11 @@ func marginalSweep(cfg Config, n, k, seeds int) ([]marginalPoint, error) {
 		}
 		specs[s] = ts
 	}
-	results, err := sim.RunTrials(cfg.Procs, specs)
-	if err != nil {
-		return nil, err
-	}
+	// Each trial's phase records are folded into the per-round points as
+	// the result streams past, then dropped — the RecordPhases payloads
+	// never accumulate.
 	byRound := map[int]*marginalPoint{}
-	for _, res := range results {
+	err := sim.Stream(cfg.ctx(), cfg.Procs, specs, sink.Func(func(_ int, res *engine.Result) error {
 		type agg struct {
 			slots, jammed     int64
 			nodeOps, aliceOps int64
@@ -159,6 +159,10 @@ func marginalSweep(cfg Config, n, k, seeds int) ([]marginalPoint, error) {
 			p.NodeCost += float64(a.nodeOps) / float64(n) / float64(seeds)
 			p.AliceCost += float64(a.aliceOps) / float64(seeds)
 		}
+		return nil
+	}))
+	if err != nil {
+		return nil, err
 	}
 	points := make([]marginalPoint, 0, len(byRound))
 	for _, p := range byRound {
@@ -343,13 +347,22 @@ func runE6(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	// The KSY baseline is not an engine run, so it rides the generic
-	// parallel map: trial index -> (sweep point, seed).
+	// streaming map — trial index -> (sweep point, seed) — folding each
+	// result into its point's accumulators on delivery.
 	horizon := int64(1) << 26
-	ksy, err := sim.Map(cfg.Procs, len(points)*seeds, func(t int) (baseline.Result, error) {
-		i, s := t/seeds, t%seeds
-		jam := int64(points[i].T)
-		return baseline.RunKSY(cfg.seedAt(6000+i, s), jam, horizon, baseline.KSYParams{}), nil
-	})
+	ka := make([]stats.Acc, len(points))
+	kn := make([]stats.Acc, len(points))
+	err = sim.StreamMap(cfg.ctx(), cfg.Procs, len(points)*seeds,
+		func(_ context.Context, t int) (baseline.Result, error) {
+			i, s := t/seeds, t%seeds
+			jam := int64(points[i].T)
+			return baseline.RunKSY(cfg.seedAt(6000+i, s), jam, horizon, baseline.KSYParams{}), nil
+		},
+		func(t int, kr baseline.Result) error {
+			ka[t/seeds].Add(float64(kr.AliceCost))
+			kn[t/seeds].Add(float64(kr.NodeCost))
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -357,17 +370,11 @@ func runE6(cfg Config) (*Report, error) {
 	for i, p := range points {
 		jam := int64(p.T)
 		nv := baseline.RunNaive(jam, horizon)
-		var ka, kn stats.Acc
-		for s := 0; s < seeds; s++ {
-			kr := ksy[i*seeds+s]
-			ka.Add(float64(kr.AliceCost))
-			kn.Add(float64(kr.NodeCost))
-		}
-		tbl.AddRowf(p.T, float64(nv.NodeCost), ka.Mean(), kn.Mean(), p.Alice, p.NodeMedian)
+		tbl.AddRowf(p.T, float64(nv.NodeCost), ka[i].Mean(), kn[i].Mean(), p.Alice, p.NodeMedian)
 		ts = append(ts, p.T)
 		naives = append(naives, float64(nv.NodeCost))
-		ksyA = append(ksyA, ka.Mean())
-		ksyN = append(ksyN, kn.Mean())
+		ksyA = append(ksyA, ka[i].Mean())
+		ksyN = append(ksyN, kn[i].Mean())
 		oursA = append(oursA, p.Alice)
 		oursN = append(oursN, p.NodeMedian)
 	}
@@ -412,23 +419,21 @@ func runE8(cfg Config) (*Report, error) {
 			specs = append(specs, ts)
 		}
 	}
-	results, err := sim.RunTrials(cfg.Procs, specs)
-	if err != nil {
+	fold := sink.NewFold(seeds,
+		func(r *engine.Result) float64 { return float64(r.AdversarySpent) },
+		func(r *engine.Result) float64 { return float64(r.Alice.Cost) },
+		func(r *engine.Result) float64 { return float64(r.Alice.Round) },
+		func(r *engine.Result) float64 { return r.InformedFrac() },
+	)
+	if err := sim.Stream(cfg.ctx(), cfg.Procs, specs, fold); err != nil {
 		return nil, err
 	}
 	var ts, alices []float64
 	for i := range budgets {
-		var t, a, rounds, fracs stats.Acc
-		for s := 0; s < seeds; s++ {
-			res := results[i*seeds+s]
-			t.Add(float64(res.AdversarySpent))
-			a.Add(float64(res.Alice.Cost))
-			rounds.Add(float64(res.Alice.Round))
-			fracs.Add(res.InformedFrac())
-		}
-		tbl.AddRowf(t.Mean(), a.Mean(), rounds.Mean(), fracs.Mean())
-		ts = append(ts, t.Mean())
-		alices = append(alices, a.Mean())
+		tbl.AddRowf(fold.Mean(i, 0), fold.Mean(i, 1),
+			fold.Mean(i, 2), fold.Mean(i, 3))
+		ts = append(ts, fold.Mean(i, 0))
+		alices = append(alices, fold.Mean(i, 1))
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	fit := stats.FitPowerLaw(ts, alices)

@@ -9,6 +9,7 @@ import (
 	"rcbcast/internal/rng"
 	"rcbcast/internal/scenario"
 	"rcbcast/internal/sim"
+	"rcbcast/internal/sim/sink"
 	"rcbcast/internal/stats"
 )
 
@@ -83,25 +84,23 @@ func runE3(cfg Config) (*Report, error) {
 			specs = append(specs, ts)
 		}
 	}
-	results, err := sim.RunTrials(cfg.Procs, specs)
-	if err != nil {
+	fold := sink.NewFold(seeds,
+		func(r *engine.Result) float64 { return r.InformedFrac() },
+		func(r *engine.Result) float64 { return float64(r.Stranded) / float64(n) },
+		func(r *engine.Result) float64 { return b2f(r.Completed) },
+		func(r *engine.Result) float64 { return float64(r.AdversarySpent) },
+	)
+	if err := sim.Stream(cfg.ctx(), cfg.Procs, specs, fold); err != nil {
 		return nil, err
 	}
 	tbl := stats.NewTable(
 		fmt.Sprintf("E3: informed fraction by adversary (n=%d, k=2, paper-scale pools)", n),
 		"adversary", "informed frac", "stranded frac", "completed", "T spent")
 	for i, name := range e3Scenarios {
-		var fracs, strandeds, completeds, spents stats.Acc
-		for s := 0; s < seeds; s++ {
-			res := results[i*seeds+s]
-			fracs.Add(res.InformedFrac())
-			strandeds.Add(float64(res.Stranded) / float64(n))
-			completeds.Add(b2f(res.Completed))
-			spents.Add(float64(res.AdversarySpent))
-		}
-		tbl.AddRowf(name, fracs.Mean(), strandeds.Mean(), completeds.Mean(), spents.Mean())
-		rep.Values["informed_"+name] = fracs.Mean()
-		rep.Values["completed_"+name] = completeds.Mean()
+		tbl.AddRowf(name, fold.Mean(i, 0), fold.Mean(i, 1),
+			fold.Mean(i, 2), fold.Mean(i, 3))
+		rep.Values["informed_"+name] = fold.Mean(i, 0)
+		rep.Values["completed_"+name] = fold.Mean(i, 2)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.addFinding("every in-model adversary leaves ≥ (1-ε)n nodes informed")
@@ -152,22 +151,21 @@ func runE7(cfg Config) (*Report, error) {
 			return nil, err
 		}
 	}
-	results, err := sim.RunTrials(cfg.Procs, specs)
-	if err != nil {
-		return nil, err
+	// Stream the flat spec list once; trial i belongs to group i/seeds
+	// (0: undefended probe, 1: undefended budgeted, 2: decoy probe,
+	// 3: decoy budgeted). Probe results contribute their per-round fit
+	// series as they pass — the RecordPhases payloads are dropped right
+	// after — and budgeted results fold into accumulators.
+	type e7group struct {
+		xs, ys                       []float64
+		fracs, rounds, slots, spents stats.Acc
 	}
-	for ri, decoy := range []bool{false, true} {
-		suffix := "undefended"
-		if decoy {
-			suffix = "decoy"
-		}
-		base := ri * 2 * seeds
-
-		// (a) Marginal exponent with an unlimited pool: fit per-round node
-		// cost against per-round Carol spend over the jammed rounds.
-		var xs, ys []float64
-		for s := 0; s < seeds; s++ {
-			res := results[base+s]
+	groups := make([]e7group, 4)
+	err := sim.Stream(cfg.ctx(), cfg.Procs, specs, sink.Func(func(i int, res *engine.Result) error {
+		g := &groups[i/seeds]
+		if (i/seeds)%2 == 0 {
+			// (a) Marginal exponent with an unlimited pool: fit per-round
+			// node cost against per-round Carol spend over jammed rounds.
 			perRoundCarol := map[int]float64{}
 			perRoundNode := map[int]float64{}
 			for _, ph := range res.Phases {
@@ -185,29 +183,36 @@ func runE7(cfg Config) (*Report, error) {
 			sort.Ints(rounds)
 			for _, round := range rounds {
 				if carol := perRoundCarol[round]; carol > 0 {
-					xs = append(xs, carol)
-					ys = append(ys, perRoundNode[round])
+					g.xs = append(g.xs, carol)
+					g.ys = append(g.ys, perRoundNode[round])
 				}
 			}
+			return nil
 		}
-		fit := stats.FitPowerLaw(xs, ys)
-
 		// (b) Budgeted outcome: with the Lemma-19 pool (f < 1/24) decoys
 		// drain Carol rounds earlier, cutting the delay exponentially.
-		var fracs, rounds, slots, spents stats.Acc
-		for s := 0; s < seeds; s++ {
-			res := results[base+seeds+s]
-			fracs.Add(res.InformedFrac())
-			rounds.Add(float64(res.Rounds))
-			slots.Add(float64(res.SlotsSimulated))
-			spents.Add(float64(res.AdversarySpent))
+		g.fracs.Add(res.InformedFrac())
+		g.rounds.Add(float64(res.Rounds))
+		g.slots.Add(float64(res.SlotsSimulated))
+		g.spents.Add(float64(res.AdversarySpent))
+		return nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	for ri, decoy := range []bool{false, true} {
+		suffix := "undefended"
+		if decoy {
+			suffix = "decoy"
 		}
-		tbl.AddRowf(suffix, fit.Exponent, fracs.Mean(), rounds.Mean(),
-			slots.Mean(), spents.Mean())
+		probe, budgeted := &groups[2*ri], &groups[2*ri+1]
+		fit := stats.FitPowerLaw(probe.xs, probe.ys)
+		tbl.AddRowf(suffix, fit.Exponent, budgeted.fracs.Mean(), budgeted.rounds.Mean(),
+			budgeted.slots.Mean(), budgeted.spents.Mean())
 		rep.Values["exponent_"+suffix] = fit.Exponent
-		rep.Values["informed_"+suffix] = fracs.Mean()
-		rep.Values["rounds_"+suffix] = rounds.Mean()
-		rep.Values["delay_slots_"+suffix] = slots.Mean()
+		rep.Values["informed_"+suffix] = budgeted.fracs.Mean()
+		rep.Values["rounds_"+suffix] = budgeted.rounds.Mean()
+		rep.Values["delay_slots_"+suffix] = budgeted.slots.Mean()
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.addFinding("undefended: node cost ~ Carol spend^%.2f — she stalls the network at spend parity",
@@ -244,23 +249,20 @@ func runE9(cfg Config) (*Report, error) {
 			specs = append(specs, ts)
 		}
 	}
-	results, err := sim.RunTrials(cfg.Procs, specs)
-	if err != nil {
+	fold := sink.NewFold(seeds,
+		func(r *engine.Result) float64 { return r.InformedFrac() },
+		func(r *engine.Result) float64 { return float64(r.Stranded) / float64(n) },
+		func(r *engine.Result) float64 { return float64(r.ActiveAtEnd) / float64(n) },
+		func(r *engine.Result) float64 { return b2f(r.Completed) },
+	)
+	if err := sim.Stream(cfg.ctx(), cfg.Procs, specs, fold); err != nil {
 		return nil, err
 	}
 	for fi, want := range fracs {
-		var informs, strandeds, actives, completeds stats.Acc
-		for s := 0; s < seeds; s++ {
-			res := results[fi*seeds+s]
-			informs.Add(res.InformedFrac())
-			strandeds.Add(float64(res.Stranded) / float64(n))
-			actives.Add(float64(res.ActiveAtEnd) / float64(n))
-			completeds.Add(b2f(res.Completed))
-		}
-		tbl.AddRowf(want, informs.Mean(), strandeds.Mean(),
-			actives.Mean(), completeds.Mean())
-		rep.Values[fmt.Sprintf("stranded_at_%.2f", want)] = strandeds.Mean()
-		rep.Values[fmt.Sprintf("completed_at_%.2f", want)] = completeds.Mean()
+		tbl.AddRowf(want, fold.Mean(fi, 0), fold.Mean(fi, 1),
+			fold.Mean(fi, 2), fold.Mean(fi, 3))
+		rep.Values[fmt.Sprintf("stranded_at_%.2f", want)] = fold.Mean(fi, 1)
+		rep.Values[fmt.Sprintf("completed_at_%.2f", want)] = fold.Mean(fi, 3)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	rep.addFinding("small partitions terminate uninformed (the ε loss); oversized ones leave the network active, so the attack fails closed")
@@ -319,8 +321,12 @@ func runE10(cfg Config) (*Report, error) {
 			specs = append(specs, ts)
 		}
 	}
-	results, err := sim.RunTrials(cfg.Procs, specs)
-	if err != nil {
+	fold := sink.NewFold(seeds,
+		func(r *engine.Result) float64 { return r.InformedFrac() },
+		func(r *engine.Result) float64 { return b2f(r.Completed) },
+		func(r *engine.Result) float64 { return float64(r.NodeCost.Median) },
+	)
+	if err := sim.Stream(cfg.ctx(), cfg.Procs, specs, fold); err != nil {
 		return nil, err
 	}
 	tbl := stats.NewTable(
@@ -328,20 +334,13 @@ func runE10(cfg Config) (*Report, error) {
 		"mode", "informed frac", "completed", "node median cost", "cost vs exact")
 	baselineCost := 0.0
 	for vi, v := range variants {
-		var fracs, completeds, medians stats.Acc
-		for s := 0; s < seeds; s++ {
-			res := results[vi*seeds+s]
-			fracs.Add(res.InformedFrac())
-			completeds.Add(b2f(res.Completed))
-			medians.Add(float64(res.NodeCost.Median))
-		}
-		med := medians.Mean()
+		med := fold.Mean(vi, 2)
 		if vi == 0 {
 			baselineCost = med
 		}
 		ratio := med / baselineCost
-		tbl.AddRowf(v.name, fracs.Mean(), completeds.Mean(), med, ratio)
-		rep.Values[fmt.Sprintf("informed_v%d", vi)] = fracs.Mean()
+		tbl.AddRowf(v.name, fold.Mean(vi, 0), fold.Mean(vi, 1), med, ratio)
+		rep.Values[fmt.Sprintf("informed_v%d", vi)] = fold.Mean(vi, 0)
 		rep.Values[fmt.Sprintf("cost_ratio_v%d", vi)] = ratio
 	}
 	rep.Tables = append(rep.Tables, tbl)

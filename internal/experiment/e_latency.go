@@ -9,6 +9,7 @@ import (
 	"rcbcast/internal/engine"
 	"rcbcast/internal/scenario"
 	"rcbcast/internal/sim"
+	"rcbcast/internal/sim/sink"
 	"rcbcast/internal/stats"
 )
 
@@ -54,23 +55,20 @@ func runE4(cfg Config) (*Report, error) {
 			specs = append(specs, ts)
 		}
 	}
-	results, err := sim.RunTrials(cfg.Procs, specs)
-	if err != nil {
+	fold := sink.NewFold(seeds,
+		func(r *engine.Result) float64 { return float64(r.SlotsSimulated) },
+		func(r *engine.Result) float64 { return float64(r.Rounds) },
+		func(r *engine.Result) float64 { return r.InformedFrac() },
+	)
+	if err := sim.Stream(cfg.ctx(), cfg.Procs, specs, fold); err != nil {
 		return nil, err
 	}
 	var xs, ys []float64
 	for ni, n := range ns {
-		var slots, rounds, fracs stats.Acc
-		for s := 0; s < seeds; s++ {
-			res := results[ni*seeds+s]
-			slots.Add(float64(res.SlotsSimulated))
-			rounds.Add(float64(res.Rounds))
-			fracs.Add(res.InformedFrac())
-		}
-		tbl.AddRowf(n, slots.Mean(), rounds.Mean(), fracs.Mean(),
+		tbl.AddRowf(n, fold.Mean(ni, 0), fold.Mean(ni, 1), fold.Mean(ni, 2),
 			math.Pow(float64(n), 1+1/float64(k)))
 		xs = append(xs, float64(n))
-		ys = append(ys, slots.Mean())
+		ys = append(ys, fold.Mean(ni, 0))
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	fit := stats.FitPowerLaw(xs, ys)
@@ -101,13 +99,13 @@ func runE11(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	t0 := time.Now()
-	seq, err := engine.Run(seqOpts)
+	seq, err := engine.RunContext(cfg.ctx(), seqOpts)
 	if err != nil {
 		return nil, err
 	}
 	seqD := time.Since(t0)
 	t1 := time.Now()
-	act, err := engine.RunActors(actOpts)
+	act, err := engine.RunActorsContext(cfg.ctx(), actOpts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"rcbcast/internal/adversary"
@@ -32,45 +33,50 @@ func runE12(cfg Config) (*Report, error) {
 	}
 
 	// Part 1: benign scaling in H. Multi-hop pipelines are not single
-	// engine runs, so the sweep rides the generic parallel map: trial
-	// index -> (hop-count index, seed).
+	// engine runs, so the sweep rides the generic streaming map — trial
+	// index -> (hop-count index, seed) — folding each pipeline result
+	// into its point's accumulators on delivery and then dropping it.
 	tbl := stats.NewTable(
 		fmt.Sprintf("E12a: benign pipeline scaling (n=%d per cluster, k=2)", n),
 		"hops", "total slots", "slots/hop", "worst median node cost", "end-to-end frac")
-	benign, err := sim.Map(cfg.Procs, len(hopsList)*seeds, func(t int) (*multihop.Result, error) {
-		hops, s := hopsList[t/seeds], t%seeds
-		return multihop.Run(multihop.Options{
-			Params: core.PracticalParams(n, 2),
-			Hops:   hops,
-			Seed:   cfg.seedAt(12_000+hops, s),
-		})
-	})
-	if err != nil {
-		return nil, err
-	}
-	var slotsPerHop1 float64
-	for hi, hops := range hopsList {
-		var totals, medians, fracs stats.Acc
-		for s := 0; s < seeds; s++ {
-			res := benign[hi*seeds+s]
-			totals.Add(float64(res.TotalSlots))
+	totals := make([]stats.Acc, len(hopsList))
+	medians := make([]stats.Acc, len(hopsList))
+	fracs := make([]stats.Acc, len(hopsList))
+	err := sim.StreamMap(cfg.ctx(), cfg.Procs, len(hopsList)*seeds,
+		func(_ context.Context, t int) (*multihop.Result, error) {
+			hops, s := hopsList[t/seeds], t%seeds
+			return multihop.Run(multihop.Options{
+				Params: core.PracticalParams(n, 2),
+				Hops:   hops,
+				Seed:   cfg.seedAt(12_000+hops, s),
+			})
+		},
+		func(t int, res *multihop.Result) error {
+			hi := t / seeds
+			totals[hi].Add(float64(res.TotalSlots))
 			worst := 0.0
 			for _, h := range res.Hops {
 				if float64(h.MedianNodeCost) > worst {
 					worst = float64(h.MedianNodeCost)
 				}
 			}
-			medians.Add(worst)
-			fracs.Add(res.EndToEndFrac)
-		}
-		total := totals.Mean()
+			medians[hi].Add(worst)
+			fracs[hi].Add(res.EndToEndFrac)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var slotsPerHop1 float64
+	for hi, hops := range hopsList {
+		total := totals[hi].Mean()
 		perHop := total / float64(hops)
 		if hops == 1 {
 			slotsPerHop1 = perHop
 		}
-		tbl.AddRowf(hops, total, perHop, medians.Mean(), fracs.Mean())
-		rep.Values[fmt.Sprintf("median_cost_h%d", hops)] = medians.Mean()
-		rep.Values[fmt.Sprintf("e2e_frac_h%d", hops)] = fracs.Mean()
+		tbl.AddRowf(hops, total, perHop, medians[hi].Mean(), fracs[hi].Mean())
+		rep.Values[fmt.Sprintf("median_cost_h%d", hops)] = medians[hi].Mean()
+		rep.Values[fmt.Sprintf("e2e_frac_h%d", hops)] = fracs[hi].Mean()
 		rep.Values[fmt.Sprintf("slots_per_hop_h%d", hops)] = perHop
 	}
 	rep.Tables = append(rep.Tables, tbl)
@@ -80,7 +86,7 @@ func runE12(cfg Config) (*Report, error) {
 
 	// Part 2: Carol concentrates one pool on a middle cluster of an
 	// H-hop path versus spending it on a single-hop network. Both arms
-	// share one parallel map: trials [0, seeds) are single-hop,
+	// share one streaming map: trials [0, seeds) are single-hop,
 	// [seeds, 2*seeds) are the attacked pipeline.
 	pool := int64(1 << 13)
 	// Multi-hop pipelines are not single engine runs, so the scenario
@@ -90,43 +96,45 @@ func runE12(cfg Config) (*Report, error) {
 	tbl2 := stats.NewTable(
 		fmt.Sprintf("E12b: concentrated jammer, pool=%d (n=%d per cluster)", pool, n),
 		"topology", "total slots", "attacked-cluster slots", "informed frac", "T spent")
-	concentrated, err := sim.Map(cfg.Procs, 2*seeds, func(t int) (*multihop.Result, error) {
-		params := core.PracticalParams(n, 2)
-		if t < seeds {
+	var singleSlots, pipeSlots, attacked stats.Acc
+	err = sim.StreamMap(cfg.ctx(), cfg.Procs, 2*seeds,
+		func(_ context.Context, t int) (*multihop.Result, error) {
+			params := core.PracticalParams(n, 2)
+			if t < seeds {
+				return multihop.Run(multihop.Options{
+					Params:      params,
+					Hops:        1,
+					Seed:        cfg.seedAt(12_500, t),
+					StrategyFor: func(int) adversary.Strategy { return fullJam.MustNew(params) },
+					Pool:        energy.NewPool(pool),
+				})
+			}
 			return multihop.Run(multihop.Options{
-				Params:      params,
-				Hops:        1,
-				Seed:        cfg.seedAt(12_500, t),
-				StrategyFor: func(int) adversary.Strategy { return fullJam.MustNew(params) },
-				Pool:        energy.NewPool(pool),
+				Params: params,
+				Hops:   4,
+				Seed:   cfg.seedAt(12_600, t-seeds),
+				StrategyFor: func(hop int) adversary.Strategy {
+					if hop == 2 {
+						return fullJam.MustNew(params)
+					}
+					return nil
+				},
+				Pool: energy.NewPool(pool),
 			})
-		}
-		return multihop.Run(multihop.Options{
-			Params: params,
-			Hops:   4,
-			Seed:   cfg.seedAt(12_600, t-seeds),
-			StrategyFor: func(hop int) adversary.Strategy {
-				if hop == 2 {
-					return fullJam.MustNew(params)
-				}
+		},
+		func(t int, res *multihop.Result) error {
+			if t < seeds {
+				singleSlots.Add(float64(res.TotalSlots))
 				return nil
-			},
-			Pool: energy.NewPool(pool),
+			}
+			pipeSlots.Add(float64(res.TotalSlots))
+			attacked.Add(float64(res.Hops[2].Slots))
+			return nil
 		})
-	})
 	if err != nil {
 		return nil, err
 	}
-	var singleSlots, pipeSlots, attacked stats.Acc
-	for s := 0; s < seeds; s++ {
-		singleSlots.Add(float64(concentrated[s].TotalSlots))
-	}
 	tbl2.AddRowf("single-hop", singleSlots.Mean(), singleSlots.Mean(), 1.0, float64(pool))
-	for s := 0; s < seeds; s++ {
-		res := concentrated[seeds+s]
-		pipeSlots.Add(float64(res.TotalSlots))
-		attacked.Add(float64(res.Hops[2].Slots))
-	}
 	tbl2.AddRowf("4-hop, cluster 2 attacked", pipeSlots.Mean(), attacked.Mean(), 1.0, float64(pool))
 	rep.Tables = append(rep.Tables, tbl2)
 

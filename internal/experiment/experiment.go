@@ -12,6 +12,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,6 +35,18 @@ type Config struct {
 	// Procs is the trial runner's worker count (0 selects GOMAXPROCS).
 	// Reports are byte-identical for every value — see internal/sim.
 	Procs int
+	// Context, when non-nil, cancels the experiment's sweeps at the
+	// next engine phase boundary (the CLI wires Ctrl-C here). The
+	// cancellation surfaces as a *sim.PartialError.
+	Context context.Context
+}
+
+// ctx resolves the sweep context (nil selects context.Background).
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 func (c Config) n(def, quickDef int) int {

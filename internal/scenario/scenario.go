@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -286,25 +287,51 @@ func (s Scenario) Build() (engine.Options, error) {
 
 // Run builds and executes the scenario on its selected engine.
 func (s Scenario) Run() (*engine.Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext builds and executes the scenario on its selected engine,
+// checking ctx at every phase boundary; cancellation returns the
+// engine's typed *engine.PartialRunError.
+func (s Scenario) RunContext(ctx context.Context) (*engine.Result, error) {
 	opts, err := s.Build()
 	if err != nil {
 		return nil, err
 	}
-	return Execute(s.Engine, opts)
+	return ExecuteContext(ctx, s.Engine, opts)
 }
 
 // Execute runs assembled options on the named engine ("" and "fast"
 // select the sequential event-driven engine, "actors" the goroutine
 // engine). Both produce bit-for-bit identical results.
 func Execute(engineName string, opts engine.Options) (*engine.Result, error) {
+	return ExecuteContext(context.Background(), engineName, opts)
+}
+
+// ExecuteContext is Execute with phase-boundary cancellation.
+func ExecuteContext(ctx context.Context, engineName string, opts engine.Options) (*engine.Result, error) {
 	switch engineName {
 	case "", "fast":
-		return engine.Run(opts)
+		return engine.RunContext(ctx, opts)
 	case "actors":
-		return engine.RunActors(opts)
+		return engine.RunActorsContext(ctx, opts)
 	default:
 		return nil, fmt.Errorf("scenario: unknown engine %q (have fast, actors)", engineName)
 	}
+}
+
+// Stream runs `trials` Monte-Carlo trials of the scenario — seeded
+// sim.SweepSeed(base, point, t) exactly like TrialSpecs — through the
+// streaming run session: results are delivered to the sinks in trial
+// order with bounded buffering, so the sweep holds O(procs) live
+// results however large trials gets. Cancellation of ctx surfaces as a
+// *sim.PartialError whose Delivered prefix has reached every sink.
+func (s Scenario) Stream(ctx context.Context, procs int, base uint64, point, trials int, sinks ...sim.Sink) error {
+	specs, err := s.TrialSpecs(base, point, trials)
+	if err != nil {
+		return err
+	}
+	return sim.Stream(ctx, procs, specs, sinks...)
 }
 
 // TrialSpec converts the scenario into one sim.TrialSpec for the

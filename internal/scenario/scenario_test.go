@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -256,5 +258,96 @@ func TestEnableDecoyConstants(t *testing.T) {
 	p.EnableDecoy()
 	if !p.Decoy || p.DecoyProb != 0.75/128 || p.ListenBoost != 4 {
 		t.Errorf("EnableDecoy constants drifted: %+v", p)
+	}
+}
+
+// TestScenarioStream drives the streaming façade: trials delivered in
+// order with the TrialSpecs seed derivation, identical across procs.
+func TestScenarioStream(t *testing.T) {
+	sc := Scenario{
+		N: 64, K: 2,
+		Adversary: AdversarySpec{Kind: "full"},
+		Budget:    BudgetSpec{Pool: 1 << 10},
+	}
+	render := func(procs int) []int64 {
+		var spents []int64
+		err := sc.Stream(context.Background(), procs, 1, 0, 6,
+			sinkFunc(func(i int, r *engine.Result) error {
+				if i != len(spents) {
+					t.Fatalf("delivery out of order: got %d at position %d", i, len(spents))
+				}
+				spents = append(spents, r.AdversarySpent)
+				return nil
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spents
+	}
+	seq := render(1)
+	if len(seq) != 6 {
+		t.Fatalf("delivered %d trials, want 6", len(seq))
+	}
+	if !reflect.DeepEqual(render(8), seq) {
+		t.Fatal("Scenario.Stream diverges across procs")
+	}
+	// Seeds must match TrialSpecs: trial t of point 0 under base 1.
+	specs, err := sc.TrialSpecs(1, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Run(mustBuildWithSeed(t, sc, specs[3].Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.AdversarySpent != seq[3] {
+		t.Fatal("Scenario.Stream seeds diverge from TrialSpecs")
+	}
+}
+
+// sinkFunc is a local sim.Sink adapter (the sink package would import-cycle).
+type sinkFunc func(i int, r *engine.Result) error
+
+func (f sinkFunc) Trial(i int, r *engine.Result) error { return f(i, r) }
+func (sinkFunc) Flush() error                          { return nil }
+
+func mustBuildWithSeed(t *testing.T, sc Scenario, seed uint64) engine.Options {
+	t.Helper()
+	sc.Seed = seed
+	opts, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opts
+}
+
+// TestScenarioRunContext: background context matches Run; canceled
+// context yields the engine's typed partial error on both engines.
+func TestScenarioRunContext(t *testing.T) {
+	sc := Scenario{
+		N: 64, K: 2, Seed: 5,
+		Adversary: AdversarySpec{Kind: "full"},
+		Budget:    BudgetSpec{Pool: 1 << 10},
+	}
+	want, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("RunContext diverges from Run")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, eng := range []string{"", "actors"} {
+		sc.Engine = eng
+		res, err := sc.RunContext(ctx)
+		var pe *engine.PartialRunError
+		if res != nil || !errors.As(err, &pe) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("engine %q: want typed partial error, got res=%v err=%v", eng, res, err)
+		}
 	}
 }

@@ -1,17 +1,21 @@
 // Package sim is the shared execution layer for experiment sweeps: a
-// deterministic parallel trial runner.
+// deterministic parallel trial runner and, on top of it, a streaming
+// run session (Stream) that delivers results to composable Sinks in
+// trial order with bounded buffering — the bounded-memory, cancellable
+// path every sweep in this repository runs through. The sink library
+// lives in the sub-package sim/sink.
 //
 // Every experiment in internal/experiment is a Monte-Carlo sweep — many
 // independent engine executions whose results are averaged per sweep
 // point. The engine derives every random decision from keyed streams
 // (seed, actor, round, phase, purpose), so a trial's outcome is a pure
 // function of its TrialSpec; trials are embarrassingly parallel without
-// giving up bit-for-bit reproducibility. RunTrials and Map exploit that:
-// a worker pool executes trials in whatever order scheduling happens to
-// produce, but workers write into a pre-indexed results slice, so the
-// output is byte-identical for Procs=1 and Procs=32. Callers then fold
-// results into accumulators in index order, which keeps even
-// floating-point aggregation independent of the execution schedule.
+// giving up bit-for-bit reproducibility. The session exploits that: one
+// worker pool (StreamMap) executes trials in whatever order scheduling
+// happens to produce but *delivers* results in trial-index order, so
+// sink folds — and the collected slices RunTrials and Map build on top
+// — are byte-identical for Procs=1 and Procs=32, including
+// floating-point aggregation.
 //
 // Per-trial seeds come from TrialSeed, a SplitMix64 mix of
 // (base seed, trial index). Unlike affine schemes such as
@@ -21,10 +25,10 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"rcbcast/internal/adversary"
 	"rcbcast/internal/core"
@@ -102,52 +106,29 @@ func Procs(procs int) int {
 }
 
 // Map runs fn(0..n-1) on a pool of procs workers and returns the results
-// indexed by input — the deterministic parallel substrate under
-// RunTrials, exposed for sweeps that execute something other than the
-// single-hop engine (multi-hop pipelines, baseline protocols).
+// indexed by input, exposed for sweeps that execute something other than
+// the single-hop engine (multi-hop pipelines, baseline protocols) and
+// want the whole result slice.
 //
 // fn must be a pure function of its index (it may of course read shared
-// immutable data). Workers claim indices from an atomic counter and
-// write only results[i], so the returned slice is identical for every
-// procs value; when multiple calls fail, the error for the lowest index
-// is returned, keeping even the failure deterministic.
+// immutable data). Map is a thin wrapper over StreamMap — one worker
+// pool implementation serves both APIs — so the returned slice is
+// identical for every procs value and a failure reports the lowest
+// failing index, keeping even errors deterministic.
 func Map[T any](procs, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	procs = Procs(procs)
-	if procs > n {
-		procs = n
-	}
 	results := make([]T, n)
-	errs := make([]error, n)
-	if procs == 1 {
-		// Inline fast path: no goroutines, same results by construction.
-		for i := 0; i < n; i++ {
-			results[i], errs[i] = fn(i)
+	err := StreamMap(context.Background(), procs, n,
+		func(_ context.Context, i int) (T, error) { return fn(i) },
+		func(i int, v T) error { results[i] = v; return nil })
+	if err != nil {
+		var pe *PartialError
+		if errors.As(err, &pe) {
+			return nil, fmt.Errorf("sim: %w", pe.Err)
 		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(procs)
-		for w := 0; w < procs; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					results[i], errs[i] = fn(i)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sim: trial %d: %w", i, err)
-		}
+		return nil, err
 	}
 	return results, nil
 }
@@ -156,8 +137,22 @@ func Map[T any](procs, n int, fn func(i int) (T, error)) ([]T, error) {
 // of procs workers (procs <= 0 selects GOMAXPROCS) and returns the
 // results indexed like specs. Output is byte-identical for every procs
 // value.
+//
+// RunTrials is retained as a thin compatibility wrapper over the
+// streaming session: it is exactly Stream with a collecting sink, so it
+// materializes all O(trials) results. Sweeps that can fold results as
+// they arrive should use Stream with sinks instead and keep only
+// O(procs) results live.
 func RunTrials(procs int, specs []TrialSpec) ([]*engine.Result, error) {
-	return Map(procs, len(specs), func(i int) (*engine.Result, error) {
-		return engine.Run(specs[i].options())
-	})
+	results := make([]*engine.Result, len(specs))
+	if err := Stream(context.Background(), procs, specs, collect(results)); err != nil {
+		var pe *PartialError
+		if errors.As(err, &pe) {
+			// Preserve the historical error shape ("sim: trial i: ...",
+			// lowest failing index first) for existing callers.
+			return nil, fmt.Errorf("sim: %w", pe.Err)
+		}
+		return nil, err
+	}
+	return results, nil
 }

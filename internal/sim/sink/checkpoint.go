@@ -1,0 +1,277 @@
+package sink
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"rcbcast/internal/engine"
+	"rcbcast/internal/sim"
+)
+
+// Checkpoint journals every delivered trial — the full engine.Result,
+// one NDJSON line — so an interrupted sweep resumes without re-running
+// the delivered prefix. Because session delivery is in trial order, the
+// journal is always the contiguous prefix [0, Done()) of the sweep;
+// OpenCheckpoint tolerates a torn trailing line (an interrupted write)
+// by truncating it. Results round-trip exactly through the journal
+// (encoding/json preserves every int64 and float64), which is what
+// makes a resumed sweep's downstream sink output byte-identical to an
+// uninterrupted run's — the determinism test pins that.
+//
+// The full-fidelity journal is a deliberate size/correctness trade:
+// replay must reproduce whatever any downstream sink reads, including
+// the O(n) NodeCosts vector and recorded phases, so one journal line
+// costs roughly one serialized Result (~kilobytes at n=1024) rather
+// than the ~200-byte summary Record. Budget journal disk as
+// trials × result size; sweeps that only need summary outputs and can
+// afford to re-run on interruption can skip the checkpoint entirely.
+//
+// Each Trial call flushes its line, so a context-canceled process loses
+// at most the trial in flight.
+type Checkpoint struct {
+	path  string
+	f     *os.File
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	done  int
+	sweep string // fingerprint from the journal header ("" when absent)
+	err   error
+}
+
+// journalHeader is the journal's first line: a fingerprint of the spec
+// list the sweep was started with, so a resume with different specs
+// fails fast instead of silently splicing two different experiments.
+type journalHeader struct {
+	Sweep string `json:"sweep"`
+}
+
+// journalLine is one journaled trial.
+type journalLine struct {
+	Trial  int            `json:"trial"`
+	Result *engine.Result `json:"result"`
+}
+
+// OpenCheckpoint opens (or creates) a journal at path and validates its
+// leading lines: consecutive trials from 0, each a decodable
+// journalLine. Anything after the valid prefix — a torn line from an
+// interrupted write — is truncated away.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sink: checkpoint: %w", err)
+	}
+	br := bufio.NewReader(f)
+	var off int64
+	done := 0
+	sweep := ""
+	first := true
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			break // EOF: a newline-less tail is a torn write, drop it
+		}
+		if first {
+			first = false
+			var jh journalHeader
+			if json.Unmarshal(line, &jh) == nil && jh.Sweep != "" {
+				sweep = jh.Sweep
+				off += int64(len(line))
+				continue
+			}
+		}
+		var jl journalLine
+		if json.Unmarshal(line, &jl) != nil || jl.Trial != done {
+			break
+		}
+		done++
+		off += int64(len(line))
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sink: checkpoint: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sink: checkpoint: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	return &Checkpoint{path: path, f: f, bw: bw, enc: json.NewEncoder(bw), done: done, sweep: sweep}, nil
+}
+
+// Done returns the number of journaled leading trials; a resumed sweep
+// starts at this index.
+func (c *Checkpoint) Done() int { return c.done }
+
+// Replay re-delivers the journaled prefix to the sinks in trial order,
+// streaming one result at a time from the file — replay memory is O(1)
+// in the journal length.
+func (c *Checkpoint) Replay(sinks ...sim.Sink) error {
+	if c.done == 0 {
+		return nil
+	}
+	rf, err := os.Open(c.path)
+	if err != nil {
+		return fmt.Errorf("sink: checkpoint replay: %w", err)
+	}
+	defer rf.Close()
+	dec := json.NewDecoder(bufio.NewReader(rf))
+	if c.sweep != "" {
+		var jh journalHeader
+		if err := dec.Decode(&jh); err != nil {
+			return fmt.Errorf("sink: checkpoint replay header: %w", err)
+		}
+	}
+	for i := 0; i < c.done; i++ {
+		var jl journalLine
+		if err := dec.Decode(&jl); err != nil {
+			return fmt.Errorf("sink: checkpoint replay trial %d: %w", i, err)
+		}
+		for _, s := range sinks {
+			if err := s.Trial(jl.Trial, jl.Result); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Trial implements sim.Sink. The journaled trial number is the running
+// count Done(), not the incoming index: a resumed session streams only
+// the tail specs (indices restart at 0), and in-order contiguous
+// delivery guarantees the count is the sweep-global index.
+func (c *Checkpoint) Trial(_ int, r *engine.Result) error {
+	if c.err != nil {
+		return c.err
+	}
+	if err := c.enc.Encode(journalLine{Trial: c.done, Result: r}); err != nil {
+		c.err = err
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.err = err
+		return err
+	}
+	c.done++
+	return nil
+}
+
+// writeHeader stamps a fresh journal with the sweep fingerprint.
+func (c *Checkpoint) writeHeader(fp string) error {
+	if err := c.enc.Encode(journalHeader{Sweep: fp}); err != nil {
+		c.err = err
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.err = err
+		return err
+	}
+	c.sweep = fp
+	return nil
+}
+
+// Flush implements sim.Sink.
+func (c *Checkpoint) Flush() error {
+	if c.err != nil {
+		return c.err
+	}
+	return c.bw.Flush()
+}
+
+// Close flushes and closes the journal file.
+func (c *Checkpoint) Close() error {
+	ferr := c.bw.Flush()
+	cerr := c.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// fingerprint hashes the sweep's first spec — its seed and protocol
+// instance — into the journal-header token. Derived sweeps share one
+// scenario and base seed across all specs, so the first spec catches
+// the realistic mismatches (a different -n, -seed, or scenario
+// override) while still allowing a longer -trials resume of the same
+// sweep. Strategy, pool, and Configure are factories and cannot be
+// hashed; two sweeps differing only in those are not distinguished.
+func fingerprint(specs []sim.TrialSpec) string {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], specs[0].Seed)
+	h.Write(b[:])
+	if params, err := json.Marshal(specs[0].Params); err == nil {
+		h.Write(params)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// StreamCheckpointed runs a sweep through sim.Stream with cp journaling
+// every delivered trial. Trials already journaled are replayed to the
+// sinks from the journal instead of re-run; the rest execute normally
+// with their delivery re-indexed to sweep coordinates. Interrupt a
+// sweep (ctx cancellation returns the session's *sim.PartialError),
+// reopen the checkpoint, call StreamCheckpointed again with the same
+// specs, and the concatenated sink output is byte-identical to an
+// uninterrupted run.
+//
+// The journal's header records a fingerprint of the spec list; resuming
+// with different specs (another n, base seed, trial count, or protocol
+// override) is rejected instead of silently splicing two different
+// sweeps into one output.
+func StreamCheckpointed(ctx context.Context, procs int, specs []sim.TrialSpec, cp *Checkpoint, sinks ...sim.Sink) error {
+	if cp.Done() > len(specs) {
+		return fmt.Errorf("sink: checkpoint has %d trials but the sweep has %d", cp.Done(), len(specs))
+	}
+	if len(specs) == 0 {
+		return cp.Flush()
+	}
+	fp := fingerprint(specs)
+	switch {
+	case cp.sweep == "" && cp.done == 0:
+		// Fresh journal: stamp the header before any trial.
+		if err := cp.writeHeader(fp); err != nil {
+			return err
+		}
+	case cp.sweep != "" && cp.sweep != fp:
+		return fmt.Errorf(
+			"sink: checkpoint %s was written by a different sweep (fingerprint %s, this sweep %s) — delete it or rerun with the original specs",
+			cp.path, cp.sweep, fp)
+	default:
+		// A non-empty headerless journal (cp used directly as a Stream
+		// sink) cannot be validated; accept it as-is.
+	}
+	if err := cp.Replay(sinks...); err != nil {
+		return err
+	}
+	base := cp.Done()
+	if base == len(specs) {
+		for _, s := range sinks {
+			if err := s.Flush(); err != nil {
+				return fmt.Errorf("sink: flush: %w", err)
+			}
+		}
+		return cp.Flush()
+	}
+	session := make([]sim.Sink, 0, len(sinks)+1)
+	session = append(session, cp) // journal first: never emit a trial the journal lacks
+	for _, s := range sinks {
+		session = append(session, offset{d: base, s: s})
+	}
+	return sim.Stream(ctx, procs, specs[base:], session...)
+}
+
+// offset re-indexes a resumed tail-run's trial indices back to sweep
+// coordinates for downstream sinks.
+type offset struct {
+	d int
+	s sim.Sink
+}
+
+func (o offset) Trial(i int, r *engine.Result) error { return o.s.Trial(i+o.d, r) }
+func (o offset) Flush() error                        { return o.s.Flush() }

@@ -1,0 +1,190 @@
+package sink
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rcbcast/internal/engine"
+	"rcbcast/internal/sim"
+)
+
+func openCheckpoint(t *testing.T, path string) *Checkpoint {
+	t.Helper()
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cp.Close() })
+	return cp
+}
+
+func TestCheckpointJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	specs := jamSpecs(64, 4)
+
+	cp := openCheckpoint(t, path)
+	var first bytes.Buffer
+	if err := StreamCheckpointed(context.Background(), 2, specs, cp, NewNDJSON(&first)); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Done() != 4 {
+		t.Fatalf("journal has %d trials, want 4", cp.Done())
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the journal is complete, so nothing re-runs and the
+	// replayed output is byte-identical.
+	cp2 := openCheckpoint(t, path)
+	if cp2.Done() != 4 {
+		t.Fatalf("reopened journal has %d trials, want 4", cp2.Done())
+	}
+	var replayed bytes.Buffer
+	if err := StreamCheckpointed(context.Background(), 2, specs, cp2, NewNDJSON(&replayed)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(replayed.Bytes(), first.Bytes()) {
+		t.Fatalf("replayed output differs:\n%s\nvs\n%s", replayed.String(), first.String())
+	}
+}
+
+func TestCheckpointTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	specs := jamSpecs(64, 3)
+	cp := openCheckpoint(t, path)
+	if err := StreamCheckpointed(context.Background(), 1, specs, cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an interrupted write: a torn, newline-less trailing line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"trial":3,"result":{"N":64,`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cp2 := openCheckpoint(t, path)
+	if cp2.Done() != 3 {
+		t.Fatalf("torn journal recovered %d trials, want 3", cp2.Done())
+	}
+	// And the file itself was truncated back to the valid prefix, so a
+	// resumed run appends cleanly after trial 2.
+	var out bytes.Buffer
+	if err := StreamCheckpointed(context.Background(), 1, jamSpecs(64, 5), cp2, NewNDJSON(&out)); err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Done() != 5 {
+		t.Fatalf("resumed journal has %d trials, want 5", cp2.Done())
+	}
+}
+
+func TestCheckpointLongerThanSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp := openCheckpoint(t, path)
+	if err := StreamCheckpointed(context.Background(), 1, jamSpecs(64, 4), cp); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	cp2 := openCheckpoint(t, path)
+	err := StreamCheckpointed(context.Background(), 1, jamSpecs(64, 2), cp2)
+	if err == nil {
+		t.Fatal("a journal longer than the sweep must be rejected")
+	}
+}
+
+// TestCheckpointCancelResumeByteIdentical is the resume contract end to
+// end — the determinism satellite: a sweep canceled mid-run, reopened,
+// and resumed produces NDJSON byte-identical to an uninterrupted run.
+func TestCheckpointCancelResumeByteIdentical(t *testing.T) {
+	const trials = 24
+	specs := func() []sim.TrialSpec { return jamSpecs(64, trials) }
+
+	// Reference: uninterrupted.
+	var want bytes.Buffer
+	if err := sim.Stream(context.Background(), 4, specs(), NewNDJSON(&want)); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp := openCheckpoint(t, path)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var first bytes.Buffer
+	err := StreamCheckpointed(ctx, 4, specs(), cp,
+		NewNDJSON(&first),
+		Func(func(i int, _ *engine.Result) error {
+			if i == 7 {
+				cancel()
+			}
+			return nil
+		}))
+	var pe *sim.PartialError
+	if !errors.As(err, &pe) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep: want *sim.PartialError wrapping Canceled, got %v", err)
+	}
+	if cp.Done() <= 7 || cp.Done() >= trials {
+		t.Fatalf("journal has %d trials, want a strict mid-sweep prefix past 7", cp.Done())
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume with the same specs: journaled trials replay, the rest run.
+	cp2 := openCheckpoint(t, path)
+	var full bytes.Buffer
+	if err := StreamCheckpointed(context.Background(), 4, specs(), cp2, NewNDJSON(&full)); err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Done() != trials {
+		t.Fatalf("resumed journal has %d trials, want %d", cp2.Done(), trials)
+	}
+	if !bytes.Equal(full.Bytes(), want.Bytes()) {
+		t.Fatalf("resumed NDJSON differs from uninterrupted run:\n%s\nvs\n%s",
+			full.String(), want.String())
+	}
+	// The interrupted attempt's partial output is exactly the prefix of
+	// the reference — nothing was emitted out of order or duplicated.
+	if !bytes.HasPrefix(want.Bytes(), first.Bytes()) {
+		t.Fatalf("interrupted output is not a prefix of the reference:\n%s", first.String())
+	}
+}
+
+// TestCheckpointSpecMismatchRejected: resuming with different specs —
+// another n, seed base, or trial count — must fail fast instead of
+// splicing two sweeps into one output file.
+func TestCheckpointSpecMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp := openCheckpoint(t, path)
+	if err := StreamCheckpointed(context.Background(), 1, jamSpecs(64, 3), cp); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	for name, specs := range map[string][]sim.TrialSpec{
+		"different n":    jamSpecs(128, 3),
+		"different seed": func() []sim.TrialSpec { s := jamSpecs(64, 3); s[0].Seed++; return s }(),
+	} {
+		cp2 := openCheckpoint(t, path)
+		err := StreamCheckpointed(context.Background(), 1, specs, cp2)
+		if err == nil || !strings.Contains(err.Error(), "different sweep") {
+			t.Fatalf("%s: want fingerprint rejection, got %v", name, err)
+		}
+	}
+
+	// Identical specs still resume.
+	cp3 := openCheckpoint(t, path)
+	if err := StreamCheckpointed(context.Background(), 1, jamSpecs(64, 3), cp3); err != nil {
+		t.Fatal(err)
+	}
+}

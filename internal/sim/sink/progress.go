@@ -1,0 +1,58 @@
+package sink
+
+import (
+	"fmt"
+	"io"
+
+	"rcbcast/internal/engine"
+)
+
+// Progress reports sweep advancement: one line every Every delivered
+// trials, plus a final line at Flush. Reporting is count-based, never
+// time-based, so the lines are deterministic; they are meant for a side
+// channel (stderr) while the stream's primary sinks write the data.
+type Progress struct {
+	w            io.Writer
+	total, every int
+	done         int
+	lastLine     int
+}
+
+// NewProgress returns a progress sink writing to w. total is the
+// expected trial count (0 omits percentages); every <= 0 reports every
+// trial.
+func NewProgress(w io.Writer, total, every int) *Progress {
+	if every <= 0 {
+		every = 1
+	}
+	return &Progress{w: w, total: total, every: every}
+}
+
+// Trial implements sim.Sink.
+func (p *Progress) Trial(int, *engine.Result) error {
+	p.done++
+	if p.done%p.every == 0 {
+		return p.line()
+	}
+	return nil
+}
+
+// Flush implements sim.Sink: a final line covers the tail (or reports
+// an empty sweep), so interrupted streams still show how far they got.
+func (p *Progress) Flush() error {
+	if p.lastLine == p.done && p.done != 0 {
+		return nil
+	}
+	return p.line()
+}
+
+func (p *Progress) line() error {
+	p.lastLine = p.done
+	if p.total > 0 {
+		_, err := fmt.Fprintf(p.w, "progress: %d/%d trials (%.1f%%)\n",
+			p.done, p.total, 100*float64(p.done)/float64(p.total))
+		return err
+	}
+	_, err := fmt.Fprintf(p.w, "progress: %d trials\n", p.done)
+	return err
+}

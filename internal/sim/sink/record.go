@@ -1,0 +1,127 @@
+package sink
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"rcbcast/internal/engine"
+)
+
+// Record is the flat per-trial summary the NDJSON and CSV sinks emit:
+// the scalar outcome of one engine execution, without the O(n) NodeCosts
+// vector, so a million-trial output file stays proportional to the
+// trial count, not to trials·nodes.
+type Record struct {
+	Trial          int    `json:"trial"`
+	N              int    `json:"n"`
+	Informed       int    `json:"informed"`
+	Stranded       int    `json:"stranded"`
+	Dead           int    `json:"dead"`
+	Completed      bool   `json:"completed"`
+	Rounds         int    `json:"rounds"`
+	Slots          int64  `json:"slots"`
+	AliceCost      int64  `json:"alice_cost"`
+	NodeMedianCost int64  `json:"node_median_cost"`
+	NodeMaxCost    int64  `json:"node_max_cost"`
+	AdversarySpent int64  `json:"adversary_spent"`
+	Strategy       string `json:"strategy"`
+}
+
+// NewRecord summarizes trial i's result.
+func NewRecord(i int, r *engine.Result) Record {
+	return Record{
+		Trial:          i,
+		N:              r.N,
+		Informed:       r.Informed,
+		Stranded:       r.Stranded,
+		Dead:           r.Dead,
+		Completed:      r.Completed,
+		Rounds:         r.Rounds,
+		Slots:          r.SlotsSimulated,
+		AliceCost:      r.Alice.Cost,
+		NodeMedianCost: r.NodeCost.Median,
+		NodeMaxCost:    r.NodeCost.Max,
+		AdversarySpent: r.AdversarySpent,
+		Strategy:       r.StrategyName,
+	}
+}
+
+// csvHeader lists the CSV columns, matching Record's field order.
+var csvHeader = []string{
+	"trial", "n", "informed", "stranded", "dead", "completed", "rounds",
+	"slots", "alice_cost", "node_median_cost", "node_max_cost",
+	"adversary_spent", "strategy",
+}
+
+// row renders the record as CSV fields in csvHeader order.
+func (rec Record) row() []string {
+	return []string{
+		strconv.Itoa(rec.Trial),
+		strconv.Itoa(rec.N),
+		strconv.Itoa(rec.Informed),
+		strconv.Itoa(rec.Stranded),
+		strconv.Itoa(rec.Dead),
+		strconv.FormatBool(rec.Completed),
+		strconv.Itoa(rec.Rounds),
+		strconv.FormatInt(rec.Slots, 10),
+		strconv.FormatInt(rec.AliceCost, 10),
+		strconv.FormatInt(rec.NodeMedianCost, 10),
+		strconv.FormatInt(rec.NodeMaxCost, 10),
+		strconv.FormatInt(rec.AdversarySpent, 10),
+		rec.Strategy,
+	}
+}
+
+// NDJSON writes one JSON line (a Record) per trial. The first write
+// error stops the stream: Trial keeps returning it, and Flush surfaces
+// it for streams that never deliver another trial.
+type NDJSON struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewNDJSON returns an NDJSON sink writing to w.
+func NewNDJSON(w io.Writer) *NDJSON { return &NDJSON{enc: json.NewEncoder(w)} }
+
+// Trial implements sim.Sink.
+func (s *NDJSON) Trial(i int, r *engine.Result) error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.enc.Encode(NewRecord(i, r)); err != nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Flush implements sim.Sink.
+func (s *NDJSON) Flush() error { return s.err }
+
+// CSV writes a header plus one row (a Record) per trial. A stream with
+// zero trials produces an empty file.
+type CSV struct {
+	w      *csv.Writer
+	header bool
+}
+
+// NewCSV returns a CSV sink writing to w.
+func NewCSV(w io.Writer) *CSV { return &CSV{w: csv.NewWriter(w)} }
+
+// Trial implements sim.Sink.
+func (s *CSV) Trial(i int, r *engine.Result) error {
+	if !s.header {
+		s.header = true
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+	}
+	return s.w.Write(NewRecord(i, r).row())
+}
+
+// Flush implements sim.Sink.
+func (s *CSV) Flush() error {
+	s.w.Flush()
+	return s.w.Error()
+}

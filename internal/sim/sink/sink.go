@@ -1,0 +1,85 @@
+// Package sink is the result-sink library for the streaming run
+// session (sim.Stream): composable consumers of per-trial
+// engine.Results, delivered in trial order from a single goroutine.
+//
+// Because the session's delivery order is deterministic (see sim.Sink),
+// every sink here produces byte-identical output for every worker
+// count. The sinks are deliberately small and orthogonal — aggregation
+// (Fold), serialization (NDJSON, CSV), reporting (Progress), retention
+// (TopK), and resumability (Checkpoint) — and a stream composes any
+// number of them in one pass over the results, holding O(procs) live
+// results however long the sweep.
+package sink
+
+import (
+	"rcbcast/internal/engine"
+	"rcbcast/internal/stats"
+)
+
+// Func adapts a function to sim.Sink with a no-op Flush — the idiom for
+// ad-hoc per-trial processing (custom aggregation, phase-record
+// analysis) inside experiments.
+type Func func(i int, r *engine.Result) error
+
+// Trial implements sim.Sink.
+func (f Func) Trial(i int, r *engine.Result) error { return f(i, r) }
+
+// Flush implements sim.Sink.
+func (Func) Flush() error { return nil }
+
+// Fold aggregates a sweep into per-point stats.Acc columns in
+// O(points·columns) space: trial i belongs to sweep point
+// i/trialsPerPoint (the layout every experiment uses — points are
+// contiguous blocks of trials), and each column extractor folds one
+// scalar per result. In-order delivery makes the floating-point fold
+// order — and therefore every Mean/Var — identical for every worker
+// count.
+type Fold struct {
+	trialsPerPoint int
+	cols           []func(*engine.Result) float64
+	points         [][]stats.Acc
+}
+
+// NewFold returns a Fold routing trialsPerPoint consecutive trials to
+// each sweep point and folding one column per extractor.
+func NewFold(trialsPerPoint int, cols ...func(*engine.Result) float64) *Fold {
+	if trialsPerPoint <= 0 {
+		trialsPerPoint = 1
+	}
+	return &Fold{trialsPerPoint: trialsPerPoint, cols: cols}
+}
+
+// Trial implements sim.Sink.
+func (f *Fold) Trial(i int, r *engine.Result) error {
+	p := i / f.trialsPerPoint
+	for p >= len(f.points) {
+		f.points = append(f.points, make([]stats.Acc, len(f.cols)))
+	}
+	accs := f.points[p]
+	for c, col := range f.cols {
+		accs[c].Add(col(r))
+	}
+	return nil
+}
+
+// Flush implements sim.Sink.
+func (*Fold) Flush() error { return nil }
+
+// Points returns the number of sweep points seen so far.
+func (f *Fold) Points() int { return len(f.points) }
+
+// Acc returns a copy of one point's column accumulator (the zero Acc
+// for points or columns never touched).
+func (f *Fold) Acc(point, col int) stats.Acc {
+	if point < 0 || point >= len(f.points) || col < 0 || col >= len(f.cols) {
+		return stats.Acc{}
+	}
+	return f.points[point][col]
+}
+
+// Mean returns one point-column sample mean — the read every sweep
+// table is built from.
+func (f *Fold) Mean(point, col int) float64 {
+	a := f.Acc(point, col)
+	return a.Mean()
+}

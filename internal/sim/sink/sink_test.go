@@ -1,0 +1,200 @@
+package sink
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+	"rcbcast/internal/engine"
+	"rcbcast/internal/sim"
+)
+
+// jamSpecs builds a deterministic full-jam sweep for sink tests.
+func jamSpecs(n, trials int) []sim.TrialSpec {
+	specs := make([]sim.TrialSpec, trials)
+	for i := range specs {
+		specs[i] = sim.TrialSpec{
+			Params:   core.PracticalParams(n, 2),
+			Seed:     sim.TrialSeed(1, i),
+			Strategy: func() adversary.Strategy { return adversary.FullJam{} },
+			Pool:     func() *energy.Pool { return energy.NewPool(1 << 10) },
+		}
+	}
+	return specs
+}
+
+func mustStream(t *testing.T, procs int, specs []sim.TrialSpec, sinks ...sim.Sink) {
+	t.Helper()
+	if err := sim.Stream(context.Background(), procs, specs, sinks...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldRoutesPoints(t *testing.T) {
+	fold := NewFold(2,
+		func(r *engine.Result) float64 { return float64(r.Informed) },
+		func(r *engine.Result) float64 { return float64(r.AdversarySpent) },
+	)
+	specs := jamSpecs(64, 6) // 3 points x 2 trials
+	mustStream(t, 4, specs, fold)
+	if fold.Points() != 3 {
+		t.Fatalf("points = %d, want 3", fold.Points())
+	}
+	// Cross-check against a direct collected fold.
+	results, err := sim.RunTrials(1, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		want := (float64(results[2*p].Informed) + float64(results[2*p+1].Informed)) / 2
+		if got := fold.Mean(p, 0); got != want {
+			t.Fatalf("point %d col 0: %v, want %v", p, got, want)
+		}
+		acc := fold.Acc(p, 1)
+		if acc.N() != 2 {
+			t.Fatalf("point %d col 1: %d samples", p, acc.N())
+		}
+	}
+	if got := fold.Mean(99, 0); got != 0 {
+		t.Fatalf("out-of-range point must read as zero, got %v", got)
+	}
+}
+
+func TestNDJSONRecords(t *testing.T) {
+	var buf bytes.Buffer
+	specs := jamSpecs(64, 3)
+	mustStream(t, 2, specs, NewNDJSON(&buf))
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.Trial != i || rec.N != 64 || rec.Strategy != "full-jam" || rec.AdversarySpent == 0 {
+			t.Fatalf("line %d: %+v", i, rec)
+		}
+	}
+}
+
+// failAfterWriter fails once `allow` bytes have been written.
+type failAfterWriter struct {
+	allow   int
+	written int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.allow {
+		return 0, errors.New("writer torn")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestNDJSONWriteErrorStopsStream(t *testing.T) {
+	w := &failAfterWriter{allow: 10}
+	err := sim.Stream(context.Background(), 2, jamSpecs(64, 4), NewNDJSON(w))
+	var pe *sim.PartialError
+	if !errors.As(err, &pe) || !strings.Contains(err.Error(), "writer torn") {
+		t.Fatalf("want PartialError wrapping the write failure, got %v", err)
+	}
+}
+
+func TestCSVRecords(t *testing.T) {
+	var buf bytes.Buffer
+	mustStream(t, 2, jamSpecs(64, 3), NewCSV(&buf))
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want header + 3 rows, got %d", len(rows))
+	}
+	if rows[0][0] != "trial" || rows[1][0] != "0" || rows[3][0] != "2" {
+		t.Fatalf("rows: %v", rows)
+	}
+	if len(rows[0]) != len(rows[1]) {
+		t.Fatal("header and row widths differ")
+	}
+}
+
+func TestProgressDeterministic(t *testing.T) {
+	var buf bytes.Buffer
+	mustStream(t, 4, jamSpecs(64, 5), NewProgress(&buf, 5, 2))
+	want := "progress: 2/5 trials (40.0%)\n" +
+		"progress: 4/5 trials (80.0%)\n" +
+		"progress: 5/5 trials (100.0%)\n"
+	if buf.String() != want {
+		t.Fatalf("progress output:\n%q\nwant\n%q", buf.String(), want)
+	}
+}
+
+func TestProgressEmptySweep(t *testing.T) {
+	var buf bytes.Buffer
+	mustStream(t, 1, nil, NewProgress(&buf, 0, 10))
+	if got := buf.String(); got != "progress: 0 trials\n" {
+		t.Fatalf("empty-sweep progress %q", got)
+	}
+}
+
+func TestTopKRetains(t *testing.T) {
+	specs := jamSpecs(64, 8)
+	top := NewTopK(3, func(r *engine.Result) float64 { return float64(r.Alice.Cost) })
+	mustStream(t, 4, specs, top)
+	got := top.Results()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	// Verify against the full collected sweep.
+	results, err := sim.RunTrials(1, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatalf("results not sorted: %v", got)
+		}
+	}
+	worstKept := got[len(got)-1].Score
+	outside := 0
+	for _, r := range results {
+		if float64(r.Alice.Cost) > worstKept {
+			outside++
+		}
+	}
+	if outside > 2 { // at most K-1 results may strictly beat the min kept
+		t.Fatalf("%d results beat the retained minimum %v", outside, worstKept)
+	}
+	for _, s := range got {
+		if s.Result == nil || float64(s.Result.Alice.Cost) != s.Score {
+			t.Fatalf("scored entry inconsistent: %+v", s)
+		}
+	}
+}
+
+func TestTopKProcsEquivalence(t *testing.T) {
+	specs := jamSpecs(64, 10)
+	render := func(procs int) []Scored {
+		top := NewTopK(4, func(r *engine.Result) float64 { return float64(r.SlotsSimulated) })
+		mustStream(t, procs, specs, top)
+		return top.Results()
+	}
+	a, b := render(1), render(8)
+	if len(a) != len(b) {
+		t.Fatal("retained sets differ in size")
+	}
+	for i := range a {
+		if a[i].Trial != b[i].Trial || a[i].Score != b[i].Score {
+			t.Fatalf("retained sets diverge across procs: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package sink
+
+import (
+	"container/heap"
+	"sort"
+
+	"rcbcast/internal/engine"
+)
+
+// Scored couples a retained result with its trial index and score.
+type Scored struct {
+	Trial  int
+	Score  float64
+	Result *engine.Result
+}
+
+// TopK retains the K highest-scoring trials of a sweep in O(K) space —
+// the "show me the worst runs" sink: score by adversary spend, slots
+// simulated, stranded count, and a million-trial sweep keeps only its K
+// extremes live. Ties keep the earlier trial; with in-order delivery
+// the retained set is deterministic for every worker count.
+type TopK struct {
+	k     int
+	score func(*engine.Result) float64
+	h     scoredHeap
+}
+
+// NewTopK returns a TopK sink retaining the k highest scores.
+func NewTopK(k int, score func(*engine.Result) float64) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, score: score}
+}
+
+// Trial implements sim.Sink.
+func (t *TopK) Trial(i int, r *engine.Result) error {
+	s := Scored{Trial: i, Score: t.score(r), Result: r}
+	if t.h.Len() < t.k {
+		heap.Push(&t.h, s)
+		return nil
+	}
+	if s.Score > t.h[0].Score {
+		t.h[0] = s
+		heap.Fix(&t.h, 0)
+	}
+	return nil
+}
+
+// Flush implements sim.Sink.
+func (*TopK) Flush() error { return nil }
+
+// Results returns the retained trials, highest score first (ties by
+// lower trial index).
+func (t *TopK) Results() []Scored {
+	out := append([]Scored(nil), t.h...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Trial < out[j].Trial
+	})
+	return out
+}
+
+// scoredHeap is a min-heap on score; on equal scores the later trial is
+// "smaller" so it is evicted first and the earliest trials survive.
+type scoredHeap []Scored
+
+func (h scoredHeap) Len() int { return len(h) }
+func (h scoredHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Trial > h[j].Trial
+}
+func (h scoredHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *scoredHeap) Push(x any)   { *h = append(*h, x.(Scored)) }
+func (h *scoredHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

@@ -102,14 +102,23 @@ func (t *Text) AliceTerminated(round int) {
 // Done implements Tracer.
 func (t *Text) Done() { fmt.Fprintln(t.W, "■ run complete") }
 
-// JSON writes one NDJSON object per event, suitable for offline analysis.
+// JSON writes one NDJSON object per event, suitable for offline
+// analysis. The Tracer interface cannot report write failures, so the
+// first encode error is recorded instead of discarded: later events
+// become no-ops (the stream is already torn) and callers check Err
+// after the run — typically right after the engine fires Done.
 type JSON struct {
 	W   io.Writer
 	enc *json.Encoder
+	err error
 }
 
 // NewJSON returns an NDJSON tracer writing to w.
 func NewJSON(w io.Writer) *JSON { return &JSON{W: w, enc: json.NewEncoder(w)} }
+
+// Err returns the first write/encode error, or nil. A non-nil Err means
+// the emitted NDJSON is truncated at the failure point.
+func (j *JSON) Err() error { return j.err }
 
 type jsonEvent struct {
 	Event    string `json:"event"`
@@ -131,10 +140,15 @@ type jsonEvent struct {
 }
 
 func (j *JSON) emit(e jsonEvent) {
+	if j.err != nil {
+		return
+	}
 	if j.enc == nil {
 		j.enc = json.NewEncoder(j.W)
 	}
-	_ = j.enc.Encode(e)
+	if err := j.enc.Encode(e); err != nil {
+		j.err = err
+	}
 }
 
 // PhaseStart implements Tracer.

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -81,4 +82,49 @@ func TestMultiFansOut(t *testing.T) {
 
 func TestNopIsSilent(t *testing.T) {
 	driveTracer(Nop{}) // must not panic
+}
+
+// failAfterWriter fails every write once `allow` bytes have gone
+// through — a disk-full / closed-pipe stand-in.
+type failAfterWriter struct {
+	allow   int
+	written int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.allow {
+		return 0, errors.New("writer torn")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestJSONWriterErrorSurfaced pins the satellite fix: JSON used to
+// discard encoder errors (`_ = enc.Encode(e)`), silently truncating
+// trace files. The first failure must now be recorded, later events
+// must not resurrect the stream, and Err must surface it after Done.
+func TestJSONWriterErrorSurfaced(t *testing.T) {
+	w := &failAfterWriter{allow: 40} // roughly one event line
+	tr := NewJSON(w)
+	driveTracer(tr)
+	if tr.Err() == nil {
+		t.Fatal("Err() must report the write failure")
+	}
+	if got := tr.Err().Error(); !strings.Contains(got, "writer torn") {
+		t.Fatalf("Err() = %q, want the writer's error", got)
+	}
+	written := w.written
+	tr.Done() // further events are no-ops on a torn stream
+	if w.written != written {
+		t.Fatal("events after the first failure must not write")
+	}
+}
+
+func TestJSONErrNilOnSuccess(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSON(&buf)
+	driveTracer(tr)
+	if tr.Err() != nil {
+		t.Fatalf("Err() = %v on a healthy writer", tr.Err())
+	}
 }

@@ -29,6 +29,17 @@
 //	sc.N = 1024
 //	res, err := sc.Run()
 //
+// Monte-Carlo sweeps stream through a bounded-memory, cancellable run
+// session: results reach composable sinks in deterministic trial order
+// while only O(procs) results are ever live:
+//
+//	acc := rcbcast.NewFoldSink(1, func(r *rcbcast.Result) float64 { return r.InformedFrac() })
+//	err := sc.Stream(ctx, 0 /* procs */, 1 /* base seed */, 0 /* point */, 1_000_000,
+//		acc, rcbcast.NewProgressSink(os.Stderr, 1_000_000, 50_000))
+//
+// Cancel ctx and Stream returns a typed *PartialError; add a
+// Checkpoint (StreamCheckpointed) and the sweep resumes byte-identically.
+//
 // The lower-level Options API remains for callers wiring custom
 // strategies or tracers.
 //
@@ -37,6 +48,7 @@
 package rcbcast
 
 import (
+	"context"
 	"io"
 
 	"rcbcast/internal/adversary"
@@ -47,6 +59,7 @@ import (
 	"rcbcast/internal/multihop"
 	"rcbcast/internal/scenario"
 	"rcbcast/internal/sim"
+	"rcbcast/internal/sim/sink"
 	"rcbcast/internal/trace"
 )
 
@@ -98,6 +111,23 @@ func Run(opts Options) (*Result, error) { return engine.Run(opts) }
 // are bit-for-bit identical to Run for identical Options.
 func RunActors(opts Options) (*Result, error) { return engine.RunActors(opts) }
 
+// RunContext executes the protocol on the fast sequential engine with
+// phase-boundary cancellation: once ctx is done the run stops and
+// returns a typed *PartialRunError.
+func RunContext(ctx context.Context, opts Options) (*Result, error) {
+	return engine.RunContext(ctx, opts)
+}
+
+// RunActorsContext is RunContext on the goroutine-per-node engine.
+func RunActorsContext(ctx context.Context, opts Options) (*Result, error) {
+	return engine.RunActorsContext(ctx, opts)
+}
+
+// PartialRunError is the typed error a canceled engine run returns; it
+// carries the rounds and slots completed and unwraps to the context's
+// error.
+type PartialRunError = engine.PartialRunError
+
 // Parallel sweeps (internal/sim).
 
 // TrialSpec describes one engine execution for the parallel trial
@@ -107,9 +137,87 @@ type TrialSpec = sim.TrialSpec
 
 // RunTrials executes every spec across a pool of procs workers
 // (procs <= 0 selects GOMAXPROCS) and returns results indexed like
-// specs. Output is byte-identical for every procs value.
+// specs. Output is byte-identical for every procs value. It is a
+// compatibility wrapper over Stream that collects all O(trials)
+// results; large sweeps should Stream into sinks instead.
 func RunTrials(procs int, specs []TrialSpec) ([]*Result, error) {
 	return sim.RunTrials(procs, specs)
+}
+
+// Streaming run sessions (internal/sim + internal/sim/sink): the
+// bounded-memory, cancellable execution path. Stream delivers results
+// to composable sinks in trial order — byte-identical output for every
+// worker count — while holding only O(procs) live results.
+type (
+	// Sink consumes per-trial results in deterministic trial order;
+	// implement it or compose the built-ins below.
+	Sink = sim.Sink
+	// PartialError is the typed error of a stream stopped early
+	// (cancellation, failing trial, failing sink); trials
+	// [0, Delivered) reached every sink.
+	PartialError = sim.PartialError
+	// FuncSink adapts a function to Sink for ad-hoc aggregation.
+	FuncSink = sink.Func
+	// FoldSink folds trials into per-sweep-point streaming
+	// accumulators (stats.Acc columns).
+	FoldSink = sink.Fold
+	// NDJSONSink writes one TrialRecord JSON line per trial.
+	NDJSONSink = sink.NDJSON
+	// CSVSink writes a header plus one TrialRecord row per trial.
+	CSVSink = sink.CSV
+	// ProgressSink reports count-based sweep progress to a side
+	// channel.
+	ProgressSink = sink.Progress
+	// TopKSink retains the K highest-scoring trials in O(K) space.
+	TopKSink = sink.TopK
+	// ScoredResult is one trial retained by a TopKSink.
+	ScoredResult = sink.Scored
+	// Checkpoint journals delivered trials so interrupted sweeps
+	// resume byte-identically.
+	Checkpoint = sink.Checkpoint
+	// TrialRecord is the flat per-trial summary the writers emit.
+	TrialRecord = sink.Record
+)
+
+// Stream executes every spec on procs workers and delivers results to
+// the sinks in trial order with bounded buffering. Cancellation of ctx
+// stops workers at the next engine phase boundary and returns a
+// *PartialError.
+func Stream(ctx context.Context, procs int, specs []TrialSpec, sinks ...Sink) error {
+	return sim.Stream(ctx, procs, specs, sinks...)
+}
+
+// NewNDJSONSink returns a sink writing one JSON line per trial to w.
+func NewNDJSONSink(w io.Writer) *NDJSONSink { return sink.NewNDJSON(w) }
+
+// NewCSVSink returns a sink writing a CSV header plus one row per trial.
+func NewCSVSink(w io.Writer) *CSVSink { return sink.NewCSV(w) }
+
+// NewProgressSink returns a sink reporting progress to w every `every`
+// trials (count-based, deterministic).
+func NewProgressSink(w io.Writer, total, every int) *ProgressSink {
+	return sink.NewProgress(w, total, every)
+}
+
+// NewTopKSink returns a sink retaining the k highest-scoring trials.
+func NewTopKSink(k int, score func(*Result) float64) *TopKSink {
+	return sink.NewTopK(k, score)
+}
+
+// NewFoldSink returns a sink folding trialsPerPoint consecutive trials
+// per sweep point, one streaming accumulator per column extractor.
+func NewFoldSink(trialsPerPoint int, cols ...func(*Result) float64) *FoldSink {
+	return sink.NewFold(trialsPerPoint, cols...)
+}
+
+// OpenCheckpoint opens (or creates) a completed-trial journal.
+func OpenCheckpoint(path string) (*Checkpoint, error) { return sink.OpenCheckpoint(path) }
+
+// StreamCheckpointed is Stream with a resumable journal: trials already
+// in cp replay to the sinks instead of re-running, so an interrupted
+// sweep resumed with the same specs produces byte-identical output.
+func StreamCheckpointed(ctx context.Context, procs int, specs []TrialSpec, cp *Checkpoint, sinks ...Sink) error {
+	return sink.StreamCheckpointed(ctx, procs, specs, cp, sinks...)
 }
 
 // TrialSeed derives the engine seed for one trial of a sweep by mixing

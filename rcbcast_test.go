@@ -1,6 +1,9 @@
 package rcbcast_test
 
 import (
+	"context"
+	"errors"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -284,5 +287,115 @@ func TestPublicAdversarySurface(t *testing.T) {
 		if res.StrategyName != s.Name() {
 			t.Fatalf("strategy name mismatch: %q vs %q", res.StrategyName, s.Name())
 		}
+	}
+}
+
+func TestPublicStreamingSession(t *testing.T) {
+	// The streaming path end to end through the façade: one scenario,
+	// one pass, four composed sinks.
+	sc := rcbcast.Scenario{
+		N: 96, K: 2,
+		Adversary: rcbcast.AdversarySpec{Kind: "full"},
+		Budget:    rcbcast.BudgetSpec{Pool: 2048},
+	}
+	const trials = 8
+	var ndjson, progress strings.Builder
+	fold := rcbcast.NewFoldSink(trials, func(r *rcbcast.Result) float64 { return r.InformedFrac() })
+	top := rcbcast.NewTopKSink(2, func(r *rcbcast.Result) float64 { return float64(r.AdversarySpent) })
+	seen := 0
+	err := sc.Stream(context.Background(), 4, 1, 0, trials,
+		fold, top,
+		rcbcast.NewNDJSONSink(&ndjson),
+		rcbcast.NewProgressSink(&progress, trials, 4),
+		rcbcast.FuncSink(func(i int, r *rcbcast.Result) error {
+			if i != seen {
+				t.Fatalf("delivery out of order: %d at position %d", i, seen)
+			}
+			seen++
+			return nil
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != trials {
+		t.Fatalf("delivered %d of %d trials", seen, trials)
+	}
+	if fold.Mean(0, 0) <= 0.9 {
+		t.Fatalf("fold mean informed frac %v", fold.Mean(0, 0))
+	}
+	if got := top.Results(); len(got) != 2 || got[0].Result == nil {
+		t.Fatalf("topk: %+v", got)
+	}
+	if lines := strings.Count(ndjson.String(), "\n"); lines != trials {
+		t.Fatalf("NDJSON emitted %d lines", lines)
+	}
+	if !strings.Contains(progress.String(), "8/8 trials (100.0%)") {
+		t.Fatalf("progress output %q", progress.String())
+	}
+}
+
+func TestPublicStreamCancellation(t *testing.T) {
+	sc := rcbcast.Scenario{
+		N: 96, K: 2,
+		Adversary: rcbcast.AdversarySpec{Kind: "full"},
+		Budget:    rcbcast.BudgetSpec{Pool: 2048},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := sc.Stream(ctx, 2, 1, 0, 16, rcbcast.FuncSink(func(int, *rcbcast.Result) error { return nil }))
+	var pe *rcbcast.PartialError
+	if !errors.As(err, &pe) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want façade *PartialError wrapping Canceled, got %v", err)
+	}
+	// The engine-level typed error is reachable too.
+	_, err = rcbcast.RunContext(ctx, rcbcast.Options{Params: rcbcast.PracticalParams(64, 2), Seed: 1})
+	var pre *rcbcast.PartialRunError
+	if !errors.As(err, &pre) {
+		t.Fatalf("want *PartialRunError, got %v", err)
+	}
+}
+
+func TestPublicCheckpointResume(t *testing.T) {
+	sc := rcbcast.Scenario{
+		N: 64, K: 2,
+		Adversary: rcbcast.AdversarySpec{Kind: "full"},
+		Budget:    rcbcast.BudgetSpec{Pool: 1024},
+	}
+	specs := make([]rcbcast.TrialSpec, 5)
+	for i := range specs {
+		spec, err := sc.TrialSpec(rcbcast.TrialSeed(1, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = spec
+	}
+	var want strings.Builder
+	if err := rcbcast.Stream(context.Background(), 2, specs, rcbcast.NewNDJSONSink(&want)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp, err := rcbcast.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	if err := rcbcast.StreamCheckpointed(context.Background(), 2, specs, cp, rcbcast.NewNDJSONSink(&got)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("checkpointed stream output diverges from plain stream")
+	}
+	// Reopen: fully journaled, so the sweep replays without re-running.
+	cp2, err := rcbcast.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Done() != len(specs) {
+		t.Fatalf("journal covers %d of %d trials", cp2.Done(), len(specs))
 	}
 }
