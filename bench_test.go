@@ -6,8 +6,8 @@ package rcbcast_test
 // (usually a fitted exponent) as a custom benchmark metric so the
 // paper-vs-measured comparison appears directly in benchmark output.
 //
-// BenchmarkE1CostScalingK2 .. BenchmarkE12MultiHop correspond to
-// experiments E1..E12; EXPERIMENTS.md records one full run.
+// BenchmarkE1CostScalingK2 .. BenchmarkE13Topology correspond to
+// experiments E1..E13; EXPERIMENTS.md records one full run.
 
 import (
 	"context"
@@ -103,6 +103,10 @@ func BenchmarkE10Approx(b *testing.B) {
 
 func BenchmarkE12MultiHop(b *testing.B) {
 	runExperiment(b, "E12", "latency_per_hop_ratio", "concentrated_delay_ratio")
+}
+
+func BenchmarkE13Topology(b *testing.B) {
+	runExperiment(b, "E13", "ratio_benign_r0.4", "ratio_jam_r0.4", "reachable_frac_r0.1")
 }
 
 // BenchmarkE11Engines compares the two engines head-to-head on identical

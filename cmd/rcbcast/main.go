@@ -19,6 +19,9 @@
 //	-adversary full         adversary spec: KIND[:KNOB=V,...], composed
 //	                        with + (e.g. random:p=0.3, blocker:inform,prop,
 //	                        blocker:inform+spoofer:p=0.3)
+//	-topology clique        topology spec: clique | grid[:w=,reach=] |
+//	                        gilbert:r= (see -list-topologies)
+//	-list-topologies        list topology kinds and their knobs
 //	-pool 16384             adversary energy pool (0 = unlimited)
 //	-decoy                  enable the §4.1 decoy defence
 //	-engine fast            fast | actors
@@ -34,6 +37,7 @@ import (
 
 	"rcbcast/internal/engine"
 	"rcbcast/internal/scenario"
+	"rcbcast/internal/topology"
 	"rcbcast/internal/trace"
 )
 
@@ -54,6 +58,8 @@ func run(args []string, out io.Writer) error {
 		k       = fs.Int("k", 2, "protocol parameter k >= 2")
 		seed    = fs.Uint64("seed", 1, "RNG seed")
 		adv     = fs.String("adversary", "full", "adversary spec KIND[:KNOB=V,...], composed with +")
+		topo    = fs.String("topology", "", "topology spec KIND[:KNOB=V,...] (default clique; see -list-topologies)")
+		listTop = fs.Bool("list-topologies", false, "list topology kinds and their knobs")
 		pool    = fs.Int64("pool", 1<<14, "adversary energy pool (0 = unlimited)")
 		jamP    = fs.Float64("jam-p", 0.5, "per-slot probability for -adversary random")
 		strand  = fs.Float64("strand", 0.05, "stranded fraction for -adversary partition")
@@ -69,6 +75,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if *list {
 		scenario.WriteList(out)
+		return nil
+	}
+	if *listTop {
+		topology.WriteList(out)
 		return nil
 	}
 
@@ -111,6 +121,14 @@ func run(args []string, out io.Writer) error {
 			// bound the run the way the reactive experiments do.
 			sc.Overrides.ExtraRounds = 6
 		}
+	}
+	if *topo != "" || set["topology"] {
+		spec, err := topology.ParseSpec(*topo)
+		if err != nil {
+			return err
+		}
+		// ApplyTopology also bounds sparse runs (ExtraRounds default).
+		sc.ApplyTopology(spec)
 	}
 	// The legacy knob flags target their kind wherever it appears —
 	// top-level, inside a composite, or in a loaded scenario — and
@@ -223,6 +241,15 @@ func report(out io.Writer, sc scenario.Scenario, opts engine.Options, res *engin
 	}
 	fmt.Fprintf(out, "protocol:   ε-BROADCAST k=%d n=%d (%s, start round %d)\n",
 		params.K, params.N, params.Variant, params.StartRound)
+	if !sc.Topology.IsClique() {
+		topo, err := sc.Topology.Build(params.N, sc.Seed)
+		reachable := "?"
+		if err == nil {
+			reachable = fmt.Sprintf("%d", topology.ReachableWithin(topo, params.K))
+		}
+		fmt.Fprintf(out, "topology:   %s (k-hop reachable ceiling %s/%d)\n",
+			sc.Topology, reachable, params.N)
+	}
 	fmt.Fprintf(out, "adversary:  %s (spent T=%d: %d jams, %d spoofs)\n",
 		res.StrategyName, res.AdversarySpent, res.AdversaryJams, res.AdversaryInjections)
 	fmt.Fprintf(out, "delivery:   %d/%d informed (%.1f%%), %d stranded, %d dead, %d still active\n",

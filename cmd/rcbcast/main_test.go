@@ -212,3 +212,71 @@ func TestCLIReactiveBoundsRounds(t *testing.T) {
 		t.Fatalf("reactive run spanned %d rounds, want 7 (MaxRound bound lost):\n%s", len(rounds), out)
 	}
 }
+
+func TestCLIListTopologies(t *testing.T) {
+	out := runCLI(t, "-list-topologies")
+	for _, want := range []string{"clique", "grid", "gilbert", "r=RADIUS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("topology listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLITopologyRuns(t *testing.T) {
+	for _, spec := range []string{"clique", "grid", "grid:reach=2", "gilbert:r=0.3"} {
+		out := runCLI(t, "-n", "64", "-topology", spec, "-adversary", "null", "-pool", "0")
+		if !strings.Contains(out, "informed") {
+			t.Fatalf("-topology %s produced no report:\n%s", spec, out)
+		}
+		if spec != "clique" && !strings.Contains(out, "topology:") {
+			t.Fatalf("-topology %s report missing the topology line:\n%s", spec, out)
+		}
+	}
+}
+
+func TestCLITopologyBoundsRounds(t *testing.T) {
+	// A sparse topology without an explicit bound must get the default
+	// ExtraRounds=3 guard (nodes beyond the k-hop ball never pass the
+	// quiet test).
+	out := runCLI(t, "-n", "64", "-topology", "grid", "-adversary", "null", "-pool", "0", "-dump-scenario")
+	if !strings.Contains(out, `"extra_rounds": 3`) {
+		t.Fatalf("sparse topology must bound rounds:\n%s", out)
+	}
+	// The clique (explicit or default) must not be bounded.
+	out = runCLI(t, "-n", "64", "-topology", "clique", "-adversary", "null", "-pool", "0", "-dump-scenario")
+	if strings.Contains(out, "extra_rounds") {
+		t.Fatalf("clique must not be round-bounded:\n%s", out)
+	}
+}
+
+func TestCLITopologyUnknown(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-n", "64", "-topology", "torus"}, &buf); err == nil {
+		t.Fatal("unknown topology must error")
+	}
+	if err := run([]string{"-n", "64", "-topology", "gilbert:r=9"}, &buf); err == nil {
+		t.Fatal("out-of-range radius must error")
+	}
+}
+
+// TestCLITopologyDumpRoundTrips: -dump-scenario output per topology
+// kind reloads as a scenario file and reproduces the same dump — the
+// JSON/flag round-trip golden at the CLI layer.
+func TestCLITopologyDumpRoundTrips(t *testing.T) {
+	for _, spec := range []string{"grid:w=8,reach=2", "gilbert:r=0.25"} {
+		dump := runCLI(t, "-n", "64", "-topology", spec, "-adversary", "random:p=0.5", "-dump-scenario")
+		path := filepath.Join(t.TempDir(), "sc.json")
+		if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		again := runCLI(t, "-scenario", path, "-dump-scenario")
+		if dump != again {
+			t.Fatalf("dump → load → dump not stable for %s:\n--- first\n%s--- second\n%s", spec, dump, again)
+		}
+		run1 := runCLI(t, "-n", "64", "-topology", spec, "-adversary", "random:p=0.5", "-seed", "4")
+		run2 := runCLI(t, "-scenario", path, "-seed", "4")
+		if run1 != run2 {
+			t.Fatalf("flag run and JSON run diverged for %s:\n--- flags\n%s--- json\n%s", spec, run1, run2)
+		}
+	}
+}

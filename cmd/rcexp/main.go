@@ -1,4 +1,4 @@
-// Command rcexp runs the reproduction experiments E1–E12 (DESIGN.md §4)
+// Command rcexp runs the reproduction experiments E1–E13 (DESIGN.md §4)
 // and streams raw scenario sweeps. It is the tool that regenerates
 // EXPERIMENTS.md.
 //
@@ -14,6 +14,8 @@
 //	rcexp -list           list experiments with their claims
 //	rcexp -list-scenarios list the named scenarios and adversary kinds
 //	                      the experiments are built from (internal/scenario)
+//	rcexp -list-topologies
+//	                      list topology kinds (internal/topology)
 //
 // Raw sweep mode streams per-trial records instead of aggregated
 // reports — bounded memory however many trials, so it is the mode for
@@ -21,6 +23,7 @@
 //
 //	rcexp -scenario full-jam -n 1024 -trials 100000 > runs.jsonl
 //	rcexp -scenario file.json -trials 50000 -out csv > runs.csv
+//	rcexp -scenario gilbert-jam -topology gilbert:r=0.3 -trials 1000 > runs.jsonl
 //	rcexp -scenario full-jam -trials 100000 -progress \
 //	      -checkpoint sweep.ckpt > runs.jsonl
 //
@@ -46,6 +49,7 @@ import (
 	"rcbcast/internal/scenario"
 	"rcbcast/internal/sim"
 	"rcbcast/internal/sim/sink"
+	"rcbcast/internal/topology"
 )
 
 func main() {
@@ -65,12 +69,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		markdown = fs.Bool("markdown", false, "emit markdown tables")
 		list     = fs.Bool("list", false, "list experiments")
 		listScn  = fs.Bool("list-scenarios", false, "list named scenarios and adversary kinds")
+		listTop  = fs.Bool("list-topologies", false, "list topology kinds and their knobs")
 		seeds    = fs.Int("seeds", 0, "seeds per sweep point (0 = default)")
 		n        = fs.Int("n", 0, "network size override (0 = default)")
 		baseSeed = fs.Uint64("seed", 1, "base seed")
 		procs    = fs.Int("procs", 0, "parallel trial workers (0 = GOMAXPROCS)")
 
 		scn        = fs.String("scenario", "", "raw sweep mode: stream trials of a named scenario or JSON scenario file")
+		topo       = fs.String("topology", "", "raw sweep mode: override the scenario's topology (KIND[:KNOB=V,...])")
 		trials     = fs.Int("trials", 0, "raw sweep trial count (requires -scenario)")
 		outFormat  = fs.String("out", "jsonl", "raw sweep output format: jsonl or csv")
 		progress   = fs.Bool("progress", false, "report sweep progress on stderr")
@@ -84,15 +90,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		scenario.WriteList(out)
 		return nil
 	}
+	if *listTop {
+		topology.WriteList(out)
+		return nil
+	}
 	if *list {
 		for _, e := range experiment.All() {
 			fmt.Fprintf(out, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
 		return nil
 	}
+	if *topo != "" && *scn == "" {
+		return errors.New("-topology needs -scenario (sweep mode)")
+	}
 	if *scn != "" {
 		return runSweep(ctx, out, sweepConfig{
 			scenario:   *scn,
+			topology:   *topo,
 			n:          *n,
 			trials:     *trials,
 			baseSeed:   *baseSeed,
@@ -155,6 +169,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 // sweepConfig gathers the raw-sweep flags.
 type sweepConfig struct {
 	scenario   string
+	topology   string
 	n          int
 	trials     int
 	baseSeed   uint64
@@ -171,6 +186,14 @@ func runSweep(ctx context.Context, out io.Writer, cfg sweepConfig) error {
 	sc, err := loadScenario(cfg.scenario)
 	if err != nil {
 		return err
+	}
+	if cfg.topology != "" {
+		spec, terr := topology.ParseSpec(cfg.topology)
+		if terr != nil {
+			return terr
+		}
+		// ApplyTopology also bounds sparse runs (ExtraRounds default).
+		sc.ApplyTopology(spec)
 	}
 	if cfg.n > 0 {
 		sc.N = cfg.n

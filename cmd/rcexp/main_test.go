@@ -178,3 +178,59 @@ func TestRcexpExperimentCanceled(t *testing.T) {
 		t.Fatalf("canceled experiment: %v", err)
 	}
 }
+
+func TestRcexpListTopologies(t *testing.T) {
+	var buf strings.Builder
+	if err := run(context.Background(), []string{"-list-topologies"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"clique", "grid", "gilbert"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("topology listing missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestRcexpSweepTopology runs one raw sweep per topology kind and
+// checks the -procs byte-identity contract holds on the sparse path.
+func TestRcexpSweepTopology(t *testing.T) {
+	for _, spec := range []string{"grid:reach=2", "gilbert:r=0.3"} {
+		render := func(procs string) string {
+			var buf strings.Builder
+			args := []string{"-scenario", "benign", "-topology", spec,
+				"-n", "64", "-trials", "4", "-procs", procs}
+			if err := run(context.Background(), args, &buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.String()
+		}
+		out := render("1")
+		if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 4 {
+			t.Fatalf("%s: want 4 NDJSON lines, got %d", spec, len(lines))
+		}
+		if render("8") != out {
+			t.Fatalf("%s: sweep output diverges across -procs", spec)
+		}
+	}
+}
+
+func TestRcexpTopologyErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(context.Background(), []string{"-topology", "grid"}, &buf); err == nil {
+		t.Fatal("-topology without -scenario must error")
+	}
+	if err := run(context.Background(), []string{"-scenario", "benign", "-topology", "torus", "-trials", "2"}, &buf); err == nil {
+		t.Fatal("unknown topology must error")
+	}
+}
+
+// TestRcexpE13Quick smokes the topology experiment end to end.
+func TestRcexpE13Quick(t *testing.T) {
+	var buf strings.Builder
+	if err := run(context.Background(), []string{"-id", "E13", "-quick", "-seeds", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E13") || !strings.Contains(buf.String(), "reachable") {
+		t.Fatalf("E13 report incomplete:\n%s", buf.String())
+	}
+}

@@ -61,6 +61,16 @@ func NewMeter(budget int64) *Meter {
 	return &Meter{budget: budget}
 }
 
+// Reset re-arms the meter in place with a fresh budget, clearing all
+// spend — the buffer-reuse hook for engines that recycle per-node state
+// across trials. Negative budgets are treated as zero, as in NewMeter.
+func (m *Meter) Reset(budget int64) {
+	if budget < 0 {
+		budget = 0
+	}
+	*m = Meter{budget: budget}
+}
+
 // Charge records one unit of op. It returns ErrExhausted, leaving the meter
 // unchanged, if the budget does not cover it.
 func (m *Meter) Charge(op Op) error {

@@ -25,6 +25,7 @@ func RunActors(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer r.releaseScratch()
 	exec := newActorPool(r)
 	defer exec.shutdown()
 	if err := r.loop(nil, exec); err != nil {

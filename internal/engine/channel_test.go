@@ -38,7 +38,7 @@ func TestObserveMatchesSlotsimReference(t *testing.T) {
 				frame = msg.SpoofData(-1000-i, []byte("fake"))
 			}
 			slot.AddFrame(frame)
-			r.addTx(0, frame.Kind)
+			r.addTx(0, frame.Kind, int32(100+i))
 		}
 
 		var plan *adversary.Plan
@@ -94,7 +94,7 @@ func txTotal(c int) int { return c }
 func TestObserveInformRule(t *testing.T) {
 	r := &run{opts: &Options{}, params: &core.Params{}}
 	r.ensureBuffers(1)
-	r.addTx(0, msg.KindSpoof)
+	r.addTx(0, msg.KindSpoof, txSrcAdversary)
 	kind, out := r.observe(0, 5, nil)
 	if out != outcomeReceived {
 		t.Fatalf("solo spoof outcome = %v, want received", out)

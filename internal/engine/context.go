@@ -35,6 +35,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer r.releaseScratch()
 	if err := r.loop(ctx, seqExecutor{r}); err != nil {
 		return nil, err
 	}
@@ -50,6 +51,7 @@ func RunActorsContext(ctx context.Context, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer r.releaseScratch()
 	exec := newActorPool(r)
 	defer exec.shutdown()
 	if err := r.loop(ctx, exec); err != nil {

@@ -31,6 +31,7 @@ import (
 	"rcbcast/internal/adversary"
 	"rcbcast/internal/core"
 	"rcbcast/internal/energy"
+	"rcbcast/internal/topology"
 	"rcbcast/internal/trace"
 )
 
@@ -40,6 +41,14 @@ type Options struct {
 	Params core.Params
 	// Seed drives every random decision of the run.
 	Seed uint64
+	// Topology selects the neighborhood graph reception is resolved
+	// against (internal/topology). The zero value is the clique — the
+	// paper's single-hop channel — which resolves through the original
+	// global-channel fast path, byte-identical to the pre-topology
+	// engine. Randomized topologies (gilbert) are built
+	// deterministically from Seed, so trials stay reproducible across
+	// worker counts.
+	Topology topology.Spec
 	// Strategy is Carol; nil means no adversary.
 	Strategy adversary.Strategy
 	// Pool is the adversary's energy. nil means unlimited (useful when an
@@ -72,6 +81,12 @@ type Options struct {
 	// MaxPhaseSlots aborts runs whose next phase exceeds this many slots
 	// (guards against accidentally unbounded memory). 0 means 1<<26.
 	MaxPhaseSlots int
+	// Scratch, if non-nil, recycles the run's working buffers (channel
+	// state, per-node state) across executions — the allocation-rate
+	// lever for tight trial loops. A Scratch must never be shared by
+	// concurrently executing runs; results are byte-identical with and
+	// without one.
+	Scratch *Scratch
 }
 
 // ErrPhaseTooLong is returned when a phase exceeds MaxPhaseSlots.
@@ -97,6 +112,9 @@ func (o *Options) validate() error {
 	}
 	if o.NodeBudget < 0 || o.AliceBudget < 0 {
 		return errors.New("engine: budgets must be non-negative")
+	}
+	if err := o.Topology.Validate(); err != nil {
+		return fmt.Errorf("engine: %w", err)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 
@@ -11,6 +12,7 @@ import (
 	"rcbcast/internal/msg"
 	"rcbcast/internal/rng"
 	"rcbcast/internal/sampling"
+	"rcbcast/internal/topology"
 )
 
 // Stream-key constants. Every random decision is drawn from the stream
@@ -75,12 +77,32 @@ type aliceState struct {
 
 func (a *aliceState) active() bool { return !a.terminated && !a.dead }
 
+// txRec is one committed transmission of the current phase, recorded
+// only on sparse topologies, where reception depends on *who* sent.
+type txRec struct {
+	slot int32
+	src  int32 // node id, or txSrcAlice / txSrcAdversary
+	kind uint8
+}
+
+// Non-node transmission sources. txSrcAlice matches msg.SenderAlice so
+// the listener encoding used by observe stays one namespace.
+const (
+	txSrcAlice     int32 = -1
+	txSrcAdversary int32 = -2
+)
+
 // run holds all execution state shared by both engines.
 type run struct {
 	opts     *Options
 	params   *core.Params
 	strategy adversary.Strategy
 	pool     *energy.Pool
+
+	// topo is non-nil only for non-complete topologies: the clique (and
+	// any spec whose graph is complete) keeps the global-channel fast
+	// path, byte-identical to the pre-topology engine.
+	topo topology.Topology
 
 	nodes []nodeState
 	alice aliceState
@@ -90,6 +112,9 @@ type run struct {
 	counts   []uint8 // transmission count, saturating
 	soloKind []uint8 // frame kind when counts == 1
 	dirty    []int32
+	// txs records the phase's transmissions with their sources (sparse
+	// topologies only), sorted by slot before the listen pass.
+	txs []txRec
 
 	slots        int64
 	lastRound    int
@@ -108,8 +133,19 @@ func newRun(opts *Options) (*run, error) {
 		params:   &params,
 		strategy: opts.strategy(),
 		pool:     opts.Pool,
-		nodes:    make([]nodeState, params.N),
 	}
+	if !opts.Topology.IsClique() {
+		topo, err := opts.Topology.Build(params.N, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		if !topo.Complete() {
+			// Complete graphs (a reach-covering grid, say) resolve
+			// identically through the global fast path.
+			r.topo = topo
+		}
+	}
+	r.adoptScratch(params.N)
 	nodeBudget := int64(energy.Unlimited)
 	if opts.NodeBudget > 0 {
 		nodeBudget = opts.NodeBudget
@@ -121,13 +157,21 @@ func newRun(opts *Options) (*run, error) {
 	for i := range r.nodes {
 		n := &r.nodes[i]
 		n.id = i
-		n.meter = energy.NewMeter(nodeBudget)
+		if n.meter == nil {
+			n.meter = energy.NewMeter(nodeBudget)
+		} else {
+			n.meter.Reset(nodeBudget)
+		}
 		n.listenScale, n.sendScale = 1, 1
 		if opts.Perturb != nil {
 			n.listenScale, n.sendScale = opts.Perturb(i)
 		}
 	}
-	r.alice.meter = energy.NewMeter(aliceBudget)
+	if r.alice.meter == nil {
+		r.alice.meter = energy.NewMeter(aliceBudget)
+	} else {
+		r.alice.meter.Reset(aliceBudget)
+	}
 	r.hist.N = params.N
 	return r, nil
 }
@@ -159,10 +203,13 @@ func (r *run) clearDirty() {
 		r.soloKind[s] = 0
 	}
 	r.dirty = r.dirty[:0]
+	r.txs = r.txs[:0]
 }
 
-// addTx registers one transmission in the current phase's channel state.
-func (r *run) addTx(slot int, kind msg.Kind) {
+// addTx registers one transmission in the current phase's channel
+// state. src identifies the transmitter; it matters only on sparse
+// topologies, where reception is resolved per listener.
+func (r *run) addTx(slot int, kind msg.Kind, src int32) {
 	c := r.counts[slot]
 	if c == 0 {
 		r.soloKind[slot] = uint8(kind)
@@ -170,6 +217,9 @@ func (r *run) addTx(slot int, kind msg.Kind) {
 	}
 	if c < math.MaxUint8 {
 		r.counts[slot] = c + 1
+	}
+	if r.topo != nil {
+		r.txs = append(r.txs, txRec{slot: int32(slot), src: src, kind: uint8(kind)})
 	}
 }
 
@@ -269,7 +319,7 @@ func (r *run) mergeNodeSends(out *adversary.PhaseOutcome) {
 		n := &r.nodes[i]
 		for j, slot := range n.sendSlots {
 			kind := n.sendKinds[j]
-			r.addTx(int(slot), kind)
+			r.addTx(int(slot), kind, int32(n.id))
 			switch kind {
 			case msg.KindData:
 				out.NodeDataSends++
@@ -299,7 +349,7 @@ func (r *run) aliceSends(ph core.Phase, out *adversary.PhaseOutcome) {
 			r.alice.dead = true
 			return
 		}
-		r.addTx(slot, msg.KindData)
+		r.addTx(slot, msg.KindData, txSrcAlice)
 		out.AliceSends++
 	}
 }
@@ -353,7 +403,7 @@ func (r *run) adversaryPlan(ph core.Phase, out *adversary.PhaseOutcome) *adversa
 	out.InjectedFrames = keep
 	r.totalInjects += keep
 	for _, inj := range plan.Injections() {
-		r.addTx(inj.Slot, inj.Frame.Kind)
+		r.addTx(inj.Slot, inj.Frame.Kind, txSrcAdversary)
 	}
 	if jams == 0 && keep == 0 {
 		return nil
@@ -364,8 +414,13 @@ func (r *run) adversaryPlan(ph core.Phase, out *adversary.PhaseOutcome) *adversa
 // observe resolves one listener's perception of a slot, mirroring
 // slotsim.Slot.Observe on the engine's compact channel state. The listener
 // is assumed not to have transmitted in the slot (walkers enforce that).
+// listener is a node id, or msg.SenderAlice for Alice's request-phase
+// sampling.
 func (r *run) observe(slot, listener int, plan *adversary.Plan) (msg.Kind, outcome) {
 	jammed := plan != nil && plan.Jammed(slot) && plan.Disrupts(slot, listener)
+	if r.topo != nil {
+		return r.observeSparse(slot, listener, jammed)
+	}
 	c := r.counts[slot]
 	switch {
 	case c == 0 && !jammed:
@@ -374,6 +429,56 @@ func (r *run) observe(slot, listener int, plan *adversary.Plan) (msg.Kind, outco
 		return msg.Kind(r.soloKind[slot]), outcomeReceived
 	default:
 		return 0, outcomeNoise
+	}
+}
+
+// observeSparse resolves the listener's perception against its
+// neighborhood: exactly one *audible* transmitter delivers, two or more
+// collide into noise, and transmitters out of range neither deliver nor
+// collide (spatial reuse). Jamming stays global — Carol positions her
+// devices at will, so every listener is assumed within range of a
+// jammer, preserving the n-uniform threat model (DESIGN.md §9).
+func (r *run) observeSparse(slot, listener int, jammed bool) (msg.Kind, outcome) {
+	if jammed {
+		return 0, outcomeNoise
+	}
+	if r.counts[slot] == 0 {
+		return 0, outcomeSilence
+	}
+	s := int32(slot)
+	i := sort.Search(len(r.txs), func(i int) bool { return r.txs[i].slot >= s })
+	heard := 0
+	var kind msg.Kind
+	for ; i < len(r.txs) && r.txs[i].slot == s; i++ {
+		if !r.audible(r.txs[i].src, listener) {
+			continue
+		}
+		if heard++; heard > 1 {
+			return 0, outcomeNoise
+		}
+		kind = msg.Kind(r.txs[i].kind)
+	}
+	if heard == 0 {
+		return 0, outcomeSilence
+	}
+	return kind, outcomeReceived
+}
+
+// audible reports whether the listener is in range of the transmitter.
+// Adversarial transmissions are audible everywhere (worst-case device
+// placement); Alice↔node audibility is symmetric. Walkers guarantee a
+// node never listens to a slot it transmits in, so src == listener
+// cannot occur for node sources.
+func (r *run) audible(src int32, listener int) bool {
+	switch {
+	case src == txSrcAdversary:
+		return true
+	case src == txSrcAlice:
+		return listener == msg.SenderAlice || r.topo.AliceHears(listener)
+	case listener == msg.SenderAlice:
+		return r.topo.AliceHears(int(src))
+	default:
+		return r.topo.Adjacent(int(src), listener)
 	}
 }
 
@@ -556,6 +661,12 @@ func (r *run) runPhase(ph core.Phase, exec phaseExecutor) {
 	// Carol plans (reactive strategies see the activity bitmap).
 	plan := r.adversaryPlan(ph, &out)
 
+	// Freeze the sparse transmission records in slot order so listeners
+	// can resolve their neighborhoods by binary search.
+	if r.topo != nil && len(r.txs) > 1 {
+		sort.SliceStable(r.txs, func(i, j int) bool { return r.txs[i].slot < r.txs[j].slot })
+	}
+
 	// Pass B: listens.
 	exec.eachNodeListens(ph, plan)
 	for i := range r.nodes {
@@ -729,6 +840,7 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer r.releaseScratch()
 	if err := r.loop(nil, seqExecutor{r}); err != nil {
 		return nil, err
 	}

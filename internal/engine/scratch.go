@@ -1,0 +1,70 @@
+package engine
+
+import "rcbcast/internal/energy"
+
+// Scratch recycles a run's working buffers — the per-slot channel
+// state, the per-phase transmission records, the per-node states with
+// their committed-send slices, and the device meters — across
+// executions. Tight trial loops (internal/sim's workers, benchmarks)
+// hand one Scratch to consecutive runs via Options.Scratch and cut the
+// per-trial allocation rate to the few result-sized objects a run must
+// hand out.
+//
+// A Scratch carries no results between runs — every buffer is reset at
+// adoption — so results are byte-identical with and without one (pinned
+// by the engine reuse test). It must never be shared by concurrently
+// executing runs.
+type Scratch struct {
+	counts, soloKind []uint8
+	dirty            []int32
+	txs              []txRec
+	nodes            []nodeState
+	aliceMeter       *energy.Meter
+}
+
+// NewScratch returns an empty scratch; buffers grow to the sizes the
+// runs it serves need.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// adoptScratch moves the scratch's buffers (if any) into the run,
+// resetting their contents. Node entries keep their meter and the
+// capacity of their committed-send slices; everything else starts
+// zeroed exactly as a fresh allocation would.
+func (r *run) adoptScratch(n int) {
+	sc := r.opts.Scratch
+	if sc == nil {
+		r.nodes = make([]nodeState, n)
+		return
+	}
+	r.counts = sc.counts[:0]
+	r.soloKind = sc.soloKind[:0]
+	r.dirty = sc.dirty[:0]
+	r.txs = sc.txs[:0]
+	if cap(sc.nodes) >= n {
+		r.nodes = sc.nodes[:n]
+		for i := range r.nodes {
+			node := &r.nodes[i]
+			*node = nodeState{
+				meter:     node.meter,
+				sendSlots: node.sendSlots[:0],
+				sendKinds: node.sendKinds[:0],
+			}
+		}
+	} else {
+		r.nodes = make([]nodeState, n)
+	}
+	r.alice.meter = sc.aliceMeter
+}
+
+// releaseScratch hands the run's (possibly grown) buffers back to the
+// scratch for the next run.
+func (r *run) releaseScratch() {
+	sc := r.opts.Scratch
+	if sc == nil {
+		return
+	}
+	sc.counts, sc.soloKind = r.counts, r.soloKind
+	sc.dirty, sc.txs = r.dirty, r.txs
+	sc.nodes = r.nodes
+	sc.aliceMeter = r.alice.meter
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"rcbcast/internal/engine"
+	"rcbcast/internal/scenario"
+	"rcbcast/internal/sim"
+	"rcbcast/internal/sim/sink"
+	"rcbcast/internal/stats"
+	"rcbcast/internal/topology"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E13",
+		Title: "Gilbert random-geometric topology: radius vs jamming",
+		Claim: "on a Gilbert graph the unmodified single-hop protocol delivers exactly Alice's k-hop reachable set — delivery tracks the geometric ceiling through the percolation-style rise of the radius, and jamming degrades delivery inside the ceiling but can never extend past it",
+		Run:   runE13,
+	})
+}
+
+// runE13 sweeps the Gilbert connection radius r against a jamming arm.
+// Per trial, the same seed that drives the engine rebuilds the trial's
+// graph, so the measured delivery can be compared with the
+// graph-theoretic ceiling ReachableWithin(topo, k) — the k-hop ball of
+// Alice (DESIGN.md §9: nodes informed in the final propagation step
+// never relay, so the wave stops at k hops).
+func runE13(cfg Config) (*Report, error) {
+	rep := newReport("E13", "Gilbert random-geometric topology: radius vs jamming",
+		"delivery = Alice's k-hop ball of the random geometric graph; jamming cannot extend it")
+	n := cfg.n(512, 128)
+	seeds := cfg.seeds(3, 2)
+	const k = 2
+	radii := []float64{0.1, 0.15, 0.2, 0.3, 0.4}
+	if cfg.Quick {
+		radii = []float64{0.15, 0.25, 0.4}
+	}
+	arms := []struct {
+		name   string
+		adv    scenario.AdversarySpec
+		budget scenario.BudgetSpec
+	}{
+		{"benign", scenario.AdversarySpec{Kind: "null"}, scenario.BudgetSpec{}},
+		{"random-jam", scenario.AdversarySpec{Kind: "random", P: 0.5}, scenario.BudgetSpec{ModelC: 1, ModelF: 1}},
+	}
+
+	// One flat spec list: trial index i belongs to group i/seeds, the
+	// groups walk (radius, arm) in row order. The per-trial reachable
+	// fraction is precomputed from the same (spec, seed) pair the
+	// engine will use, so ceiling and delivery describe one graph.
+	type group struct {
+		informed, reachable, ratio, spent stats.Acc
+	}
+	groups := make([]group, len(radii)*len(arms))
+	var specs []sim.TrialSpec
+	var reachFrac []float64
+	for ri, r := range radii {
+		for ai, arm := range arms {
+			sc := scenario.Scenario{
+				N: n, K: k,
+				Topology:  topology.Spec{Kind: "gilbert", Radius: r},
+				Adversary: arm.adv,
+				Budget:    arm.budget,
+				Overrides: scenario.Overrides{ExtraRounds: scenario.SparseTopologyExtraRounds},
+			}
+			point := 13_000 + 10*ri + ai
+			for s := 0; s < seeds; s++ {
+				seed := cfg.seedAt(point, s)
+				ts, err := sc.TrialSpec(seed)
+				if err != nil {
+					return nil, err
+				}
+				topo, err := ts.Topology.Build(n, seed)
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, ts)
+				reachFrac = append(reachFrac, float64(topology.ReachableWithin(topo, k))/float64(n))
+			}
+		}
+	}
+	err := sim.Stream(cfg.ctx(), cfg.Procs, specs, sink.Func(func(i int, res *engine.Result) error {
+		g := &groups[i/seeds]
+		frac := res.InformedFrac()
+		g.informed.Add(frac)
+		g.reachable.Add(reachFrac[i])
+		if reachFrac[i] > 0 {
+			g.ratio.Add(frac / reachFrac[i])
+		}
+		g.spent.Add(float64(res.AdversarySpent))
+		return nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("E13: Gilbert radius sweep (n=%d, k=%d, Alice at the center, %d seeds/point)", n, k, seeds),
+		"radius", "k-hop reachable frac", "benign informed", "benign informed/reachable",
+		"jammed informed", "jammed informed/reachable", "jam T spent")
+	for ri, r := range radii {
+		benign, jam := &groups[ri*len(arms)], &groups[ri*len(arms)+1]
+		tbl.AddRowf(r, benign.reachable.Mean(), benign.informed.Mean(), benign.ratio.Mean(),
+			jam.informed.Mean(), jam.ratio.Mean(), jam.spent.Mean())
+		key := func(name string) string { return fmt.Sprintf("%s_r%g", name, r) }
+		rep.Values[key("reachable_frac")] = benign.reachable.Mean()
+		rep.Values[key("informed_benign")] = benign.informed.Mean()
+		rep.Values[key("ratio_benign")] = benign.ratio.Mean()
+		rep.Values[key("informed_jam")] = jam.informed.Mean()
+		rep.Values[key("ratio_jam")] = jam.ratio.Mean()
+	}
+	rep.Tables = append(rep.Tables, tbl)
+
+	first, last := radii[0], radii[len(radii)-1]
+	minRatio, maxRatio := 1.0, 0.0
+	for _, r := range radii {
+		ratio := rep.Values[fmt.Sprintf("ratio_benign_r%g", r)]
+		minRatio, maxRatio = math.Min(minRatio, ratio), math.Max(maxRatio, ratio)
+	}
+	rep.addFinding("delivery tracks the geometric ceiling: benign informed/reachable stays within %.2f–%.2f across the sweep while delivery itself rises from %.3f of n (r=%g) to %.3f (r=%g)",
+		minRatio, maxRatio,
+		rep.Values[fmt.Sprintf("informed_benign_r%g", first)], first,
+		rep.Values[fmt.Sprintf("informed_benign_r%g", last)], last)
+	rep.addFinding("the rise with r is the percolation-style transition of the k-hop ball: 2r must span the square (r ≳ 0.35 at k=2) for near-full delivery")
+	// Quote the degradation where the ceiling leaves room to see it:
+	// at the top radius both arms saturate near 1.
+	mid := radii[len(radii)-2]
+	rep.addFinding("jamming degrades delivery inside the ceiling (informed/reachable %.2f vs %.2f benign at r=%g) but never extends it — the n-uniform threat model carries over to spatial channels",
+		rep.Values[fmt.Sprintf("ratio_jam_r%g", mid)],
+		rep.Values[fmt.Sprintf("ratio_benign_r%g", mid)], mid)
+	return rep, nil
+}

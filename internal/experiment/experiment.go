@@ -1,4 +1,4 @@
-// Package experiment defines the reproduction experiments E1–E11 from
+// Package experiment defines the reproduction experiments E1–E13 from
 // DESIGN.md §4. The paper (PODC 2012 theory) has no empirical tables; each
 // experiment here regenerates one of its *quantitative claims* — Theorem 1
 // cost exponents, the (1-ε) delivery guarantee, Corollary 1 latency, load

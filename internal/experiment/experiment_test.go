@@ -11,10 +11,10 @@ func quickCfg() Config { return Config{Quick: true, BaseSeed: 1} }
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registry has %d experiments, want 12 (E1-E12)", len(all))
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13 (E1-E13)", len(all))
 	}
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	for i, id := range want {
 		if all[i].ID != id {
 			t.Fatalf("position %d: %s, want %s", i, all[i].ID, id)
@@ -229,6 +229,29 @@ func TestE12MultiHop(t *testing.T) {
 	// End-to-end delivery survives the benign pipeline.
 	if rep.Values["e2e_frac_h4"] < 0.9 {
 		t.Fatalf("end-to-end fraction = %v", rep.Values["e2e_frac_h4"])
+	}
+}
+
+func TestE13TopologyDeliveryTracksReachable(t *testing.T) {
+	rep := mustRun(t, "E13")
+	// Quick radii: 0.15, 0.25, 0.4. Delivery never exceeds the k-hop
+	// geometric ceiling, and in benign runs it nearly achieves it.
+	for _, r := range []string{"0.15", "0.25", "0.4"} {
+		benign := rep.Values["ratio_benign_r"+r]
+		if benign < 0.8 || benign > 1.0001 {
+			t.Fatalf("r=%s: benign informed/reachable = %v, want ~1", r, benign)
+		}
+		if jam := rep.Values["ratio_jam_r"+r]; jam > 1.0001 {
+			t.Fatalf("r=%s: jamming extended delivery past the ceiling (%v)", r, jam)
+		}
+	}
+	// The radius sweep spans the transition: a small ball at the low
+	// end, (near-)full coverage at the top.
+	if lo := rep.Values["reachable_frac_r0.15"]; lo > 0.6 {
+		t.Fatalf("low radius already covers %v of n — sweep too easy", lo)
+	}
+	if hi := rep.Values["informed_benign_r0.4"]; hi < 0.95 {
+		t.Fatalf("top radius delivers only %v", hi)
 	}
 }
 

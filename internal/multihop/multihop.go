@@ -1,16 +1,24 @@
 // Package multihop extends ε-BROADCAST to multi-hop networks — the open
 // question the paper poses in §5 ("whether these resource-competitive
-// results have an analogue in multi-hop WSNs").
+// results have an analogue in multi-hop WSNs") — built entirely on the
+// engine's one topology-aware kernel (internal/topology, DESIGN.md §9).
+// The package carries no execution code of its own: it is orchestration
+// and measurement over engine runs.
 //
-// Construction: a path of H single-hop clusters, each with n correct
-// nodes on its own channel (spatial reuse keeps adjacent clusters from
-// interfering, as in cell-based MAC schemes). Cluster 0 is seeded by
-// Alice. When cluster h reaches its (1-ε) delivery, one of its informed
-// boundary nodes becomes the sender for cluster h+1 — this preserves the
-// authentication story, because m carries Alice's tag and therefore any
-// relay of it verifies (msg.Relay). The relay sender runs Alice's side of
-// the protocol and so inherits her Õ(T^{1/(k+1)}) cost bound against a
-// jammer spending T in that cluster.
+// Two constructions are provided:
+//
+// # The cluster pipeline (Run)
+//
+// A path of H single-hop clusters, each with n correct nodes on its own
+// channel — an explicit clique topology cell; spatial reuse keeps
+// adjacent clusters from interfering, as in cell-based MAC schemes.
+// Cluster 0 is seeded by Alice. When cluster h reaches its (1-ε)
+// delivery, one of its informed boundary nodes becomes the sender for
+// cluster h+1 — this preserves the authentication story, because m
+// carries Alice's tag and therefore any relay of it verifies
+// (msg.Relay). The relay sender runs Alice's side of the protocol and
+// so inherits her Õ(T^{1/(k+1)}) cost bound against a jammer spending T
+// in that cluster.
 //
 // The resource-competitive consequences measured by experiment E12:
 //
@@ -23,6 +31,17 @@
 //   - stranding compounds multiplicatively: each hop can lose an
 //     ε-fraction, so the end-to-end guarantee is (1-ε)^H, matching the
 //     intuition that almost-everywhere guarantees weaken along paths.
+//
+// # The lattice wave (RunGrid)
+//
+// One engine execution on topology.Grid: every node resolves reception
+// against its Chebyshev neighborhood and the broadcast crosses the
+// lattice as a wave of informed rings. The unmodified single-hop
+// protocol carries the wave exactly k hops — nodes informed in the
+// final propagation step never relay (core.Params.SendStep) — so the
+// ring profile RunGrid reports makes the protocol's single-hop design
+// assumption measurable, and the pipeline above remains the
+// construction that crosses arbitrarily long paths.
 package multihop
 
 import (
@@ -34,6 +53,8 @@ import (
 	"rcbcast/internal/energy"
 	"rcbcast/internal/engine"
 	"rcbcast/internal/rng"
+	"rcbcast/internal/topology"
+	"rcbcast/internal/trace"
 )
 
 // Options configures a multi-hop execution.
@@ -120,8 +141,13 @@ func Run(opts Options) (*Result, error) {
 		// Derive an independent seed per cluster so channels do not
 		// share randomness.
 		seed := rng.Mix(opts.Seed, uint64(hop)+1)
+		// Each cluster is one kernel execution on an explicit clique
+		// cell — the same code path a plain single-hop run takes, so
+		// pipeline results are byte-identical to direct engine runs
+		// (pinned by TestPipelineMatchesDirectEngineRuns).
 		hopRes, err := engine.Run(engine.Options{
 			Params:        opts.Params,
+			Topology:      topology.Spec{Kind: "clique"},
 			Seed:          seed,
 			Strategy:      strat,
 			Pool:          opts.Pool,
@@ -162,3 +188,105 @@ func Run(opts Options) (*Result, error) {
 	res.Reached = true
 	return res, nil
 }
+
+// GridOptions configures a lattice wave: one kernel execution on
+// topology.Grid.
+type GridOptions struct {
+	// Params is the protocol instance over all Params.N lattice nodes.
+	// Required; must Validate.
+	Params core.Params
+	// Width and Reach shape the lattice (topology.NewGrid defaults:
+	// ceil(sqrt(n)) columns, reach 1).
+	Width, Reach int
+	// Seed drives every random decision.
+	Seed uint64
+	// Strategy is Carol; nil means no adversary.
+	Strategy adversary.Strategy
+	// Pool is Carol's energy purse. nil means unlimited.
+	Pool *energy.Pool
+	// ExtraRounds bounds the run past StartRound (default 3): nodes
+	// beyond the k-hop wave never pass the quiet test, so an unbounded
+	// lattice run only grinds to the natural round limit.
+	ExtraRounds int
+}
+
+// GridResult pairs the kernel result with the lattice's wave profile.
+type GridResult struct {
+	*engine.Result
+	// Reachable is Alice's k-hop ball on the lattice — the delivery
+	// ceiling of the unmodified single-hop protocol.
+	Reachable int
+	// RingInformed[d] counts informed nodes at Chebyshev ring d of
+	// Alice's corner (ring 0 is her own cell); RingSize[d] is the
+	// ring's population. The wave dies past ring k·reach.
+	RingInformed, RingSize []int
+}
+
+// RunGrid executes the lattice wave on the unified kernel.
+func RunGrid(opts GridOptions) (*GridResult, error) {
+	params := opts.Params
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("multihop: %w", err)
+	}
+	extra := opts.ExtraRounds
+	if extra <= 0 {
+		extra = 3
+	}
+	if params.MaxRound == 0 {
+		params.MaxRound = params.StartRound + extra
+	}
+	spec := topology.Spec{Kind: "grid", Width: opts.Width, Reach: opts.Reach}
+	// The engine's Result carries aggregates only; the per-node informed
+	// flags the ring profile needs arrive through the tracer, which the
+	// engine serializes deterministically.
+	collector := &informedCollector{informed: make([]bool, params.N)}
+	res, err := engine.Run(engine.Options{
+		Params:   params,
+		Topology: spec,
+		Seed:     opts.Seed,
+		Strategy: opts.Strategy,
+		Pool:     opts.Pool,
+		Tracer:   collector,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("multihop: %w", err)
+	}
+	gr := &GridResult{Result: res}
+	topo, err := spec.Build(params.N, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("multihop: %w", err)
+	}
+	grid := topo.(topology.Grid)
+	gr.Reachable = topology.ReachableWithin(grid, params.K)
+	for id := 0; id < params.N; id++ {
+		d := chebFromOrigin(grid, id)
+		for len(gr.RingSize) <= d {
+			gr.RingSize = append(gr.RingSize, 0)
+			gr.RingInformed = append(gr.RingInformed, 0)
+		}
+		gr.RingSize[d]++
+		if collector.informed[id] {
+			gr.RingInformed[d]++
+		}
+	}
+	return gr, nil
+}
+
+// chebFromOrigin returns node id's Chebyshev distance from Alice's
+// corner cell.
+func chebFromOrigin(g topology.Grid, id int) int {
+	x, y := id%g.Width(), id/g.Width()
+	if x > y {
+		return x
+	}
+	return y
+}
+
+// informedCollector is the tracer RunGrid uses to recover per-node
+// informedness from the kernel's deterministic event stream.
+type informedCollector struct {
+	trace.Nop
+	informed []bool
+}
+
+func (c *informedCollector) NodeInformed(node int, _ core.Phase) { c.informed[node] = true }

@@ -7,6 +7,8 @@ import (
 	"rcbcast/internal/adversary"
 	"rcbcast/internal/core"
 	"rcbcast/internal/energy"
+	"rcbcast/internal/engine"
+	"rcbcast/internal/rng"
 )
 
 func TestBenignPipeline(t *testing.T) {
@@ -217,5 +219,128 @@ func TestHopSeedsIndependent(t *testing.T) {
 	if res.Hops[0].SenderCost == res.Hops[1].SenderCost &&
 		res.Hops[0].MedianNodeCost == res.Hops[1].MedianNodeCost {
 		t.Fatal("hops appear to share randomness")
+	}
+}
+
+// TestPipelineMatchesDirectEngineRuns is the fold-in equivalence
+// guarantee: the pipeline rebuilt on the unified topology kernel must
+// reproduce, hop for hop, what direct per-cluster engine runs produce —
+// i.e. the refactor retired the standalone path without changing a
+// byte.
+func TestPipelineMatchesDirectEngineRuns(t *testing.T) {
+	params := core.PracticalParams(128, 2)
+	pool := energy.NewPool(6000)
+	res, err := Run(Options{
+		Params: params,
+		Hops:   3,
+		Seed:   42,
+		StrategyFor: func(hop int) adversary.Strategy {
+			if hop == 1 {
+				return adversary.FullJam{}
+			}
+			return nil
+		},
+		Pool: pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directPool := energy.NewPool(6000)
+	for hop := 0; hop < 3; hop++ {
+		var strat adversary.Strategy
+		if hop == 1 {
+			strat = adversary.FullJam{}
+		}
+		direct, err := engine.Run(engine.Options{
+			Params:   params,
+			Seed:     rng.Mix(42, uint64(hop)+1),
+			Strategy: strat,
+			Pool:     directPool,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr := res.Hops[hop]
+		if hr.Informed != direct.Informed || hr.Slots != direct.SlotsSimulated ||
+			hr.Rounds != direct.Rounds || hr.SenderCost != direct.Alice.Cost ||
+			hr.MaxNodeCost != direct.NodeCost.Max ||
+			hr.MedianNodeCost != direct.NodeCost.Median ||
+			hr.AdversarySpent != direct.AdversarySpent {
+			t.Fatalf("hop %d diverged from a direct engine run:\npipeline: %+v\ndirect:   informed=%d slots=%d rounds=%d",
+				hop, hr, direct.Informed, direct.SlotsSimulated, direct.Rounds)
+		}
+	}
+}
+
+// TestGridWaveProfile: the single-kernel lattice run delivers Alice's
+// k-hop ball ring by ring and nothing beyond it.
+func TestGridWaveProfile(t *testing.T) {
+	res, err := RunGrid(GridOptions{
+		Params: core.PracticalParams(144, 2), // 12x12
+		Seed:   9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable != 9 { // the 3x3 corner block at reach 1, k=2
+		t.Fatalf("reachable = %d, want 9", res.Reachable)
+	}
+	if res.Informed > res.Reachable {
+		t.Fatalf("informed %d beyond the reachable ceiling %d", res.Informed, res.Reachable)
+	}
+	if res.Informed < res.Reachable-2 {
+		t.Fatalf("informed %d, want nearly all of the %d-node ball", res.Informed, res.Reachable)
+	}
+	total, informed := 0, 0
+	for d, size := range res.RingSize {
+		total += size
+		informed += res.RingInformed[d]
+		if d > 2 && res.RingInformed[d] > 0 {
+			t.Fatalf("ring %d informed %d nodes — the k=2 wave must stop at ring 2",
+				d, res.RingInformed[d])
+		}
+	}
+	if total != 144 {
+		t.Fatalf("ring sizes sum to %d, want 144", total)
+	}
+	if informed != res.Informed {
+		t.Fatalf("ring profile counts %d informed, result says %d", informed, res.Informed)
+	}
+}
+
+// TestGridWaveReachGrowsWithK: a deeper propagation schedule carries
+// the wave further on the same lattice.
+func TestGridWaveReachGrowsWithK(t *testing.T) {
+	k2, err := RunGrid(GridOptions{Params: core.PracticalParams(144, 2), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k4, err := RunGrid(GridOptions{Params: core.PracticalParams(144, 4), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4.Reachable <= k2.Reachable || k4.Informed <= k2.Informed {
+		t.Fatalf("k=4 wave (reach %d, informed %d) must outreach k=2 (reach %d, informed %d)",
+			k4.Reachable, k4.Informed, k2.Reachable, k2.Informed)
+	}
+}
+
+// TestGridWaveUnderJamming: jamming delays and thins the wave but
+// cannot push delivery beyond the reachable set.
+func TestGridWaveUnderJamming(t *testing.T) {
+	jammed, err := RunGrid(GridOptions{
+		Params:   core.PracticalParams(100, 2),
+		Seed:     8,
+		Strategy: adversary.RandomJam{P: 0.5},
+		Pool:     energy.NewPool(4000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jammed.Informed > jammed.Reachable {
+		t.Fatalf("informed %d beyond reachable %d", jammed.Informed, jammed.Reachable)
+	}
+	if jammed.AdversarySpent == 0 {
+		t.Fatal("the jammer must have spent energy")
 	}
 }

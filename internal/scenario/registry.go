@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 	"io"
+
+	"rcbcast/internal/topology"
 )
 
 // Named couples a registry name with its scenario and a one-line
@@ -71,6 +73,18 @@ var named = []Named{
 	{"budgeted-full", "full jammer with the paper's device budgets enforced (C = 8)",
 		Scenario{Adversary: AdversarySpec{Kind: "full"},
 			Budget: BudgetSpec{ModelC: 8, ModelF: 1, DeviceC: 8}}},
+	// Topology scenarios bound their rounds (ApplyTopology's default):
+	// on a sparse graph the nodes beyond Alice's k-hop reach hear their
+	// neighbors' NACKs forever and never pass the quiet test, so an
+	// unbounded run only grinds to the natural round limit (DESIGN.md
+	// §9).
+	{"grid-wave", "broadcast wave on a lattice: delivery is Alice's k-hop ball (§9 topology layer)",
+		Scenario{Topology: topology.Spec{Kind: "grid"},
+			Overrides: Overrides{ExtraRounds: SparseTopologyExtraRounds}}},
+	{"gilbert-jam", "random-geometric channel (Gilbert graph, r=0.25) under random jamming (E13)",
+		Scenario{Topology: topology.Spec{Kind: "gilbert", Radius: 0.25},
+			Adversary: AdversarySpec{Kind: "random", P: 0.5}, Budget: paperPool,
+			Overrides: Overrides{ExtraRounds: SparseTopologyExtraRounds}}},
 }
 
 // All returns the named scenarios in registry order. Entries are deep

@@ -11,6 +11,7 @@ import (
 	"rcbcast/internal/energy"
 	"rcbcast/internal/engine"
 	"rcbcast/internal/sim"
+	"rcbcast/internal/topology"
 )
 
 // BudgetSpec declares the energy side of a scenario: Carol's pool and,
@@ -118,6 +119,11 @@ type Scenario struct {
 	Decoy bool `json:"decoy,omitempty"`
 	// Quiet overrides the termination test: "", "absolute", "fraction".
 	Quiet string `json:"quiet,omitempty"`
+	// Topology selects the neighborhood graph reception is resolved
+	// against: clique (the default — the paper's single-hop channel),
+	// grid, or gilbert (internal/topology). Compact flag syntax:
+	// "grid:w=32,reach=2", "gilbert:r=0.2".
+	Topology topology.Spec `json:"topology,omitzero"`
 	// Overrides adjust individual protocol parameters.
 	Overrides Overrides `json:"overrides,omitzero"`
 
@@ -161,6 +167,9 @@ func (s Scenario) resolve() (core.Params, AdversarySpec, error) {
 		return fail(err)
 	}
 	if err := s.Budget.Validate(); err != nil {
+		return fail(err)
+	}
+	if err := s.Topology.Validate(); err != nil {
 		return fail(err)
 	}
 	switch s.Engine {
@@ -255,6 +264,25 @@ func (s Scenario) Params() (core.Params, error) {
 // view.
 func (s Scenario) allowReactive() bool { return s.Reactive || s.Adversary.Reactive() }
 
+// SparseTopologyExtraRounds is the default round bound ApplyTopology
+// installs for sparse graphs; the registry's topology entries use the
+// same value.
+const SparseTopologyExtraRounds = 3
+
+// ApplyTopology sets the scenario's topology and, for sparse graphs
+// with no explicit round bound, caps the run at
+// StartRound+SparseTopologyExtraRounds: nodes beyond Alice's k-hop
+// reach hear their neighbors' NACKs forever and never pass the quiet
+// test, so an unbounded sparse run only grinds to the natural round
+// limit (DESIGN.md §9). This is the one place both CLIs route
+// -topology through.
+func (s *Scenario) ApplyTopology(spec topology.Spec) {
+	s.Topology = spec
+	if !spec.IsClique() && s.Overrides.MaxRound == 0 && s.Overrides.ExtraRounds == 0 {
+		s.Overrides.ExtraRounds = SparseTopologyExtraRounds
+	}
+}
+
 // Build converts the scenario into engine.Options. Parameters are
 // fully resolved (Params) before the options are assembled, and a
 // fresh strategy and pool are minted, so the returned options are safe
@@ -267,6 +295,7 @@ func (s Scenario) Build() (engine.Options, error) {
 	}
 	opts := engine.Options{
 		Params:        params,
+		Topology:      s.Topology,
 		Seed:          s.Seed,
 		AllowReactive: s.allowReactive(),
 		RecordPhases:  s.RecordPhases,
@@ -344,7 +373,7 @@ func (s Scenario) TrialSpec(seed uint64) (sim.TrialSpec, error) {
 	if err != nil {
 		return sim.TrialSpec{}, err
 	}
-	ts := sim.TrialSpec{Params: params, Seed: seed}
+	ts := sim.TrialSpec{Params: params, Topology: s.Topology, Seed: seed}
 	if !spec.IsNull() {
 		ts.Strategy = func() adversary.Strategy { return spec.MustNew(params) }
 	}

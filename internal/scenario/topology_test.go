@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rcbcast/internal/topology"
+)
+
+// TestTopologyJSONGoldens pins the exact JSON encoding of a scenario
+// per topology kind — the round-trip golden the CLIs' -dump-scenario
+// path relies on (clique is the zero value and must stay invisible, so
+// every pre-topology scenario file keeps its bytes).
+func TestTopologyJSONGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scenario
+		want string
+	}{
+		{"clique-implicit",
+			Scenario{N: 64, Adversary: AdversarySpec{Kind: "full"}},
+			"{\n  \"n\": 64,\n  \"adversary\": {\n    \"kind\": \"full\"\n  }\n}\n"},
+		{"clique-explicit",
+			Scenario{N: 64, Topology: topology.Spec{Kind: "clique"}},
+			"{\n  \"n\": 64,\n  \"topology\": {\n    \"kind\": \"clique\"\n  }\n}\n"},
+		{"grid",
+			Scenario{N: 64, Topology: topology.Spec{Kind: "grid", Width: 8, Reach: 2}},
+			"{\n  \"n\": 64,\n  \"topology\": {\n    \"kind\": \"grid\",\n    \"width\": 8,\n    \"reach\": 2\n  }\n}\n"},
+		{"gilbert",
+			Scenario{N: 64, Topology: topology.Spec{Kind: "gilbert", Radius: 0.25},
+				Adversary: AdversarySpec{Kind: "random", P: 0.5}},
+			"{\n  \"n\": 64,\n  \"topology\": {\n    \"kind\": \"gilbert\",\n    \"radius\": 0.25\n  },\n  \"adversary\": {\n    \"kind\": \"random\",\n    \"p\": 0.5\n  }\n}\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data, err := Encode(c.sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != c.want {
+				t.Fatalf("encoding drifted:\n--- got\n%s--- want\n%s", data, c.want)
+			}
+			back, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(back, c.sc) {
+				t.Fatalf("round trip lost information: %+v", back)
+			}
+		})
+	}
+}
+
+// TestTopologyFlagRoundTrip covers the compact syntax per kind, as the
+// CLIs parse it into scenarios.
+func TestTopologyFlagRoundTrip(t *testing.T) {
+	for _, arg := range []string{"clique", "grid", "grid:w=16,reach=2", "gilbert:r=0.2"} {
+		spec, err := topology.ParseSpec(arg)
+		if err != nil {
+			t.Fatalf("%q: %v", arg, err)
+		}
+		sc := Scenario{N: 64, Topology: spec, Overrides: Overrides{ExtraRounds: 2}}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("%q does not validate in a scenario: %v", arg, err)
+		}
+		if spec.String() == "" {
+			t.Fatalf("%q renders empty", arg)
+		}
+		again, err := topology.ParseSpec(spec.String())
+		if err != nil || again != spec {
+			t.Fatalf("flag round trip %q -> %q -> %+v (%v)", arg, spec.String(), again, err)
+		}
+	}
+}
+
+// TestTopologyThreadsThroughBuildAndTrialSpec: the spec a scenario
+// declares must reach engine.Options on both conversion paths.
+func TestTopologyThreadsThroughBuildAndTrialSpec(t *testing.T) {
+	sc := Scenario{N: 64, Seed: 3,
+		Topology:  topology.Spec{Kind: "gilbert", Radius: 0.3},
+		Overrides: Overrides{ExtraRounds: 2}}
+	opts, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Topology != sc.Topology {
+		t.Fatalf("Build dropped the topology: %+v", opts.Topology)
+	}
+	ts, err := sc.TrialSpec(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Topology != sc.Topology {
+		t.Fatalf("TrialSpec dropped the topology: %+v", ts.Topology)
+	}
+	// And the scenario actually runs on the sparse path: with r=0.3 and
+	// Alice at the center, some of the 64 nodes are out of 2-hop reach.
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Informed == 0 || res.Informed == 64 {
+		t.Fatalf("gilbert run looks like a clique run: informed %d/64", res.Informed)
+	}
+}
+
+func TestTopologyValidationSurfacesInScenario(t *testing.T) {
+	for _, sc := range []Scenario{
+		{N: 64, Topology: topology.Spec{Kind: "torus"}},
+		{N: 64, Topology: topology.Spec{Kind: "gilbert"}},
+		{N: 64, Topology: topology.Spec{Kind: "grid", Radius: 0.2}},
+	} {
+		if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "topology") {
+			t.Fatalf("scenario %+v: want topology validation error, got %v", sc.Topology, err)
+		}
+	}
+}
+
+// TestTopologyRegistryEntriesRunSparse: the registry's topology
+// scenarios must really exercise the sparse kernel.
+func TestTopologyRegistryEntriesRunSparse(t *testing.T) {
+	for _, name := range []string{"grid-wave", "gilbert-jam"} {
+		sc, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s missing from registry", name)
+		}
+		if sc.Topology.IsClique() {
+			t.Fatalf("%s is not a sparse topology scenario", name)
+		}
+		sc.N, sc.Seed = 100, 4
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Informed == 0 {
+			t.Fatalf("%s informed nobody", name)
+		}
+		if res.Informed == 100 {
+			t.Fatalf("%s informed everyone — not distinguishable from the clique", name)
+		}
+	}
+}

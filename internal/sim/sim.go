@@ -35,6 +35,7 @@ import (
 	"rcbcast/internal/energy"
 	"rcbcast/internal/engine"
 	"rcbcast/internal/rng"
+	"rcbcast/internal/topology"
 )
 
 // TrialSeed derives the engine seed for one trial of a sweep by mixing
@@ -67,6 +68,11 @@ func SweepSeed(base uint64, point, trial int) uint64 {
 type TrialSpec struct {
 	// Params is the protocol instance. Required; must Validate.
 	Params core.Params
+	// Topology selects the neighborhood graph reception is resolved
+	// against (zero value = the clique, the paper's single-hop
+	// channel). Randomized topologies are rebuilt per trial from Seed,
+	// so they parallelize like everything else.
+	Topology topology.Spec
 	// Seed drives every random decision of the trial; derive it with
 	// TrialSeed.
 	Seed uint64
@@ -83,7 +89,7 @@ type TrialSpec struct {
 
 // options assembles the engine.Options for the spec.
 func (s *TrialSpec) options() engine.Options {
-	opts := engine.Options{Params: s.Params, Seed: s.Seed}
+	opts := engine.Options{Params: s.Params, Topology: s.Topology, Seed: s.Seed}
 	if s.Strategy != nil {
 		opts.Strategy = s.Strategy()
 	}

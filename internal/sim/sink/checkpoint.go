@@ -193,13 +193,14 @@ func (c *Checkpoint) Close() error {
 	return cerr
 }
 
-// fingerprint hashes the sweep's first spec — its seed and protocol
-// instance — into the journal-header token. Derived sweeps share one
-// scenario and base seed across all specs, so the first spec catches
-// the realistic mismatches (a different -n, -seed, or scenario
-// override) while still allowing a longer -trials resume of the same
-// sweep. Strategy, pool, and Configure are factories and cannot be
-// hashed; two sweeps differing only in those are not distinguished.
+// fingerprint hashes the sweep's first spec — its seed, protocol
+// instance, and topology — into the journal-header token. Derived
+// sweeps share one scenario and base seed across all specs, so the
+// first spec catches the realistic mismatches (a different -n, -seed,
+// -topology, or scenario override) while still allowing a longer
+// -trials resume of the same sweep. Strategy, pool, and Configure are
+// factories and cannot be hashed; two sweeps differing only in those
+// are not distinguished.
 func fingerprint(specs []sim.TrialSpec) string {
 	h := fnv.New64a()
 	var b [8]byte
@@ -207,6 +208,9 @@ func fingerprint(specs []sim.TrialSpec) string {
 	h.Write(b[:])
 	if params, err := json.Marshal(specs[0].Params); err == nil {
 		h.Write(params)
+	}
+	if topo, err := json.Marshal(specs[0].Topology); err == nil {
+		h.Write(topo)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

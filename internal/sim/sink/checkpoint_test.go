@@ -11,6 +11,7 @@ import (
 
 	"rcbcast/internal/engine"
 	"rcbcast/internal/sim"
+	"rcbcast/internal/topology"
 )
 
 func openCheckpoint(t *testing.T, path string) *Checkpoint {
@@ -174,6 +175,13 @@ func TestCheckpointSpecMismatchRejected(t *testing.T) {
 	for name, specs := range map[string][]sim.TrialSpec{
 		"different n":    jamSpecs(128, 3),
 		"different seed": func() []sim.TrialSpec { s := jamSpecs(64, 3); s[0].Seed++; return s }(),
+		"different topology": func() []sim.TrialSpec {
+			s := jamSpecs(64, 3)
+			for i := range s {
+				s[i].Topology = topology.Spec{Kind: "gilbert", Radius: 0.3}
+			}
+			return s
+		}(),
 	} {
 		cp2 := openCheckpoint(t, path)
 		err := StreamCheckpointed(context.Background(), 1, specs, cp2)

@@ -195,6 +195,14 @@ func StreamMap[T any](ctx context.Context, procs, n int, fn func(ctx context.Con
 	return nil
 }
 
+// scratches recycles engine working buffers across the trials a worker
+// executes: sync.Pool's per-P caching makes a Get/Put pair around each
+// trial an effectively per-worker scratch, cutting the steady-state
+// allocation rate of long sweeps. Results are byte-identical with and
+// without reuse (the engine's scratch test pins that), so determinism
+// is untouched.
+var scratches = sync.Pool{New: func() any { return engine.NewScratch() }}
+
 // Stream is the streaming run session: it executes every spec on a pool
 // of procs workers (procs <= 0 selects GOMAXPROCS) and delivers results
 // to the sinks in trial order with bounded buffering — a million-trial
@@ -206,7 +214,13 @@ func StreamMap[T any](ctx context.Context, procs, n int, fn func(ctx context.Con
 // even when the stream stops early.
 func Stream(ctx context.Context, procs int, specs []TrialSpec, sinks ...Sink) error {
 	streamErr := StreamMap(ctx, procs, len(specs), func(ctx context.Context, i int) (*engine.Result, error) {
-		return engine.RunContext(ctx, specs[i].options())
+		opts := specs[i].options()
+		if opts.Scratch == nil {
+			sc := scratches.Get().(*engine.Scratch)
+			defer scratches.Put(sc)
+			opts.Scratch = sc
+		}
+		return engine.RunContext(ctx, opts)
 	}, func(i int, r *engine.Result) error {
 		for _, s := range sinks {
 			if err := s.Trial(i, r); err != nil {

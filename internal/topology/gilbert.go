@@ -1,0 +1,135 @@
+package topology
+
+import (
+	"rcbcast/internal/rng"
+)
+
+// Gilbert is the random geometric graph: n points drawn uniformly in
+// the unit square, two nodes adjacent iff their Euclidean distance is
+// at most Radius. Alice transmits from the center (1/2, 1/2), the
+// deterministic position that keeps her expected audience at the
+// full πr²n for every radius.
+//
+// Construction draws from the stream keyed (seed, StreamActor), so the
+// graph is a pure function of the engine seed: trials of a sweep each
+// get an independent graph, reproducible across worker counts.
+type Gilbert struct {
+	n      int
+	radius float64
+	xs, ys []float64
+	adj    bitmatrix
+	degs   []int
+	alice  []bool
+}
+
+// NewGilbert draws the radius-r geometric graph over n points from the
+// given seed.
+func NewGilbert(n int, radius float64, seed uint64) *Gilbert {
+	g := &Gilbert{
+		n:      n,
+		radius: radius,
+		xs:     make([]float64, n),
+		ys:     make([]float64, n),
+		adj:    newBitmatrix(n),
+		degs:   make([]int, n),
+		alice:  make([]bool, n),
+	}
+	st := rng.New(seed, StreamActor)
+	for i := 0; i < n; i++ {
+		g.xs[i] = st.Float64()
+		g.ys[i] = st.Float64()
+	}
+	r2 := radius * radius
+	// Bucket points into cells of side >= radius: all neighbors of a
+	// point lie in its 3x3 cell block. Cell count is capped near sqrt(n)
+	// so tiny radii cannot allocate an absurd cell grid.
+	cells := 1
+	if radius < 1 {
+		cells = int(1 / radius)
+		if cells < 1 {
+			cells = 1
+		}
+		if max := isqrtCeil(n) + 1; cells > max {
+			cells = max
+		}
+	}
+	buckets := make([][]int32, cells*cells)
+	cellOf := func(v float64) int {
+		c := int(v * float64(cells))
+		if c >= cells {
+			c = cells - 1
+		}
+		return c
+	}
+	for i := 0; i < n; i++ {
+		c := cellOf(g.ys[i])*cells + cellOf(g.xs[i])
+		buckets[c] = append(buckets[c], int32(i))
+	}
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(g.xs[i]), cellOf(g.ys[i])
+		for dy := -1; dy <= 1; dy++ {
+			by := cy + dy
+			if by < 0 || by >= cells {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				bx := cx + dx
+				if bx < 0 || bx >= cells {
+					continue
+				}
+				for _, j32 := range buckets[by*cells+bx] {
+					j := int(j32)
+					if j <= i {
+						continue
+					}
+					ddx, ddy := g.xs[i]-g.xs[j], g.ys[i]-g.ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						g.adj.set(i, j)
+						g.adj.set(j, i)
+						g.degs[i]++
+						g.degs[j]++
+					}
+				}
+			}
+		}
+		ddx, ddy := g.xs[i]-0.5, g.ys[i]-0.5
+		g.alice[i] = ddx*ddx+ddy*ddy <= r2
+	}
+	return g
+}
+
+func (g *Gilbert) Name() string   { return "gilbert" }
+func (g *Gilbert) N() int         { return g.n }
+func (g *Gilbert) Complete() bool { return false }
+
+// Radius reports the connection radius the graph was built with.
+func (g *Gilbert) Radius() float64 { return g.radius }
+
+// Position returns node i's point in the unit square.
+func (g *Gilbert) Position(i int) (x, y float64) { return g.xs[i], g.ys[i] }
+
+func (g *Gilbert) AliceHears(node int) bool { return g.alice[node] }
+
+func (g *Gilbert) Adjacent(src, listener int) bool {
+	if src == listener {
+		return false
+	}
+	return g.adj.get(src, listener)
+}
+
+func (g *Gilbert) Degree(node int) int { return g.degs[node] }
+
+// bitmatrix is a dense n x n adjacency bitset (rows of packed uint64
+// words): O(1) Adjacent at n²/8 bytes, a fine trade at simulation n.
+type bitmatrix struct {
+	words []uint64
+	row   int // words per row
+}
+
+func newBitmatrix(n int) bitmatrix {
+	row := (n + 63) / 64
+	return bitmatrix{words: make([]uint64, row*n), row: row}
+}
+
+func (b bitmatrix) set(i, j int)      { b.words[i*b.row+j/64] |= 1 << (uint(j) % 64) }
+func (b bitmatrix) get(i, j int) bool { return b.words[i*b.row+j/64]&(1<<(uint(j)%64)) != 0 }

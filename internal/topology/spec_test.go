@@ -1,0 +1,100 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+		out  string // String() rendering; "" means same as in
+	}{
+		{"clique", Spec{Kind: "clique"}, ""},
+		{"grid", Spec{Kind: "grid"}, ""},
+		{"grid:w=32", Spec{Kind: "grid", Width: 32}, ""},
+		{"grid:w=32,reach=2", Spec{Kind: "grid", Width: 32, Reach: 2}, ""},
+		{"grid:reach=3", Spec{Kind: "grid", Reach: 3}, ""},
+		{"gilbert:r=0.2", Spec{Kind: "gilbert", Radius: 0.2}, ""},
+		{"gilbert:r=0.125", Spec{Kind: "gilbert", Radius: 0.125}, ""},
+		{" gilbert:r=1 ", Spec{Kind: "gilbert", Radius: 1}, "gilbert:r=1"},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		want := c.out
+		if want == "" {
+			want = strings.TrimSpace(c.in)
+		}
+		if got.String() != want {
+			t.Fatalf("String() = %q, want %q", got.String(), want)
+		}
+		back, err := ParseSpec(got.String())
+		if err != nil || back != got {
+			t.Fatalf("round trip %q -> %q -> %+v (%v)", c.in, got.String(), back, err)
+		}
+	}
+}
+
+func TestZeroSpecIsClique(t *testing.T) {
+	var s Spec
+	if !s.IsClique() || s.Validate() != nil || s.String() != "clique" {
+		t.Fatalf("zero spec: %+v", s)
+	}
+	topo, err := s.Build(16, 1)
+	if err != nil || !topo.Complete() {
+		t.Fatalf("zero spec must build the clique: %v", err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "torus", "gilbert", "gilbert:r=0", "gilbert:r=3", "gilbert:r=x",
+		"grid:r=0.2", "gilbert:w=3", "clique:w=2", "grid:w=-1", "grid:side=3",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) must fail", bad)
+		}
+	}
+}
+
+func TestBuildPerKind(t *testing.T) {
+	for _, c := range []struct {
+		spec Spec
+		name string
+	}{
+		{Spec{}, "clique"},
+		{Spec{Kind: "grid", Width: 8, Reach: 2}, "grid"},
+		{Spec{Kind: "gilbert", Radius: 0.3}, "gilbert"},
+	} {
+		topo, err := c.spec.Build(64, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if topo.Name() != c.name || topo.N() != 64 {
+			t.Fatalf("%s built %s/%d", c.name, topo.Name(), topo.N())
+		}
+	}
+	if _, err := (Spec{Kind: "gilbert", Radius: 0.3}).Build(0, 1); err == nil {
+		t.Fatal("n = 0 must fail")
+	}
+	if _, err := (Spec{Kind: "nope"}).Build(8, 1); err == nil {
+		t.Fatal("invalid spec must fail Build")
+	}
+}
+
+func TestKindsListedAndWritten(t *testing.T) {
+	var sb strings.Builder
+	WriteList(&sb)
+	for _, k := range Kinds() {
+		if !strings.Contains(sb.String(), k.Name) {
+			t.Fatalf("listing missing %q:\n%s", k.Name, sb.String())
+		}
+	}
+}

@@ -60,6 +60,7 @@ import (
 	"rcbcast/internal/scenario"
 	"rcbcast/internal/sim"
 	"rcbcast/internal/sim/sink"
+	"rcbcast/internal/topology"
 	"rcbcast/internal/trace"
 )
 
@@ -274,6 +275,42 @@ func DecodeScenario(data []byte) (Scenario, error) { return scenario.Decode(data
 // encode is byte-stable.
 func EncodeScenario(s Scenario) ([]byte, error) { return scenario.Encode(s) }
 
+// Topologies (internal/topology): the neighborhood graph reception is
+// resolved against — clique (the paper's single-hop channel, the
+// default), grid, or Gilbert random-geometric. Set Scenario.Topology /
+// Options.Topology; the zero value keeps the engine's byte-identical
+// clique fast path.
+type (
+	// Topology is the immutable neighborhood graph interface.
+	Topology = topology.Topology
+	// TopologySpec is the plain-data, JSON/flag-serializable topology
+	// description ("grid:w=32,reach=2", "gilbert:r=0.2").
+	TopologySpec = topology.Spec
+	// TopologyKind describes one registered topology kind.
+	TopologyKind = topology.KindInfo
+)
+
+// ParseTopology decodes the compact topology flag syntax, e.g.
+// "gilbert:r=0.2" or "grid:w=32,reach=2".
+func ParseTopology(s string) (TopologySpec, error) { return topology.ParseSpec(s) }
+
+// TopologyKinds lists the registered topology kinds.
+func TopologyKinds() []TopologyKind { return topology.Kinds() }
+
+// ReachableWithin returns the number of nodes within `hops` edge-hops
+// of Alice on the topology (hops < 0: her whole component) — the
+// delivery ceiling of the unmodified single-hop protocol is
+// ReachableWithin(t, k).
+func ReachableWithin(t Topology, hops int) int { return topology.ReachableWithin(t, hops) }
+
+// Scratch recycles engine working buffers across runs (Options.Scratch)
+// — the allocation-rate lever for tight trial loops. Results are
+// byte-identical with and without one.
+type Scratch = engine.Scratch
+
+// NewScratch returns an empty scratch buffer set.
+func NewScratch() *Scratch { return engine.NewScratch() }
+
 // Adversaries (internal/adversary).
 type (
 	// Strategy is Carol: she commits a jamming/spoofing plan per phase.
@@ -351,7 +388,8 @@ func NewTextTracer(w io.Writer) *TextTracer { return trace.NewText(w) }
 // NewJSONTracer returns an NDJSON tracer writing to w.
 func NewJSONTracer(w io.Writer) *JSONTracer { return trace.NewJSON(w) }
 
-// Multi-hop extension (internal/multihop, the §5 open question).
+// Multi-hop extension (internal/multihop, the §5 open question) —
+// orchestration over the one topology-aware kernel.
 type (
 	// MultiHopOptions configures a cluster-pipeline execution.
 	MultiHopOptions = multihop.Options
@@ -359,12 +397,24 @@ type (
 	MultiHopResult = multihop.Result
 	// HopResult summarizes one cluster's broadcast.
 	HopResult = multihop.HopResult
+	// GridWaveOptions configures a lattice wave: one kernel execution
+	// on the grid topology.
+	GridWaveOptions = multihop.GridOptions
+	// GridWaveResult pairs the kernel result with the ring profile.
+	GridWaveResult = multihop.GridResult
 )
 
 // RunMultiHop executes ε-BROADCAST across a path of single-hop clusters,
 // relaying m (still carrying Alice's authenticator) hop by hop.
 func RunMultiHop(opts MultiHopOptions) (*MultiHopResult, error) {
 	return multihop.Run(opts)
+}
+
+// RunGridWave executes the lattice wave on the unified kernel and
+// reports delivery ring by ring; the unmodified single-hop protocol
+// carries the wave exactly k hops.
+func RunGridWave(opts GridWaveOptions) (*GridWaveResult, error) {
+	return multihop.RunGrid(opts)
 }
 
 // RunNaive executes the naive always-on baseline against a T-slot jam.
