@@ -31,6 +31,13 @@
 // phase boundary; with -checkpoint, rerunning the same command resumes
 // from the completed-trial journal and the final output is
 // byte-identical to an uninterrupted run.
+//
+// Sweep mode is also the profiling harness: -cpuprofile captures the
+// whole sweep (workers included) and -memprofile writes a heap profile
+// at sweep end, both readable with `go tool pprof`:
+//
+//	rcexp -scenario full-jam -n 512 -trials 1000 \
+//	      -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
 package main
 
 import (
@@ -41,6 +48,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -81,6 +90,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		outFormat  = fs.String("out", "jsonl", "raw sweep output format: jsonl or csv")
 		progress   = fs.Bool("progress", false, "report sweep progress on stderr")
 		checkpoint = fs.String("checkpoint", "", "journal completed trials here; rerun to resume")
+		cpuprofile = fs.String("cpuprofile", "", "raw sweep mode: write a pprof CPU profile of the sweep here")
+		memprofile = fs.String("memprofile", "", "raw sweep mode: write a pprof heap profile at sweep end here")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +114,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *topo != "" && *scn == "" {
 		return errors.New("-topology needs -scenario (sweep mode)")
 	}
+	if (*cpuprofile != "" || *memprofile != "") && *scn == "" {
+		return errors.New("-cpuprofile/-memprofile need -scenario (sweep mode)")
+	}
 	if *scn != "" {
 		return runSweep(ctx, out, sweepConfig{
 			scenario:   *scn,
@@ -114,6 +128,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			outFormat:  *outFormat,
 			progress:   *progress,
 			checkpoint: *checkpoint,
+			cpuprofile: *cpuprofile,
+			memprofile: *memprofile,
 		})
 	}
 
@@ -177,16 +193,64 @@ type sweepConfig struct {
 	outFormat  string
 	progress   bool
 	checkpoint string
+	cpuprofile string
+	memprofile string
+}
+
+// profileSweep starts the requested pprof captures around a sweep and
+// returns a finish func that stops the CPU profile and writes the heap
+// profile (after a GC, so it reflects retained memory, not garbage).
+func profileSweep(cfg sweepConfig) (finish func() error, err error) {
+	var cpuFile *os.File
+	if cfg.cpuprofile != "" {
+		cpuFile, err = os.Create(cfg.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if cfg.memprofile != "" {
+			f, err := os.Create(cfg.memprofile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // runSweep streams per-trial records of one scenario through the
 // session API: O(procs) live results, optional progress reporting, and
 // a resumable completed-trial journal.
-func runSweep(ctx context.Context, out io.Writer, cfg sweepConfig) error {
+func runSweep(ctx context.Context, out io.Writer, cfg sweepConfig) (err error) {
 	sc, err := loadScenario(cfg.scenario)
 	if err != nil {
 		return err
 	}
+	finishProfiles, err := profileSweep(cfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := finishProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	if cfg.topology != "" {
 		spec, terr := topology.ParseSpec(cfg.topology)
 		if terr != nil {

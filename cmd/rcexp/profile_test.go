@@ -1,0 +1,49 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRcexpSweepProfiles: the -cpuprofile/-memprofile path writes
+// non-empty pprof files without disturbing the sweep output.
+func TestRcexpSweepProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var buf strings.Builder
+	args := []string{"-scenario", "full-jam", "-n", "64", "-trials", "4",
+		"-cpuprofile", cpu, "-memprofile", mem}
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 4 {
+		t.Fatalf("want 4 NDJSON lines alongside profiling, got %d", got)
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRcexpProfileNeedsSweepMode: profiling flags outside sweep mode
+// are a usage error, not a silent no-op.
+func TestRcexpProfileNeedsSweepMode(t *testing.T) {
+	var buf strings.Builder
+	err := run(context.Background(), []string{"-cpuprofile", "x.prof", "-list"}, &buf)
+	if err != nil {
+		t.Fatal("listing flags take precedence and must still work")
+	}
+	err = run(context.Background(), []string{"-cpuprofile", filepath.Join(t.TempDir(), "x.prof")}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-scenario") {
+		t.Fatalf("want sweep-mode usage error, got %v", err)
+	}
+}

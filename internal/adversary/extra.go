@@ -53,6 +53,7 @@ func (s DataSpoofer) PlanPhase(ph core.Phase, _ *History, pool *energy.Pool, st 
 		}
 	}
 	if planned == 0 {
+		p.Release()
 		return nil
 	}
 	return p
@@ -189,8 +190,13 @@ func (s Composite) Name() string {
 // PlanPhase implements Strategy.
 func (s Composite) PlanPhase(ph core.Phase, hist *History, pool *energy.Pool, st *rng.Stream) *Plan {
 	var merged *Plan
+	// One derived stream value re-keyed per part: each sub-strategy
+	// still sees the sequence st.Derive(i) would produce, without a
+	// fresh heap stream per part per phase.
+	var derived rng.Stream
 	for i, part := range s.Parts {
-		sub := part.PlanPhase(ph, hist, pool, st.Derive(uint64(i)))
+		st.DeriveInto(&derived, uint64(i))
+		sub := part.PlanPhase(ph, hist, pool, &derived)
 		if sub == nil {
 			continue
 		}
@@ -210,6 +216,7 @@ func (s Composite) PlanPhase(ph core.Phase, hist *History, pool *energy.Pool, st
 			// n-uniform targeters should express the union themselves.
 			merged.SetDisrupt(sub.disrupt)
 		}
+		sub.Release()
 	}
 	return merged
 }

@@ -17,12 +17,14 @@ package adversary
 
 import (
 	"math/bits"
-	"sort"
+	"slices"
+	"sync"
 
 	"rcbcast/internal/msg"
 )
 
-// Bitmap is a fixed-length bitset over the slots of one phase.
+// Bitmap is a fixed-length bitset over the slots of one phase. The zero
+// value is an empty bitmap; size it with NewBitmap or Reset.
 type Bitmap struct {
 	words []uint64
 	n     int
@@ -30,10 +32,26 @@ type Bitmap struct {
 
 // NewBitmap returns an all-zero bitmap over n slots.
 func NewBitmap(n int) *Bitmap {
+	b := &Bitmap{}
+	b.Reset(n)
+	return b
+}
+
+// Reset re-sizes the bitmap to n all-zero slots in place, reusing the
+// word buffer when it is large enough — the engine recycles one bitmap
+// value across phases (and, via its Scratch, across runs) this way.
+func (b *Bitmap) Reset(n int) {
 	if n < 0 {
 		n = 0
 	}
-	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+	words := (n + 63) / 64
+	if cap(b.words) < words {
+		b.words = make([]uint64, words)
+	} else {
+		b.words = b.words[:words]
+		clear(b.words)
+	}
+	b.n = n
 }
 
 // Len returns the number of slots.
@@ -83,15 +101,37 @@ type Injection struct {
 // Plan is the adversary's committed behaviour for one phase.
 type Plan struct {
 	length     int
-	jam        *Bitmap
+	jam        Bitmap
 	disrupt    func(slot, listener int) bool
 	injections []Injection
 }
 
+// planPool recycles plans across phases and runs. Strategies allocate a
+// plan per phase through NewPlan; the engine hands each plan back via
+// Release once the phase's listens are resolved, so the steady-state
+// allocation rate of a tight trial loop is zero however many phases it
+// executes. A plan carries no state between uses — NewPlan re-zeroes the
+// jam bitmap, injections, and targeting predicate.
+var planPool = sync.Pool{New: func() any { return new(Plan) }}
+
 // NewPlan returns an empty plan for a phase of the given length.
 func NewPlan(length int) *Plan {
-	return &Plan{length: length, jam: NewBitmap(length)}
+	p := planPool.Get().(*Plan)
+	if length < 0 {
+		length = 0
+	}
+	p.length = length
+	p.jam.Reset(length)
+	p.disrupt = nil
+	p.injections = p.injections[:0]
+	return p
 }
+
+// Release returns the plan to the allocation pool. Only the engine calls
+// it, after the phase the plan commits is fully resolved; a released
+// plan (and any slice obtained from its Injections) must not be used
+// again.
+func (p *Plan) Release() { planPool.Put(p) }
 
 // Length returns the phase length the plan was built for.
 func (p *Plan) Length() int { return p.length }
@@ -146,9 +186,9 @@ func (p *Plan) Inject(slot int, f msg.Frame) {
 // Injections returns the plan's spoofed frames sorted by slot. The
 // returned slice is owned by the plan.
 func (p *Plan) Injections() []Injection {
-	sort.SliceStable(p.injections, func(i, j int) bool {
-		return p.injections[i].Slot < p.injections[j].Slot
-	})
+	// slices.SortStableFunc rather than sort.SliceStable: no reflection
+	// swapper, no per-call closure allocation.
+	slices.SortStableFunc(p.injections, func(a, b Injection) int { return a.Slot - b.Slot })
 	return p.injections
 }
 

@@ -96,6 +96,7 @@ func (s RandomJam) PlanPhase(ph core.Phase, _ *History, pool *energy.Pool, st *r
 		}
 	}
 	if planned == 0 {
+		p.Release()
 		return nil
 	}
 	return p
@@ -134,6 +135,7 @@ func (s Bursty) PlanPhase(ph core.Phase, _ *History, pool *energy.Pool, st *rng.
 		slot += gap
 	}
 	if planned == 0 {
+		p.Release()
 		return nil
 	}
 	return p
@@ -306,6 +308,7 @@ func (s *NackSpoofer) PlanPhase(ph core.Phase, _ *History, pool *energy.Pool, st
 		}
 	}
 	if planned == 0 {
+		p.Release()
 		return nil
 	}
 	return p

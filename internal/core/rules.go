@@ -59,30 +59,47 @@ func (p *Params) BlockCost(ph Phase) int64 {
 	return int64(math.Ceil(p.BlockedFraction(ph.Kind) * float64(ph.Length)))
 }
 
-// Schedule iterates the full protocol schedule round by round.
+// Schedule iterates the full protocol schedule round by round. A
+// Schedule must be initialized with NewSchedule or Reset before use. A
+// Schedule value Reset across runs reuses its round buffer, so
+// steady-state iteration costs no allocation beyond the buffer's
+// high-water mark.
 type Schedule struct {
 	params *Params
 	round  int
 	queue  []Phase
+	pos    int
 }
 
 // NewSchedule returns an iterator positioned at StartRound.
 func NewSchedule(params *Params) *Schedule {
-	return &Schedule{params: params, round: params.StartRound}
+	s := &Schedule{}
+	s.Reset(params)
+	return s
+}
+
+// Reset re-points the iterator at params' StartRound, keeping the round
+// buffer's capacity.
+func (s *Schedule) Reset(params *Params) {
+	s.params = params
+	s.round = params.StartRound
+	s.queue = s.queue[:0]
+	s.pos = 0
 }
 
 // Next returns the next phase in execution order and true, or a zero Phase
 // and false after MaxRound's request phase.
 func (s *Schedule) Next() (Phase, bool) {
-	if len(s.queue) == 0 {
+	if s.pos >= len(s.queue) {
 		if s.round > s.params.LastRound() {
 			return Phase{}, false
 		}
-		s.queue = s.params.Round(s.round)
+		s.queue = s.params.AppendRound(s.queue[:0], s.round)
+		s.pos = 0
 		s.round++
 	}
-	ph := s.queue[0]
-	s.queue = s.queue[1:]
+	ph := s.queue[s.pos]
+	s.pos++
 	return ph, true
 }
 

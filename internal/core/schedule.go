@@ -111,16 +111,25 @@ func (p *Params) TotalSlots(i int) int64 {
 // With PolyEstimate enabled, propagation steps and the request phase are
 // expanded into their g-sweep sub-phases.
 func (p *Params) Round(i int) []Phase {
-	phases := make([]Phase, 0, p.K+1)
-	phases = append(phases, p.expand(p.informPhase(i))...)
+	return p.AppendRound(make([]Phase, 0, p.K+1), i)
+}
+
+// AppendRound appends round i's phase descriptors to dst and returns the
+// extended slice — the allocation-free path behind Round that lets
+// Schedule reuse one buffer across rounds and runs. Ordinals are
+// assigned relative to the appended region, so the result is identical
+// to Round(i) whatever dst already holds.
+func (p *Params) AppendRound(dst []Phase, i int) []Phase {
+	base := len(dst)
+	dst = p.appendExpand(dst, p.informPhase(i))
 	for h := 1; h <= p.K-1; h++ {
-		phases = append(phases, p.expand(p.propagatePhase(i, h))...)
+		dst = p.appendExpand(dst, p.propagatePhase(i, h))
 	}
-	phases = append(phases, p.expand(p.requestPhase(i))...)
-	for o := range phases {
-		phases[o].Ordinal = o
+	dst = p.appendExpand(dst, p.requestPhase(i))
+	for o := base; o < len(dst); o++ {
+		dst[o].Ordinal = o - base
 	}
-	return phases
+	return dst
 }
 
 // sweepLen returns ⌈lg ν⌉, the number of g-sweep sub-phases, or 0 when
@@ -132,28 +141,27 @@ func (p *Params) sweepLen() int {
 	return int(math.Ceil(math.Log2(p.PolyEstimate)))
 }
 
-// expand replicates a phase across the g-sweep, substituting the paper's
-// sending probability 1/(2^i · 2^g) (§4.2). The 2^i factor keeps the
-// total sends per sender across the sweep at Σ_g L/(2^i 2^g) ≈ 2^{i/k},
-// within the node budget scale; the sub-phase with 2^{i+g} ≈ n uses the
-// correct 1/n rate to within a factor of 2 (which exists whenever
-// i ≤ lg n - 1, the protocol's operating range). Phases that carry no
-// node sending probability are returned unchanged.
-func (p *Params) expand(ph Phase) []Phase {
+// appendExpand replicates a phase across the g-sweep, substituting the
+// paper's sending probability 1/(2^i · 2^g) (§4.2). The 2^i factor keeps
+// the total sends per sender across the sweep at Σ_g L/(2^i 2^g) ≈
+// 2^{i/k}, within the node budget scale; the sub-phase with 2^{i+g} ≈ n
+// uses the correct 1/n rate to within a factor of 2 (which exists
+// whenever i ≤ lg n - 1, the protocol's operating range). Phases that
+// carry no node sending probability are appended unchanged.
+func (p *Params) appendExpand(dst []Phase, ph Phase) []Phase {
 	ph.LastSub = true
 	l := p.sweepLen()
 	if l == 0 || ph.NodeSendP == 0 {
-		return []Phase{ph}
+		return append(dst, ph)
 	}
-	out := make([]Phase, 0, l)
 	for g := 1; g <= l; g++ {
 		sub := ph
 		sub.Sub = g
 		sub.LastSub = g == l
 		sub.NodeSendP = clampP(1 / math.Pow(2, float64(ph.Round+g)))
-		out = append(out, sub)
+		dst = append(dst, sub)
 	}
-	return out
+	return dst
 }
 
 func clampP(v float64) float64 {

@@ -72,26 +72,46 @@ func (m *Meter) Reset(budget int64) {
 }
 
 // Charge records one unit of op. It returns ErrExhausted, leaving the meter
-// unchanged, if the budget does not cover it.
+// unchanged, if the budget does not cover it. Open-coded rather than
+// ChargeN(op, 1) so the whole unit charge inlines into the engine's
+// per-action loops.
 func (m *Meter) Charge(op Op) error {
-	return m.ChargeN(op, 1)
+	if m.budget != Unlimited && m.spent >= m.budget {
+		return m.exhausted(op, 1)
+	}
+	m.spent++
+	if int(op) < len(m.byOp) {
+		m.byOp[op]++
+	}
+	return nil
 }
 
 // ChargeN records n units of op atomically: either all n are charged or
-// none are. n <= 0 is a no-op.
+// none are. n <= 0 is a no-op. The exhaustion path is split out so the
+// hot all-is-well path stays inlinable — Charge sits inside the
+// engine's per-action loops.
 func (m *Meter) ChargeN(op Op, n int64) error {
 	if n <= 0 {
 		return nil
 	}
 	if m.budget != Unlimited && m.spent+n > m.budget {
-		return fmt.Errorf("%w: %s x%d would exceed budget %d (spent %d)",
-			ErrExhausted, op, n, m.budget, m.spent)
+		return m.exhausted(op, n)
 	}
 	m.spent += n
 	if int(op) < len(m.byOp) {
 		m.byOp[op] += n
 	}
 	return nil
+}
+
+// exhausted builds the (allocating) over-budget error; never on the
+// charged path. Kept out of line so Charge itself stays within the
+// inlining budget.
+//
+//go:noinline
+func (m *Meter) exhausted(op Op, n int64) error {
+	return fmt.Errorf("%w: %s x%d would exceed budget %d (spent %d)",
+		ErrExhausted, op, n, m.budget, m.spent)
 }
 
 // CanAfford reports whether n more units fit in the budget.
@@ -169,6 +189,12 @@ func NewAdversaryPool(carolBudget int64, byzantineDevices int, deviceBudget int6
 	total := carolBudget + int64(byzantineDevices)*deviceBudget
 	return NewPool(total)
 }
+
+// Reset re-arms the pool in place with a fresh aggregate budget,
+// clearing all spend — the buffer-reuse hook for trial loops that give
+// the adversary the same purse every trial. Negative budgets are
+// treated as zero, as in NewPool.
+func (p *Pool) Reset(budget int64) { p.meter.Reset(maxInt64(budget, 0)) }
 
 // Charge draws n units of op from the pool.
 func (p *Pool) Charge(op Op, n int64) error { return p.meter.ChargeN(op, n) }

@@ -20,7 +20,7 @@ func TestObserveMatchesSlotsimReference(t *testing.T) {
 	auth := msg.NewAuthenticator(1)
 	f := func(seed uint64, nTx, jamRaw uint8) bool {
 		st := rng.New(seed)
-		r := &run{opts: &Options{}, params: &core.Params{}}
+		r := &run{opts: &Options{}, params: core.Params{}}
 		r.ensureBuffers(1)
 
 		var slot slotsim.Slot
@@ -92,7 +92,7 @@ func txTotal(c int) int { return c }
 // inform: a solo spoof is received at the channel level but must never
 // count as m.
 func TestObserveInformRule(t *testing.T) {
-	r := &run{opts: &Options{}, params: &core.Params{}}
+	r := &run{opts: &Options{}, params: core.Params{}}
 	r.ensureBuffers(1)
 	r.addTx(0, msg.KindSpoof, txSrcAdversary)
 	kind, out := r.observe(0, 5, nil)

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that this build carries the race detector, whose
+// instrumentation perturbs allocation counts.
+const raceEnabled = true

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"rcbcast/internal/adversary"
 	"rcbcast/internal/core"
@@ -62,6 +62,14 @@ type nodeState struct {
 	// this phase's committed transmissions, sorted by slot
 	sendSlots []int32
 	sendKinds []msg.Kind
+
+	// Per-actor stream/schedule pairs, re-keyed in place each phase so
+	// the walkers allocate nothing in steady state. Pair A carries the
+	// data schedule during the send pass and the listen schedule during
+	// the listen pass; pair B carries the decoy schedule. Owned by the
+	// node's walker, so the actor engine shares nothing.
+	streamA, streamB rng.Stream
+	schedA, schedB   sampling.SlotSchedule
 }
 
 func (n *nodeState) active() bool { return !n.terminated && !n.dead }
@@ -95,14 +103,16 @@ const (
 // run holds all execution state shared by both engines.
 type run struct {
 	opts     *Options
-	params   *core.Params
+	params   core.Params // copy; run owns it
 	strategy adversary.Strategy
 	pool     *energy.Pool
 
 	// topo is non-nil only for non-complete topologies: the clique (and
 	// any spec whose graph is complete) keeps the global-channel fast
-	// path, byte-identical to the pre-topology engine.
+	// path, byte-identical to the pre-topology engine. csr is the
+	// flattened adjacency view listens resolve against.
 	topo topology.Topology
+	csr  *topology.CSR
 
 	nodes []nodeState
 	alice aliceState
@@ -116,6 +126,15 @@ type run struct {
 	// topologies only), sorted by slot before the listen pass.
 	txs []txRec
 
+	// Reusable per-phase state for the single-threaded walkers (Alice,
+	// the adversary, the round schedule, the reactive RSSI bitmap) —
+	// re-keyed or reset in place so phases allocate nothing.
+	aliceStream rng.Stream
+	aliceSched  sampling.SlotSchedule
+	advStream   rng.Stream
+	activity    adversary.Bitmap
+	sched       core.Schedule
+
 	slots        int64
 	lastRound    int
 	totalJams    int64
@@ -127,15 +146,15 @@ func newRun(opts *Options) (*run, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	params := opts.Params // copy; run owns it
 	r := &run{
 		opts:     opts,
-		params:   &params,
+		params:   opts.Params,
 		strategy: opts.strategy(),
 		pool:     opts.Pool,
 	}
+	r.adoptScratch(r.params.N)
 	if !opts.Topology.IsClique() {
-		topo, err := opts.Topology.Build(params.N, opts.Seed)
+		topo, err := opts.Topology.BuildInto(r.params.N, opts.Seed, r.topoScratch())
 		if err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
@@ -143,9 +162,9 @@ func newRun(opts *Options) (*run, error) {
 			// Complete graphs (a reach-covering grid, say) resolve
 			// identically through the global fast path.
 			r.topo = topo
+			r.csr = topology.BuildCSR(topo, r.topoScratch())
 		}
 	}
-	r.adoptScratch(params.N)
 	nodeBudget := int64(energy.Unlimited)
 	if opts.NodeBudget > 0 {
 		nodeBudget = opts.NodeBudget
@@ -172,8 +191,22 @@ func newRun(opts *Options) (*run, error) {
 	} else {
 		r.alice.meter.Reset(aliceBudget)
 	}
-	r.hist.N = params.N
+	r.hist.N = r.params.N
 	return r, nil
+}
+
+// topoScratch returns the topology construction scratch carried by the
+// run's engine Scratch (created lazily), or nil — fresh buffers — when
+// the run has no scratch.
+func (r *run) topoScratch() *topology.Scratch {
+	sc := r.opts.Scratch
+	if sc == nil {
+		return nil
+	}
+	if sc.topo == nil {
+		sc.topo = topology.NewScratch()
+	}
+	return sc.topo
 }
 
 func (r *run) done() bool {
@@ -253,24 +286,26 @@ func (r *run) planNodeSends(n *nodeState, ph core.Phase) {
 
 	ord := phaseOrdinal(ph, r.params.K)
 	round := uint64(ph.Round)
-	var dataSched, decoySched *sampling.SlotSchedule
+	// The stream/schedule pairs are re-keyed in place on the node's own
+	// state: same keyed sequences as freshly derived streams (pinned by
+	// the rng value tests), zero steady-state allocation. A p = 0 side
+	// never touches its stream, exactly as before.
+	var dSlot, cSlot int
+	var dOK, cOK bool
 	if dataP > 0 {
-		dataSched = sampling.NewSlotSchedule(
-			rng.New(r.opts.Seed, nodeActor(n.id), round, ord, purpSend), dataP, ph.Length)
+		n.streamA.Reseed(r.opts.Seed, nodeActor(n.id), round, ord, purpSend)
+		n.schedA.Reset(&n.streamA, dataP, ph.Length)
+		dSlot, dOK = n.schedA.Next()
 	}
 	if decoyP > 0 {
-		decoySched = sampling.NewSlotSchedule(
-			rng.New(r.opts.Seed, nodeActor(n.id), round, ord, purpDecoy), decoyP, ph.Length)
-	}
-	if dataSched == nil && decoySched == nil {
-		return
+		n.streamB.Reseed(r.opts.Seed, nodeActor(n.id), round, ord, purpDecoy)
+		n.schedB.Reset(&n.streamB, decoyP, ph.Length)
+		cSlot, cOK = n.schedB.Next()
 	}
 
 	// Merge the two schedules in slot order; on a tie the data frame wins
 	// (one radio, one transmission per slot). Charge in slot order and
 	// stop at budget exhaustion.
-	dSlot, dOK := scheduleNext(dataSched)
-	cSlot, cOK := scheduleNext(decoySched)
 	for dOK || cOK {
 		var slot int
 		var kind msg.Kind
@@ -278,12 +313,12 @@ func (r *run) planNodeSends(n *nodeState, ph core.Phase) {
 		case dOK && (!cOK || dSlot <= cSlot):
 			slot, kind = dSlot, dataKind
 			if cOK && cSlot == dSlot {
-				cSlot, cOK = scheduleNext(decoySched)
+				cSlot, cOK = n.schedB.Next()
 			}
-			dSlot, dOK = scheduleNext(dataSched)
+			dSlot, dOK = n.schedA.Next()
 		default:
 			slot, kind = cSlot, msg.KindDecoy
-			cSlot, cOK = scheduleNext(decoySched)
+			cSlot, cOK = n.schedB.Next()
 		}
 		if err := n.meter.Charge(energy.Send); err != nil {
 			n.dead = true
@@ -292,13 +327,6 @@ func (r *run) planNodeSends(n *nodeState, ph core.Phase) {
 		n.sendSlots = append(n.sendSlots, int32(slot))
 		n.sendKinds = append(n.sendKinds, kind)
 	}
-}
-
-func scheduleNext(s *sampling.SlotSchedule) (int, bool) {
-	if s == nil {
-		return 0, false
-	}
-	return s.Next()
 }
 
 func clamp01(v float64) float64 {
@@ -337,11 +365,10 @@ func (r *run) aliceSends(ph core.Phase, out *adversary.PhaseOutcome) {
 	if ph.AliceSendP <= 0 || !r.alice.active() {
 		return
 	}
-	sched := sampling.NewSlotSchedule(
-		rng.New(r.opts.Seed, actorAlice, uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpSend),
-		ph.AliceSendP, ph.Length)
+	r.aliceStream.Reseed(r.opts.Seed, actorAlice, uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpSend)
+	r.aliceSched.Reset(&r.aliceStream, ph.AliceSendP, ph.Length)
 	for {
-		slot, ok := sched.Next()
+		slot, ok := r.aliceSched.Next()
 		if !ok {
 			return
 		}
@@ -355,22 +382,24 @@ func (r *run) aliceSends(ph core.Phase, out *adversary.PhaseOutcome) {
 }
 
 // activityBitmap snapshots which slots carry correct-side transmissions —
-// the RSSI view granted to reactive strategies.
+// the RSSI view granted to reactive strategies. The bitmap is the run's
+// reused scratch: valid only for the duration of the PlanReactive call.
 func (r *run) activityBitmap(length int) *adversary.Bitmap {
-	b := adversary.NewBitmap(length)
+	r.activity.Reset(length)
 	for _, s := range r.dirty {
 		if r.counts[s] > 0 {
-			b.Set(int(s))
+			r.activity.Set(int(s))
 		}
 	}
-	return b
+	return &r.activity
 }
 
 // adversaryPlan obtains, charges, and installs Carol's plan for the phase.
 // Jams are charged first, then injections, each truncated in slot order at
 // pool exhaustion.
 func (r *run) adversaryPlan(ph core.Phase, out *adversary.PhaseOutcome) *adversary.Plan {
-	st := rng.New(r.opts.Seed, actorAdversary, uint64(ph.Round), phaseOrdinal(ph, r.params.K))
+	r.advStream.Reseed(r.opts.Seed, actorAdversary, uint64(ph.Round), phaseOrdinal(ph, r.params.K))
+	st := &r.advStream
 	var plan *adversary.Plan
 	if reactive, ok := r.strategy.(adversary.Reactive); ok && r.opts.AllowReactive {
 		plan = reactive.PlanReactive(ph, r.activityBitmap(ph.Length), &r.hist, r.pool, st)
@@ -406,6 +435,7 @@ func (r *run) adversaryPlan(ph core.Phase, out *adversary.PhaseOutcome) *adversa
 		r.addTx(inj.Slot, inj.Frame.Kind, txSrcAdversary)
 	}
 	if jams == 0 && keep == 0 {
+		plan.Release()
 		return nil
 	}
 	return plan
@@ -445,11 +475,21 @@ func (r *run) observeSparse(slot, listener int, jammed bool) (msg.Kind, outcome)
 	if r.counts[slot] == 0 {
 		return 0, outcomeSilence
 	}
+	// Hand-rolled lower-bound search: sort.Search's closure would
+	// allocate on every listened slot.
 	s := int32(slot)
-	i := sort.Search(len(r.txs), func(i int) bool { return r.txs[i].slot >= s })
+	lo, hi := 0, len(r.txs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.txs[mid].slot < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
 	heard := 0
 	var kind msg.Kind
-	for ; i < len(r.txs) && r.txs[i].slot == s; i++ {
+	for i := lo; i < len(r.txs) && r.txs[i].slot == s; i++ {
 		if !r.audible(r.txs[i].src, listener) {
 			continue
 		}
@@ -468,17 +508,20 @@ func (r *run) observeSparse(slot, listener int, jammed bool) (msg.Kind, outcome)
 // Adversarial transmissions are audible everywhere (worst-case device
 // placement); Alice↔node audibility is symmetric. Walkers guarantee a
 // node never listens to a slot it transmits in, so src == listener
-// cannot occur for node sources.
+// cannot occur for node sources. Queries resolve against the flattened
+// CSR adjacency rather than the Topology interface: one bounded binary
+// search over a compact row instead of a dynamic dispatch per
+// transmission record.
 func (r *run) audible(src int32, listener int) bool {
 	switch {
 	case src == txSrcAdversary:
 		return true
 	case src == txSrcAlice:
-		return listener == msg.SenderAlice || r.topo.AliceHears(listener)
+		return listener == msg.SenderAlice || r.csr.AliceHears(listener)
 	case listener == msg.SenderAlice:
-		return r.topo.AliceHears(int(src))
+		return r.csr.AliceHears(int(src))
 	default:
-		return r.topo.Adjacent(int(src), listener)
+		return r.csr.Adjacent(int(src), listener)
 	}
 }
 
@@ -501,12 +544,12 @@ func (r *run) walkNodeListens(n *nodeState, ph core.Phase, plan *adversary.Plan)
 	if listenP <= 0 {
 		return
 	}
-	sched := sampling.NewSlotSchedule(
-		rng.New(r.opts.Seed, nodeActor(n.id), uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpListen),
-		listenP, ph.Length)
+	// Pair A is free again: the send pass finished before any listens.
+	n.streamA.Reseed(r.opts.Seed, nodeActor(n.id), uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpListen)
+	n.schedA.Reset(&n.streamA, listenP, ph.Length)
 	si := 0
 	for {
-		slot, ok := sched.Next()
+		slot, ok := n.schedA.Next()
 		if !ok || n.informed || n.dead {
 			return
 		}
@@ -548,11 +591,10 @@ func (r *run) aliceListens(ph core.Phase, plan *adversary.Plan, out *adversary.P
 	if ph.AliceListenP <= 0 || !r.alice.active() {
 		return
 	}
-	sched := sampling.NewSlotSchedule(
-		rng.New(r.opts.Seed, actorAlice, uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpListen),
-		ph.AliceListenP, ph.Length)
+	r.aliceStream.Reseed(r.opts.Seed, actorAlice, uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpListen)
+	r.aliceSched.Reset(&r.aliceStream, ph.AliceListenP, ph.Length)
 	for {
-		slot, ok := sched.Next()
+		slot, ok := r.aliceSched.Next()
 		if !ok {
 			return
 		}
@@ -663,8 +705,10 @@ func (r *run) runPhase(ph core.Phase, exec phaseExecutor) {
 
 	// Freeze the sparse transmission records in slot order so listeners
 	// can resolve their neighborhoods by binary search.
+	// slices.SortStableFunc rather than sort.SliceStable: no reflection
+	// swapper, no per-phase closure allocation.
 	if r.topo != nil && len(r.txs) > 1 {
-		sort.SliceStable(r.txs, func(i, j int) bool { return r.txs[i].slot < r.txs[j].slot })
+		slices.SortStableFunc(r.txs, func(a, b txRec) int { return int(a.slot - b.slot) })
 	}
 
 	// Pass B: listens.
@@ -686,6 +730,10 @@ func (r *run) runPhase(ph core.Phase, exec phaseExecutor) {
 	r.slots += int64(ph.Length)
 	r.lastRound = ph.Round
 	r.clearDirty()
+	if plan != nil {
+		// The phase is fully resolved; recycle the plan's buffers.
+		plan.Release()
+	}
 }
 
 // terminatedSet snapshots which nodes have stopped, so emitTrace can
@@ -732,7 +780,7 @@ func (r *run) emitTrace(ph core.Phase, aliceWasActive bool, terminatedBefore []b
 // entirely; otherwise ctx is polled at every phase boundary and
 // cancellation surfaces as a *PartialRunError.
 func (r *run) loop(ctx context.Context, exec phaseExecutor) error {
-	sched := core.NewSchedule(r.params)
+	r.sched.Reset(&r.params)
 	for {
 		if r.done() {
 			break
@@ -744,7 +792,7 @@ func (r *run) loop(ctx context.Context, exec phaseExecutor) error {
 			default:
 			}
 		}
-		ph, ok := sched.Next()
+		ph, ok := r.sched.Next()
 		if !ok {
 			break
 		}
@@ -806,7 +854,7 @@ func summarizeCosts(costs []int64) CostSummary {
 		return CostSummary{}
 	}
 	sorted := append([]int64(nil), costs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	var sum int64
 	for _, c := range sorted {
 		sum += c

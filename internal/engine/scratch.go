@@ -1,14 +1,22 @@
 package engine
 
-import "rcbcast/internal/energy"
+import (
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+	"rcbcast/internal/topology"
+)
 
 // Scratch recycles a run's working buffers — the per-slot channel
 // state, the per-phase transmission records, the per-node states with
-// their committed-send slices, and the device meters — across
-// executions. Tight trial loops (internal/sim's workers, benchmarks)
-// hand one Scratch to consecutive runs via Options.Scratch and cut the
-// per-trial allocation rate to the few result-sized objects a run must
-// hand out.
+// their committed-send slices, the device meters, the adversary history
+// and RSSI bitmap, the round schedule, and the topology construction /
+// CSR adjacency arrays — across executions. Tight trial loops
+// (internal/sim's workers, benchmarks) hand one Scratch to consecutive
+// runs via Options.Scratch; together with the in-place stream/schedule
+// API (rng.Stream.Reseed, sampling.SlotSchedule.Reset) this drives the
+// steady-state allocation rate to the handful of Result-sized objects a
+// run must hand out (pinned by TestSteadyStateAllocs).
 //
 // A Scratch carries no results between runs — every buffer is reset at
 // adoption — so results are byte-identical with and without one (pinned
@@ -20,6 +28,10 @@ type Scratch struct {
 	txs              []txRec
 	nodes            []nodeState
 	aliceMeter       *energy.Meter
+	outcomes         []adversary.PhaseOutcome
+	activity         adversary.Bitmap
+	sched            core.Schedule
+	topo             *topology.Scratch // created on first sparse run
 }
 
 // NewScratch returns an empty scratch; buffers grow to the sizes the
@@ -40,6 +52,9 @@ func (r *run) adoptScratch(n int) {
 	r.soloKind = sc.soloKind[:0]
 	r.dirty = sc.dirty[:0]
 	r.txs = sc.txs[:0]
+	r.hist.Outcomes = sc.outcomes[:0]
+	r.activity = sc.activity
+	r.sched = sc.sched
 	if cap(sc.nodes) >= n {
 		r.nodes = sc.nodes[:n]
 		for i := range r.nodes {
@@ -57,7 +72,8 @@ func (r *run) adoptScratch(n int) {
 }
 
 // releaseScratch hands the run's (possibly grown) buffers back to the
-// scratch for the next run.
+// scratch for the next run. Result-bound memory (NodeCosts, recorded
+// Phases) is never recycled: it escapes to the caller.
 func (r *run) releaseScratch() {
 	sc := r.opts.Scratch
 	if sc == nil {
@@ -67,4 +83,7 @@ func (r *run) releaseScratch() {
 	sc.dirty, sc.txs = r.dirty, r.txs
 	sc.nodes = r.nodes
 	sc.aliceMeter = r.alice.meter
+	sc.outcomes = r.hist.Outcomes
+	sc.activity = r.activity
+	sc.sched = r.sched
 }

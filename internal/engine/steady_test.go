@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+	"rcbcast/internal/topology"
+)
+
+// steadyTrials returns a closure running the steady-state workload —
+// the BENCH_ENGINE.json configuration (n=256, k=2, full-jam, 4096
+// pool) — with everything a long sweep would hoist out of its trial
+// loop (params, pool, scratch) hoisted, so the per-trial allocation
+// count is the engine's own.
+func steadyTrials(spec topology.Spec, fail func(error)) func() {
+	params := core.PracticalParams(256, 2)
+	if !spec.IsClique() {
+		params.MaxRound = params.StartRound + 2
+	}
+	pool := energy.NewPool(1 << 12)
+	scratch := NewScratch()
+	seed := uint64(0)
+	return func() {
+		pool.Reset(1 << 12)
+		res, err := Run(Options{
+			Params:   params,
+			Seed:     seed,
+			Topology: spec,
+			Strategy: adversary.FullJam{},
+			Pool:     pool,
+			Scratch:  scratch,
+		})
+		seed++
+		if err != nil {
+			fail(err)
+		}
+		if res.N != 256 {
+			fail(errBadResult)
+		}
+	}
+}
+
+var errBadResult = fmt.Errorf("engine: bad steady-state result")
+
+var steadyKinds = []struct {
+	name string
+	spec topology.Spec
+}{
+	{"clique", topology.Spec{}},
+	{"grid", topology.Spec{Kind: "grid", Reach: 2}},
+	{"gilbert", topology.Spec{Kind: "gilbert", Radius: 0.25}},
+}
+
+// TestSteadyStateAllocs pins the allocation ceiling of a warmed-up
+// scratch run: the tentpole guarantee that the engine's steady state
+// allocates nothing beyond the Result it hands out (plus the harness's
+// own Options/pool). A regression in any layer — rng streams, slot
+// schedules, plans, topology buffers, the schedule iterator — fails
+// this gate in CI.
+func TestSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts; CI gates this test in a separate non-race step")
+	}
+	// Ceiling anatomy (clique): run struct + escaped Options + Result +
+	// NodeCosts + cost-sort copy ≈ 5; sparse kinds add the boxed
+	// topology value (and gilbert the *Gilbert). The margin on top
+	// absorbs occasional committed-send high-water growth on unseen
+	// seeds and plan-pool misses after an ill-timed GC — not a per-phase
+	// allocation, which would blow past any of these numbers by orders
+	// of magnitude.
+	for _, tc := range []struct {
+		name    string
+		spec    topology.Spec
+		ceiling float64
+	}{
+		{"clique", topology.Spec{}, 16},
+		{"grid", topology.Spec{Kind: "grid", Reach: 2}, 24},
+		{"gilbert", topology.Spec{Kind: "gilbert", Radius: 0.25}, 24},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			trial := steadyTrials(tc.spec, func(err error) { t.Fatal(err) })
+			for i := 0; i < 8; i++ { // warm the scratch's high-water marks
+				trial()
+			}
+			if got := testing.AllocsPerRun(10, trial); got > tc.ceiling {
+				t.Fatalf("steady-state %s run allocates %.1f objects/op, ceiling %v",
+					tc.name, got, tc.ceiling)
+			}
+		})
+	}
+}
+
+// BenchmarkSteadyState measures the post-warmup regime the allocation
+// test gates: one scratch per kind, warmed before the timer, so ns/op
+// and allocs/op reflect a long sweep's steady state rather than
+// first-trial buffer growth. BENCH_ENGINE.json records one run next to
+// the cold-start BenchmarkEngineRun numbers.
+func BenchmarkSteadyState(b *testing.B) {
+	for _, tc := range steadyKinds {
+		b.Run(tc.name, func(b *testing.B) {
+			trial := steadyTrials(tc.spec, func(err error) { b.Fatal(err) })
+			for i := 0; i < 8; i++ {
+				trial()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trial()
+			}
+		})
+	}
+}

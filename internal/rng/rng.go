@@ -30,10 +30,28 @@ func splitMix64(state *uint64) uint64 {
 func Mix(parts ...uint64) uint64 {
 	state := uint64(0x853c49e6748fea9b)
 	for _, p := range parts {
-		state ^= splitMix64(&state) ^ p
-		// Re-mix after the xor so that consecutive zero parts still
-		// perturb the state differently at each position.
-		_ = splitMix64(&state)
+		mixPart(&state, p)
+	}
+	return splitMix64(&state)
+}
+
+// mixPart folds one key part into the mixer state.
+func mixPart(state *uint64, p uint64) {
+	*state ^= splitMix64(state) ^ p
+	// Re-mix after the xor so that consecutive zero parts still perturb
+	// the state differently at each position.
+	_ = splitMix64(state)
+}
+
+// mixSeeded collapses seed followed by path, exactly as
+// Mix(append([]uint64{seed}, path...)...) would, without building the
+// combined slice. It is the allocation-free key mixer behind Reseed and
+// DeriveInto.
+func mixSeeded(seed uint64, path []uint64) uint64 {
+	state := uint64(0x853c49e6748fea9b)
+	mixPart(&state, seed)
+	for _, p := range path {
+		mixPart(&state, p)
 	}
 	return splitMix64(&state)
 }
@@ -49,13 +67,23 @@ type Stream struct {
 // New returns a stream keyed by seed and an optional path. Streams created
 // with the same arguments produce identical sequences.
 func New(seed uint64, path ...uint64) *Stream {
+	st := &Stream{}
+	st.Reseed(seed, path...)
+	return st
+}
+
+// Reseed re-keys the stream in place to the sequence New(seed, path...)
+// produces, discarding any prior state. It is the value-semantics
+// constructor: a Stream living in a long-lived struct (or on a walker's
+// stack) is re-pointed at a fresh keyed sequence without heap
+// allocation, which is what lets tight simulation loops derive per-phase
+// streams at zero steady-state allocation cost.
+func (st *Stream) Reseed(seed uint64, path ...uint64) {
 	key := seed
 	if len(path) > 0 {
-		key = Mix(append([]uint64{seed}, path...)...)
+		key = mixSeeded(seed, path)
 	}
-	st := &Stream{}
 	st.reseed(key)
-	return st
 }
 
 // reseed initializes the xoshiro state from a single 64-bit key via
@@ -81,6 +109,14 @@ func (st *Stream) Derive(path ...uint64) *Stream {
 	return New(st.seed, path...)
 }
 
+// DeriveInto reseeds dst to the stream Derive(path...) would return,
+// without allocating. dst may be st itself, in which case the stream
+// re-keys to its own sub-path.
+func (st *Stream) DeriveInto(dst *Stream, path ...uint64) {
+	st.ensure()
+	dst.Reseed(st.seed, path...)
+}
+
 // Seed reports the mixed key the stream was created from.
 func (st *Stream) Seed() uint64 {
 	st.ensure()
@@ -95,9 +131,11 @@ func (st *Stream) ensure() {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
-// Uint64 returns the next 64 uniformly distributed bits.
-func (st *Stream) Uint64() uint64 {
-	st.ensure()
+// next advances the xoshiro state and returns the raw output. It is
+// deliberately small enough to inline into every draw path (Uint64,
+// GeometricLnQ); keeping the state step call-free is worth several
+// nanoseconds per draw in the engine's skip-sampling loops.
+func (st *Stream) next() uint64 {
 	s := &st.s
 	result := rotl(s[1]*5, 7) * 9
 	t := s[1] << 17
@@ -110,9 +148,18 @@ func (st *Stream) Uint64() uint64 {
 	return result
 }
 
+// Uint64 returns the next 64 uniformly distributed bits.
+func (st *Stream) Uint64() uint64 {
+	st.ensure()
+	return st.next()
+}
+
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+// Scaling by 0x1p-53 multiplies instead of dividing; both are exact
+// powers of two, so the value is bit-identical and the multiply is
+// several cycles cheaper on every draw.
 func (st *Stream) Float64() float64 {
-	return float64(st.Uint64()>>11) / (1 << 53)
+	return float64(st.Uint64()>>11) * 0x1p-53
 }
 
 // Bernoulli reports true with probability p. Probabilities outside [0, 1]
@@ -163,14 +210,21 @@ func mul64(a, b uint64) (hi, lo uint64) {
 // Fisher-Yates shuffle.
 func (st *Stream) Perm(n int) []int {
 	p := make([]int, n)
+	st.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p)),
+// drawing exactly the same sequence as Perm(len(p)) — the caller-buffer
+// variant for loops that permute repeatedly without allocating.
+func (st *Stream) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := st.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
 }
 
 // Geometric returns the number of failures before the first success in a
@@ -188,14 +242,40 @@ func (st *Stream) Geometric(p float64) int {
 	if p <= 0 {
 		return math.MaxInt
 	}
-	u := st.Float64()
+	return st.GeometricLnQ(math.Log1p(-p))
+}
+
+// GeometricLnQ is Geometric(p) with lnQ = Log1p(-p) precomputed by the
+// caller; it requires 0 < p < 1 (equivalently lnQ < 0). It consumes
+// exactly one Float64 and evaluates floor(ln U / lnQ) with the same
+// float64 operations as Geometric, so the two are bit-for-bit
+// interchangeable for matching arguments. Callers that draw many skips
+// at one fixed p (sampling.SlotSchedule) hoist the Log1p out of the
+// draw loop this way — in engine profiles that log alone was ~11% of a
+// whole protocol run.
+func (st *Stream) GeometricLnQ(lnQ float64) int {
+	st.ensure()
+	// The xoshiro step (next) and the Float64 conversion are open-coded:
+	// the whole draw then costs one call from the schedule's skip loop
+	// instead of three, which is measurable at millions of draws per
+	// engine run. Must mirror next() exactly.
+	s := &st.s
+	raw := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	u := float64(raw>>11) * 0x1p-53
 	// Guard against u == 0, for which log is -inf and the sample would
 	// round to +inf anyway; resample cheaply by nudging to the smallest
 	// representable uniform instead (probability 2^-53 event).
 	if u == 0 {
 		u = 0x1p-53
 	}
-	g := math.Floor(math.Log(u) / math.Log1p(-p))
+	g := math.Floor(math.Log(u) / lnQ)
 	if g >= float64(math.MaxInt64/2) || math.IsNaN(g) {
 		return math.MaxInt
 	}

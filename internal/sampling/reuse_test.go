@@ -1,0 +1,84 @@
+package sampling
+
+import (
+	"testing"
+
+	"rcbcast/internal/rng"
+)
+
+// TestResetMatchesNewSlotSchedule pins the reuse guarantee: a schedule
+// value Reset in place enumerates exactly the slots a freshly allocated
+// schedule would, for the same stream key.
+func TestResetMatchesNewSlotSchedule(t *testing.T) {
+	var reused SlotSchedule
+	var reusedStream rng.Stream
+	for _, tc := range []struct {
+		p      float64
+		length int
+	}{
+		{0, 1000}, {1, 50}, {1.5, 50}, {-0.2, 100},
+		{0.01, 10000}, {0.3, 500}, {0.999, 200},
+	} {
+		fresh := NewSlotSchedule(rng.New(11, 5), tc.p, tc.length)
+		reusedStream.Reseed(11, 5)
+		reused.Reset(&reusedStream, tc.p, tc.length)
+		for i := 0; ; i++ {
+			wantSlot, wantOK := fresh.Next()
+			gotSlot, gotOK := reused.Next()
+			if wantSlot != gotSlot || wantOK != gotOK {
+				t.Fatalf("p=%v len=%d step %d: Reset schedule diverged (got %d,%t want %d,%t)",
+					tc.p, tc.length, i, gotSlot, gotOK, wantSlot, wantOK)
+			}
+			if !wantOK {
+				break
+			}
+		}
+	}
+}
+
+// TestScheduleReuseDoesNotAllocate pins the zero-alloc steady state the
+// engine's walkers rely on: a stream + schedule pair resident in a
+// long-lived struct (the engine keeps them in per-node state) sweeps a
+// whole phase per reuse without touching the heap.
+func TestScheduleReuseDoesNotAllocate(t *testing.T) {
+	var st rng.Stream
+	var sched SlotSchedule
+	sink := 0
+	if n := testing.AllocsPerRun(100, func() {
+		st.Reseed(42, 16, 2, 1)
+		sched.Reset(&st, 0.05, 4096)
+		for {
+			slot, ok := sched.Next()
+			if !ok {
+				break
+			}
+			sink += slot
+		}
+	}); n != 0 {
+		t.Fatalf("schedule reuse allocated %.1f objects/op, want 0", n)
+	}
+	_ = sink
+}
+
+func TestAppendSampleMatchesSample(t *testing.T) {
+	buf := make([]int, 0, 32)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 10}, {100, 7}, {5, 3}} {
+		a, b := rng.New(9, uint64(tc.n)), rng.New(9, uint64(tc.n))
+		want := SampleWithoutReplacement(a, tc.n, tc.k)
+		buf = AppendSampleWithoutReplacement(buf[:0], b, tc.n, tc.k)
+		if len(want) != len(buf) {
+			t.Fatalf("n=%d k=%d: lengths differ", tc.n, tc.k)
+		}
+		for i := range want {
+			if want[i] != buf[i] {
+				t.Fatalf("n=%d k=%d index %d: %d != %d", tc.n, tc.k, i, buf[i], want[i])
+			}
+		}
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		st := rng.New(1)
+		buf = AppendSampleWithoutReplacement(buf[:0], st, 100, 20)
+	}); n > 1 { // the one alloc is rng.New itself
+		t.Fatalf("AppendSampleWithoutReplacement allocated %.1f objects/op", n)
+	}
+}

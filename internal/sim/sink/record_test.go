@@ -1,0 +1,68 @@
+package sink
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"testing"
+)
+
+// TestAppendJSONMatchesEncodingJSON pins the hand-rolled NDJSON encoder
+// byte for byte against the json.Encoder it replaced, including the
+// HTML-safe string escaping of hostile strategy names.
+func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
+	recs := []Record{
+		{},
+		{Trial: 3, N: 256, Informed: 200, Stranded: 1, Dead: 2, Completed: true,
+			Rounds: 9, Slots: 123456789, AliceCost: -1, NodeMedianCost: 42,
+			NodeMaxCost: 99, AdversarySpent: 4096, Strategy: "full-jam"},
+		{Strategy: `phase-blocker(inform=true,prop=false,req=true)`},
+		{Strategy: "quotes\" back\\slash <html> & ctrl\x01\n\t\r"},
+		{Strategy: "unicode é    ok"},
+		{Strategy: "bad utf8 \xff end"},
+	}
+	var buf []byte
+	for _, rec := range recs {
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+		buf = rec.appendJSON(buf[:0])
+		if !bytes.Equal(buf, want.Bytes()) {
+			t.Fatalf("appendJSON diverged from encoding/json:\n got %q\nwant %q", buf, want.Bytes())
+		}
+	}
+}
+
+// TestAppendCSVMatchesEncodingCSV pins the hand-rolled field quoting
+// against encoding/csv for the strategy column.
+func TestAppendCSVMatchesEncodingCSV(t *testing.T) {
+	for _, field := range []string{
+		"", "full-jam", "phase-blocker(inform=true,prop=false,req=true)",
+		`has"quote`, "has,comma", " leading space", "trailing space ",
+		"line\nbreak", "cr\rreturn", `\.`, "composite(a+b)",
+	} {
+		var want bytes.Buffer
+		w := csv.NewWriter(&want)
+		if err := w.Write([]string{field}); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		got := append(appendCSVField(nil, field), '\n')
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("field %q: got %q want %q", field, got, want.Bytes())
+		}
+	}
+}
+
+// TestSinkEncodersDoNotAllocatePerTrial pins the reuse: once the
+// per-sink buffers are warm, encoding a trial allocates nothing.
+func TestSinkEncodersDoNotAllocatePerTrial(t *testing.T) {
+	rec := Record{Trial: 1, N: 256, Strategy: "full-jam", Slots: 1 << 40}
+	var buf []byte
+	if n := testing.AllocsPerRun(100, func() {
+		buf = rec.appendJSON(buf[:0])
+	}); n != 0 {
+		t.Fatalf("appendJSON allocated %.1f objects/op after warmup", n)
+	}
+}

@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"math/bits"
+
 	"rcbcast/internal/rng"
 )
 
@@ -25,16 +27,36 @@ type Gilbert struct {
 // NewGilbert draws the radius-r geometric graph over n points from the
 // given seed.
 func NewGilbert(n int, radius float64, seed uint64) *Gilbert {
+	return NewGilbertInto(n, radius, seed, nil)
+}
+
+// NewGilbertInto is NewGilbert building into the scratch's reused
+// buffers (nil allocates fresh ones). The returned graph is
+// byte-identical either way and, with a scratch, valid until the next
+// build on it.
+func NewGilbertInto(n int, radius float64, seed uint64, sc *Scratch) *Gilbert {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	row := (n + 63) / 64
+	sc.xs = grow(sc.xs, n)
+	sc.ys = grow(sc.ys, n)
+	sc.degs = grow(sc.degs, n)
+	sc.alice = grow(sc.alice, n)
+	sc.adjWords = grow(sc.adjWords, row*n)
+	clear(sc.degs)
+	clear(sc.adjWords)
 	g := &Gilbert{
 		n:      n,
 		radius: radius,
-		xs:     make([]float64, n),
-		ys:     make([]float64, n),
-		adj:    newBitmatrix(n),
-		degs:   make([]int, n),
-		alice:  make([]bool, n),
+		xs:     sc.xs,
+		ys:     sc.ys,
+		adj:    bitmatrix{words: sc.adjWords, row: row},
+		degs:   sc.degs,
+		alice:  sc.alice,
 	}
-	st := rng.New(seed, StreamActor)
+	var st rng.Stream
+	st.Reseed(seed, StreamActor)
 	for i := 0; i < n; i++ {
 		g.xs[i] = st.Float64()
 		g.ys[i] = st.Float64()
@@ -53,7 +75,14 @@ func NewGilbert(n int, radius float64, seed uint64) *Gilbert {
 			cells = max
 		}
 	}
-	buckets := make([][]int32, cells*cells)
+	// Cell membership as head/next chains over scratch arrays — the
+	// adjacency produced is order-independent, so replacing the
+	// historical per-bucket slices changes no graph.
+	sc.bucketHead = grow(sc.bucketHead, cells*cells)
+	sc.bucketNext = grow(sc.bucketNext, n)
+	for i := range sc.bucketHead {
+		sc.bucketHead[i] = -1
+	}
 	cellOf := func(v float64) int {
 		c := int(v * float64(cells))
 		if c >= cells {
@@ -63,7 +92,8 @@ func NewGilbert(n int, radius float64, seed uint64) *Gilbert {
 	}
 	for i := 0; i < n; i++ {
 		c := cellOf(g.ys[i])*cells + cellOf(g.xs[i])
-		buckets[c] = append(buckets[c], int32(i))
+		sc.bucketNext[i] = sc.bucketHead[c]
+		sc.bucketHead[c] = int32(i)
 	}
 	for i := 0; i < n; i++ {
 		cx, cy := cellOf(g.xs[i]), cellOf(g.ys[i])
@@ -77,7 +107,7 @@ func NewGilbert(n int, radius float64, seed uint64) *Gilbert {
 				if bx < 0 || bx >= cells {
 					continue
 				}
-				for _, j32 := range buckets[by*cells+bx] {
+				for j32 := sc.bucketHead[by*cells+bx]; j32 >= 0; j32 = sc.bucketNext[j32] {
 					j := int(j32)
 					if j <= i {
 						continue
@@ -119,16 +149,25 @@ func (g *Gilbert) Adjacent(src, listener int) bool {
 
 func (g *Gilbert) Degree(node int) int { return g.degs[node] }
 
+// appendHeard implements the CSR fast fill by scanning the listener's
+// bitmatrix row word by word; ids come out ascending.
+func (g *Gilbert) appendHeard(dst []int32, listener int) []int32 {
+	row := g.adj.words[listener*g.adj.row : (listener+1)*g.adj.row]
+	for w, word := range row {
+		base := int32(w * 64)
+		for word != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
 // bitmatrix is a dense n x n adjacency bitset (rows of packed uint64
 // words): O(1) Adjacent at n²/8 bytes, a fine trade at simulation n.
 type bitmatrix struct {
 	words []uint64
 	row   int // words per row
-}
-
-func newBitmatrix(n int) bitmatrix {
-	row := (n + 63) / 64
-	return bitmatrix{words: make([]uint64, row*n), row: row}
 }
 
 func (b bitmatrix) set(i, j int)      { b.words[i*b.row+j/64] |= 1 << (uint(j) % 64) }

@@ -82,6 +82,29 @@ func (g Grid) Adjacent(src, listener int) bool {
 	return cheb(sx, sy, lx, ly) <= g.reach
 }
 
+// appendHeard implements the CSR fast fill: the Chebyshev window in
+// row-major order yields ids ascending.
+func (g Grid) appendHeard(dst []int32, listener int) []int32 {
+	x, y := g.cell(listener)
+	for dy := -g.reach; dy <= g.reach; dy++ {
+		ny := y + dy
+		if ny < 0 || ny >= g.h {
+			continue
+		}
+		for dx := -g.reach; dx <= g.reach; dx++ {
+			nx := x + dx
+			if nx < 0 || nx >= g.w {
+				continue
+			}
+			id := ny*g.w + nx
+			if id != listener && id < g.n {
+				dst = append(dst, int32(id))
+			}
+		}
+	}
+	return dst
+}
+
 func (g Grid) Degree(node int) int {
 	x, y := g.cell(node)
 	deg := 0

@@ -59,6 +59,14 @@ func (s Spec) Validate() error {
 // from the stream keyed (seed, StreamActor), so the result is a pure
 // function of (spec, n, seed).
 func (s Spec) Build(n int, seed uint64) (Topology, error) {
+	return s.BuildInto(n, seed, nil)
+}
+
+// BuildInto is Build constructing into the scratch's reused buffers (a
+// nil scratch allocates fresh ones, exactly as Build). The graph is
+// byte-identical either way; with a scratch it is valid until the next
+// build on the same scratch.
+func (s Spec) BuildInto(n int, seed uint64, sc *Scratch) (Topology, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -71,7 +79,7 @@ func (s Spec) Build(n int, seed uint64) (Topology, error) {
 	case "grid":
 		return NewGrid(n, s.Width, s.Reach), nil
 	default: // "gilbert", by Validate
-		return NewGilbert(n, s.Radius, seed), nil
+		return NewGilbertInto(n, s.Radius, seed, sc), nil
 	}
 }
 
