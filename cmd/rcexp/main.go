@@ -22,6 +22,7 @@
 // Theorem-1-scale runs:
 //
 //	rcexp -scenario full-jam -n 1024 -trials 100000 > runs.jsonl
+//	rcexp -scenario full-jam -trials 100000 -batch 8 > runs.jsonl
 //	rcexp -scenario file.json -trials 50000 -out csv > runs.csv
 //	rcexp -scenario gilbert-jam -topology gilbert:r=0.3 -trials 1000 > runs.jsonl
 //	rcexp -scenario full-jam -trials 100000 -progress \
@@ -87,6 +88,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		scn        = fs.String("scenario", "", "raw sweep mode: stream trials of a named scenario or JSON scenario file")
 		topo       = fs.String("topology", "", "raw sweep mode: override the scenario's topology (KIND[:KNOB=V,...])")
 		trials     = fs.Int("trials", 0, "raw sweep trial count (requires -scenario)")
+		batch      = fs.Int("batch", 0, "raw sweep batch width: run that many trials per engine call on the batched kernel (0/1 = scalar; output is byte-identical)")
 		outFormat  = fs.String("out", "jsonl", "raw sweep output format: jsonl or csv")
 		progress   = fs.Bool("progress", false, "report sweep progress on stderr")
 		checkpoint = fs.String("checkpoint", "", "journal completed trials here; rerun to resume")
@@ -123,6 +125,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			topology:   *topo,
 			n:          *n,
 			trials:     *trials,
+			batch:      *batch,
 			baseSeed:   *baseSeed,
 			procs:      *procs,
 			outFormat:  *outFormat,
@@ -188,6 +191,7 @@ type sweepConfig struct {
 	topology   string
 	n          int
 	trials     int
+	batch      int
 	baseSeed   uint64
 	procs      int
 	outFormat  string
@@ -267,6 +271,12 @@ func runSweep(ctx context.Context, out io.Writer, cfg sweepConfig) (err error) {
 	if cfg.trials <= 0 {
 		return errors.New("-trials must be positive in sweep mode")
 	}
+	// -batch overrides the scenario's own batch width; either routes the
+	// sweep through the batched lockstep kernel.
+	width := sc.Batch
+	if cfg.batch > 0 {
+		width = cfg.batch
+	}
 	specs, err := sc.TrialSpecs(cfg.baseSeed, 0, cfg.trials)
 	if err != nil {
 		return err
@@ -294,9 +304,9 @@ func runSweep(ctx context.Context, out io.Writer, cfg sweepConfig) (err error) {
 			fmt.Fprintf(os.Stderr, "rcexp: resuming %d/%d journaled trials from %s\n",
 				cp.Done(), cfg.trials, cfg.checkpoint)
 		}
-		err = sink.StreamCheckpointed(ctx, cfg.procs, specs, cp, sinks...)
+		err = sink.StreamCheckpointedBatch(ctx, cfg.procs, width, specs, cp, sinks...)
 	} else {
-		err = sim.Stream(ctx, cfg.procs, specs, sinks...)
+		err = sim.StreamBatch(ctx, cfg.procs, width, specs, sinks...)
 	}
 	var pe *sim.PartialError
 	if errors.As(err, &pe) && errors.Is(pe, context.Canceled) {

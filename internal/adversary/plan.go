@@ -20,14 +20,16 @@ import (
 	"slices"
 	"sync"
 
+	"rcbcast/internal/bitset"
 	"rcbcast/internal/msg"
 )
 
-// Bitmap is a fixed-length bitset over the slots of one phase. The zero
+// Bitmap is a fixed-length bitset over the slots of one phase — a thin
+// slot-vocabulary veneer over bitset.Set, the word-level substrate it
+// shares with the batched engine kernel's reception state. The zero
 // value is an empty bitmap; size it with NewBitmap or Reset.
 type Bitmap struct {
-	words []uint64
-	n     int
+	bs bitset.Set
 }
 
 // NewBitmap returns an all-zero bitmap over n slots.
@@ -40,55 +42,27 @@ func NewBitmap(n int) *Bitmap {
 // Reset re-sizes the bitmap to n all-zero slots in place, reusing the
 // word buffer when it is large enough — the engine recycles one bitmap
 // value across phases (and, via its Scratch, across runs) this way.
-func (b *Bitmap) Reset(n int) {
-	if n < 0 {
-		n = 0
-	}
-	words := (n + 63) / 64
-	if cap(b.words) < words {
-		b.words = make([]uint64, words)
-	} else {
-		b.words = b.words[:words]
-		clear(b.words)
-	}
-	b.n = n
-}
+func (b *Bitmap) Reset(n int) { b.bs.Reset(n) }
 
 // Len returns the number of slots.
-func (b *Bitmap) Len() int { return b.n }
+func (b *Bitmap) Len() int { return b.bs.Len() }
 
 // Set marks slot; out-of-range slots are ignored.
-func (b *Bitmap) Set(slot int) {
-	if slot < 0 || slot >= b.n {
-		return
-	}
-	b.words[slot>>6] |= 1 << (uint(slot) & 63)
-}
+func (b *Bitmap) Set(slot int) { b.bs.Set(slot) }
 
 // Clear unmarks slot.
-func (b *Bitmap) Clear(slot int) {
-	if slot < 0 || slot >= b.n {
-		return
-	}
-	b.words[slot>>6] &^= 1 << (uint(slot) & 63)
-}
+func (b *Bitmap) Clear(slot int) { b.bs.Clear(slot) }
 
 // Get reports whether slot is marked.
-func (b *Bitmap) Get(slot int) bool {
-	if slot < 0 || slot >= b.n {
-		return false
-	}
-	return b.words[slot>>6]&(1<<(uint(slot)&63)) != 0
-}
+func (b *Bitmap) Get(slot int) bool { return b.bs.Get(slot) }
 
 // Count returns the number of marked slots.
-func (b *Bitmap) Count() int {
-	total := 0
-	for _, w := range b.words {
-		total += bits.OnesCount64(w)
-	}
-	return total
-}
+func (b *Bitmap) Count() int { return b.bs.Count() }
+
+// OrBits folds the marked bits of s into the bitmap. The lengths must
+// match; the batch kernel derives the reactive RSSI view this way (one
+// word-level union of the busy set instead of a per-dirty-slot loop).
+func (b *Bitmap) OrBits(s *bitset.Set) { b.bs.Or(s) }
 
 // Injection is a spoofed frame the adversary transmits in a slot. It
 // occupies the channel like any transmission: a solo injection is received
@@ -139,17 +113,14 @@ func (p *Plan) Length() int { return p.length }
 // Jam marks a slot for jamming.
 func (p *Plan) Jam(slot int) { p.jam.Set(slot) }
 
-// JamRange marks slots [from, to) for jamming.
+// JamRange marks slots [from, to) for jamming. Interior words of the
+// mask are filled whole, so a phase-wide jam (FullJam's every phase)
+// costs length/64 stores rather than a read-modify-write per slot.
 func (p *Plan) JamRange(from, to int) {
-	if from < 0 {
-		from = 0
-	}
 	if to > p.length {
 		to = p.length
 	}
-	for s := from; s < to; s++ {
-		p.jam.Set(s)
-	}
+	p.jam.bs.SetRange(from, to)
 }
 
 // Unjam clears a slot, e.g. during budget truncation.
@@ -200,13 +171,14 @@ func (p *Plan) TruncateJamsAfter(keep int64) int64 {
 		keep = 0
 	}
 	var kept int64
-	for w := range p.jam.words {
-		word := p.jam.words[w]
+	words := p.jam.bs.Words()
+	for w := range words {
+		word := words[w]
 		if word == 0 {
 			continue
 		}
 		if kept >= keep {
-			p.jam.words[w] = 0
+			words[w] = 0
 			continue
 		}
 		c := int64(bits.OnesCount64(word))
@@ -222,7 +194,7 @@ func (p *Plan) TruncateJamsAfter(keep int64) int64 {
 			word &^= low
 			kept++
 		}
-		p.jam.words[w] = newWord
+		words[w] = newWord
 	}
 	return kept
 }

@@ -1,0 +1,164 @@
+// Package bitset provides the fixed-length packed bitset the simulator
+// resolves per-slot channel state against.
+//
+// It generalizes what grew up as adversary.Bitmap (the jam mask and the
+// reactive RSSI view) into a small word-level substrate shared with the
+// batched engine kernel, whose reception state is two bits per slot
+// (busy / collided) instead of a count byte. Everything is expressed
+// over 64-bit words so range fills, unions, and population counts run
+// at memset/popcount speed rather than a bounds-checked loop per slot.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-length bitset. The zero value is an empty set; size it
+// with New, Reset, or Resize.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an all-zero set over n bits.
+func New(n int) *Set {
+	s := &Set{}
+	s.Reset(n)
+	return s
+}
+
+// wordsFor returns the word count backing n bits.
+func wordsFor(n int) int { return (n + 63) / 64 }
+
+// Reset re-sizes the set to n all-zero bits in place, reusing the word
+// buffer when it is large enough — the engine recycles one set value
+// across phases (and, via its scratches, across runs) this way.
+func (s *Set) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	words := wordsFor(n)
+	if cap(s.words) < words {
+		s.words = make([]uint64, words)
+	} else {
+		s.words = s.words[:words]
+		clear(s.words)
+	}
+	s.n = n
+}
+
+// Resize re-sizes the set to n bits without clearing: the caller
+// guarantees every bit it ever set has since been cleared (the batch
+// kernel's dirty-slot discipline), so the exposed words are already
+// zero. Growing past capacity allocates a fresh zero buffer exactly as
+// Reset would.
+func (s *Set) Resize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	words := wordsFor(n)
+	if cap(s.words) < words {
+		s.words = make([]uint64, words)
+	} else {
+		s.words = s.words[:words]
+	}
+	s.n = n
+}
+
+// Len returns the number of bits.
+func (s *Set) Len() int { return s.n }
+
+// Set marks bit i; out-of-range indices are ignored.
+func (s *Set) Set(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear unmarks bit i.
+func (s *Set) Clear(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Get reports whether bit i is marked.
+func (s *Set) Get(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of marked bits.
+func (s *Set) Count() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// SetRange marks bits [from, to), clamped to [0, Len). Interior words
+// are filled whole, so a phase-wide jam mask costs Len/64 stores
+// instead of Len read-modify-writes.
+func (s *Set) SetRange(from, to int) {
+	if from < 0 {
+		from = 0
+	}
+	if to > s.n {
+		to = s.n
+	}
+	if from >= to {
+		return
+	}
+	fw, lw := from>>6, (to-1)>>6
+	head := ^uint64(0) << (uint(from) & 63)
+	tail := ^uint64(0) >> (63 - (uint(to-1) & 63))
+	if fw == lw {
+		s.words[fw] |= head & tail
+		return
+	}
+	s.words[fw] |= head
+	for w := fw + 1; w < lw; w++ {
+		s.words[w] = ^uint64(0)
+	}
+	s.words[lw] |= tail
+}
+
+// Or folds o into s (s |= o). The sets must have equal length.
+func (s *Set) Or(o *Set) {
+	if s.n != o.n {
+		panic("bitset: Or over sets of different lengths")
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// And intersects s with o (s &= o). The sets must have equal length.
+func (s *Set) And(o *Set) {
+	if s.n != o.n {
+		panic("bitset: And over sets of different lengths")
+	}
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// Any reports whether any bit is marked.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Words exposes the packed backing words (bit i lives at word i/64, bit
+// i%64). Bits at positions >= Len within the last word are zero as long
+// as callers mutate only through the Set API. Callers may read and
+// write words directly for word-at-a-time algorithms (plan truncation,
+// the reactive activity union); they must preserve that invariant.
+func (s *Set) Words() []uint64 { return s.words }

@@ -1,0 +1,156 @@
+package bitset
+
+import (
+	"testing"
+
+	"rcbcast/internal/rng"
+)
+
+// reference is the naive model every word-level operation is checked
+// against.
+type reference map[int]bool
+
+func (r reference) count() int {
+	n := 0
+	for _, v := range r {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSetBasics(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 || s.Count() != 0 || s.Any() {
+		t.Fatalf("fresh set: len=%d count=%d any=%v", s.Len(), s.Count(), s.Any())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 8 || !s.Any() {
+		t.Fatalf("count=%d any=%v", s.Count(), s.Any())
+	}
+	s.Clear(64)
+	if s.Get(64) || s.Count() != 7 {
+		t.Fatalf("clear(64): get=%v count=%d", s.Get(64), s.Count())
+	}
+	// Out-of-range accesses are inert.
+	s.Set(-1)
+	s.Set(130)
+	s.Clear(-1)
+	s.Clear(130)
+	if s.Get(-1) || s.Get(130) || s.Count() != 7 {
+		t.Fatalf("out-of-range access perturbed the set")
+	}
+}
+
+func TestSetRangeMatchesLoop(t *testing.T) {
+	st := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + st.Intn(300)
+		from := st.Intn(n+20) - 10
+		to := st.Intn(n+20) - 10
+		a, b := New(n), New(n)
+		// Pre-populate identically so SetRange must OR, not overwrite.
+		for i := 0; i < n; i += 7 {
+			a.Set(i)
+			b.Set(i)
+		}
+		a.SetRange(from, to)
+		for i := from; i < to; i++ {
+			b.Set(i)
+		}
+		for i := 0; i < n; i++ {
+			if a.Get(i) != b.Get(i) {
+				t.Fatalf("n=%d SetRange(%d,%d): bit %d differs", n, from, to, i)
+			}
+		}
+		if a.Count() != b.Count() {
+			t.Fatalf("n=%d SetRange(%d,%d): count %d vs %d", n, from, to, a.Count(), b.Count())
+		}
+	}
+}
+
+func TestOrAndAgainstReference(t *testing.T) {
+	st := rng.New(11)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + st.Intn(260)
+		a, b := New(n), New(n)
+		ra, rb := reference{}, reference{}
+		for i := 0; i < n; i++ {
+			if st.Bernoulli(0.4) {
+				a.Set(i)
+				ra[i] = true
+			}
+			if st.Bernoulli(0.4) {
+				b.Set(i)
+				rb[i] = true
+			}
+		}
+		or := New(n)
+		or.Or(a)
+		or.Or(b)
+		and := New(n)
+		and.Or(a)
+		and.And(b)
+		for i := 0; i < n; i++ {
+			if want := ra[i] || rb[i]; or.Get(i) != want {
+				t.Fatalf("n=%d or bit %d: got %v want %v", n, i, or.Get(i), want)
+			}
+			if want := ra[i] && rb[i]; and.Get(i) != want {
+				t.Fatalf("n=%d and bit %d: got %v want %v", n, i, and.Get(i), want)
+			}
+		}
+	}
+}
+
+func TestOrLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or over mismatched lengths must panic")
+		}
+	}()
+	New(64).Or(New(65))
+}
+
+func TestResetClearsResizeKeeps(t *testing.T) {
+	s := New(128)
+	s.Set(5)
+	s.Reset(128)
+	if s.Get(5) || s.Count() != 0 {
+		t.Fatal("Reset must clear")
+	}
+	// Resize relies on the dirty-clearing discipline: a set bit that was
+	// cleared stays cleared through shrink/grow cycles within capacity.
+	s.Set(100)
+	s.Clear(100)
+	s.Resize(32)
+	s.Resize(128)
+	if s.Any() {
+		t.Fatal("Resize exposed stale bits despite the cleared invariant")
+	}
+	// Growing past capacity yields zero words.
+	s.Resize(4096)
+	if s.Len() != 4096 || s.Any() {
+		t.Fatalf("grown set: len=%d any=%v", s.Len(), s.Any())
+	}
+}
+
+func TestWordsInvariant(t *testing.T) {
+	s := New(70)
+	s.SetRange(0, 70)
+	if got := s.Count(); got != 70 {
+		t.Fatalf("full range count = %d", got)
+	}
+	w := s.Words()
+	if len(w) != 2 {
+		t.Fatalf("70 bits needs 2 words, got %d", len(w))
+	}
+	if w[1]>>6 != 0 {
+		t.Fatalf("bits beyond Len leaked into the last word: %#x", w[1])
+	}
+}

@@ -1,0 +1,650 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"slices"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/bitset"
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+	"rcbcast/internal/msg"
+	"rcbcast/internal/sampling"
+	"rcbcast/internal/topology"
+)
+
+// The batched lockstep kernel.
+//
+// RunBatch executes B trials of the same sweep point — equal Params and
+// Topology spec, per-lane seeds, strategies, pools, and budgets — in
+// lockstep over one shared phase schedule: each phase of the round
+// structure is executed across every still-running lane before the next
+// phase is fetched. Three things make the batch faster than B scalar
+// runs while keeping every lane's Result byte-identical to its scalar
+// counterpart (pinned by the differential and fuzz tests):
+//
+//   - Block geometric draws. Every schedule walked in a batch lane uses
+//     sampling.BlockSchedule, which prefetches skips through
+//     rng.Stream.GeometricBlockLnQ's four-lane log kernel — the draw is
+//     the engine's dominant cost and its log/divide tail serializes in
+//     the scalar engine. Over-drawing a stream is safe here because the
+//     engine re-keys (Reseed) every schedule stream before each use.
+//   - Bitset reception. The per-slot channel state is two bits per slot
+//     (busy, multi — word-packed bitsets) plus the solo frame kind,
+//     replacing the scalar engine's byte-per-slot counts array; observe
+//     checks the jam plan before touching channel state at all. Under
+//     heavy jamming the scalar engine misses cache on a counts load per
+//     listen just to discard it; the batch kernel's hot listen path
+//     reads only word-packed bits.
+//   - Cross-trial topology caching. Lanes resolve their graphs through
+//     one topology.Cache: clique and grid specs are trial-invariant, so
+//     a whole batch (and every batch after it on the same BatchScratch)
+//     shares a single build and CSR; Gilbert graphs are keyed by seed,
+//     so each lane holds its own entry, kept live by capacity ≥ width.
+//
+// The scalar engine (Run / RunContext) is untouched and serves as the
+// byte-identity oracle.
+
+// BatchScratch recycles the batch kernel's working state across
+// RunBatch calls: the per-lane engine Scratches (their node arrays
+// carved from one flat slab, so a batch's lane states sit contiguously),
+// the per-lane reception bitsets and block schedules, the shared phase
+// schedule, and the cross-trial topology cache. It must never be shared
+// by concurrently executing batches; sim's batch workers pool them.
+type BatchScratch struct {
+	lanes    []batchLane
+	nodeSlab []nodeState
+	slabN    int
+	cache    *topology.Cache
+	sched    core.Schedule
+}
+
+// NewBatchScratch returns an empty batch scratch; buffers grow to the
+// batch widths and node counts the runs it serves need.
+func NewBatchScratch() *BatchScratch { return &BatchScratch{} }
+
+// batchLane is one trial's execution state inside a batch: its run plus
+// the lane-owned reception bitsets and the block-draw schedules its
+// walkers reuse (one node is walked to completion before the next, so
+// two schedules per lane suffice — data/listen and decoy).
+type batchLane struct {
+	sc          *Scratch
+	r           *run
+	busy, multi bitset.Set
+	blkA, blkB  sampling.BlockSchedule
+}
+
+// ensure grows the scratch for a batch of the given width over n-node
+// trials. Per-lane node arrays are carved from one contiguous slab
+// (re-carved only when the width or n outgrows it), and the topology
+// cache is sized so every lane's graph stays live for the whole batch.
+func (bs *BatchScratch) ensure(width, n int) {
+	if bs.cache == nil {
+		bs.cache = topology.NewCache(width + 2)
+	}
+	bs.cache.EnsureCapacity(width + 2)
+	for len(bs.lanes) < width {
+		bs.lanes = append(bs.lanes, batchLane{})
+	}
+	for i := 0; i < width; i++ {
+		if bs.lanes[i].sc == nil {
+			bs.lanes[i].sc = NewScratch()
+		}
+	}
+	if need := width * n; cap(bs.nodeSlab) < need || bs.slabN != n {
+		bs.nodeSlab = make([]nodeState, need)
+		bs.slabN = n
+		for i := 0; i < width; i++ {
+			// Full three-index slices: a lane's segment can never grow
+			// into its neighbor's.
+			bs.lanes[i].sc.nodes = bs.nodeSlab[i*n : (i+1)*n : (i+1)*n]
+		}
+	}
+}
+
+// RunBatch executes the lanes' trials in lockstep on the batched kernel
+// and returns their Results indexed like opts. Every lane's Result is
+// byte-identical to Run(opts[i]). All lanes must share Params, Topology,
+// and MaxPhaseSlots (the execution-shaping fields — a batch is B trials
+// of one sweep point); seeds, strategies, pools, budgets, perturbations,
+// and tracers are per-lane. Strategy and Pool instances carry per-run
+// state and must not be shared across lanes. A nil scratch allocates
+// fresh working state.
+func RunBatch(opts []Options, bs *BatchScratch) ([]*Result, error) {
+	return RunBatchContext(nil, opts, bs)
+}
+
+var errBatchMismatch = errors.New(
+	"engine: batch lanes must share Params, Topology, and MaxPhaseSlots")
+
+// RunBatchContext is RunBatch checking ctx once per lockstep phase.
+// Cancellation returns a *PartialRunError carrying the furthest lane's
+// progress; no Results accompany it (as with RunContext, partial-state
+// invariants do not hold).
+func RunBatchContext(ctx context.Context, opts []Options, bs *BatchScratch) ([]*Result, error) {
+	if len(opts) == 0 {
+		return nil, nil
+	}
+	for i := 1; i < len(opts); i++ {
+		if opts[i].Params != opts[0].Params ||
+			opts[i].Topology != opts[0].Topology ||
+			opts[i].MaxPhaseSlots != opts[0].MaxPhaseSlots {
+			return nil, errBatchMismatch
+		}
+	}
+	if bs == nil {
+		bs = NewBatchScratch()
+	}
+	// Invalid params fail lane construction below with the scalar
+	// engine's error; the slab sizing just must not trip on them first.
+	n := opts[0].Params.N
+	if n < 0 {
+		n = 0
+	}
+	bs.ensure(len(opts), n)
+	lanes := bs.lanes[:len(opts)]
+	defer func() {
+		for i := range lanes {
+			if lanes[i].r != nil {
+				lanes[i].r.releaseScratch()
+				lanes[i].r = nil
+			}
+		}
+	}()
+	for i := range lanes {
+		l := &lanes[i]
+		o := opts[i]
+		if o.Scratch == nil {
+			o.Scratch = l.sc
+		}
+		r, err := newRunTopo(&o, bs.cache.Get)
+		if err != nil {
+			return nil, err
+		}
+		l.r = r
+	}
+
+	maxSlots := opts[0].maxPhaseSlots()
+	bs.sched.Reset(&lanes[0].r.params)
+	for {
+		alive := false
+		for i := range lanes {
+			if !lanes[i].r.done() {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			break
+		}
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				var rounds int
+				var slots int64
+				for i := range lanes {
+					if r := lanes[i].r; r.lastRound > rounds {
+						rounds = r.lastRound
+					}
+					if r := lanes[i].r; r.slots > slots {
+						slots = r.slots
+					}
+				}
+				return nil, &PartialRunError{Rounds: rounds, Slots: slots, Err: ctx.Err()}
+			default:
+			}
+		}
+		ph, ok := bs.sched.Next()
+		if !ok {
+			break
+		}
+		if ph.Length > maxSlots {
+			return nil, ErrPhaseTooLong
+		}
+		for i := range lanes {
+			if l := &lanes[i]; !l.r.done() {
+				l.runPhase(ph)
+			}
+		}
+	}
+	results := make([]*Result, len(lanes))
+	for i := range lanes {
+		if t := lanes[i].r.opts.Tracer; t != nil {
+			t.Done()
+		}
+		results[i] = lanes[i].r.result()
+	}
+	return results, nil
+}
+
+// runPhase executes one phase on this lane, mirroring run.runPhase with
+// the batch kernel's reception state and block-draw walkers.
+func (l *batchLane) runPhase(ph core.Phase) {
+	r := l.r
+	l.ensureBuffers(ph.Length)
+	out := adversary.PhaseOutcome{Phase: ph}
+	if r.opts.Tracer != nil {
+		r.opts.Tracer.PhaseStart(ph)
+	}
+
+	// Pass A: transmissions (committed and charged at phase start).
+	l.aliceSends(ph, &out)
+	for i := range r.nodes {
+		l.planNodeSends(&r.nodes[i], ph)
+	}
+	l.mergeNodeSends(&out)
+
+	plan := l.adversaryPlan(ph, &out)
+
+	if r.topo != nil && len(r.txs) > 1 {
+		slices.SortStableFunc(r.txs, func(a, b txRec) int { return int(a.slot - b.slot) })
+	}
+
+	// Pass B: listens.
+	for i := range r.nodes {
+		l.walkNodeListens(&r.nodes[i], ph, plan)
+	}
+	for i := range r.nodes {
+		out.NodeListens += r.nodes[i].phaseListens
+	}
+	l.aliceListens(ph, plan, &out)
+
+	aliceWasActive := r.alice.active()
+	terminatedBefore := r.terminatedSet()
+	r.endPhase(ph)
+	r.emitTrace(ph, aliceWasActive, terminatedBefore)
+	r.recordOutcome(out)
+	if r.opts.Tracer != nil {
+		r.opts.Tracer.PhaseEnd(r.hist.Outcomes[len(r.hist.Outcomes)-1])
+	}
+	r.slots += int64(ph.Length)
+	r.lastRound = ph.Round
+	l.clearDirty()
+	if plan != nil {
+		plan.Release()
+	}
+}
+
+// ensureBuffers sizes the lane's per-slot reception state: the busy and
+// multi bitsets (two bits per slot; Resize keeps contents, which are
+// all-zero between phases by the dirty-clearing discipline) and the
+// solo-kind bytes, read only on an actual solo reception. The scalar
+// counts array is never touched by the batch kernel.
+func (l *batchLane) ensureBuffers(length int) {
+	r := l.r
+	if cap(r.soloKind) < length {
+		r.soloKind = make([]uint8, length)
+	}
+	r.soloKind = r.soloKind[:length]
+	l.busy.Resize(length)
+	l.multi.Resize(length)
+}
+
+// clearDirty zeroes exactly the slots the phase touched, mirroring
+// run.clearDirty on the bitset state.
+func (l *batchLane) clearDirty() {
+	r := l.r
+	for _, s := range r.dirty {
+		l.busy.Clear(int(s))
+		l.multi.Clear(int(s))
+		r.soloKind[s] = 0
+	}
+	r.dirty = r.dirty[:0]
+	r.txs = r.txs[:0]
+}
+
+// addTx mirrors run.addTx on the busy/multi bitsets. The scalar kernel
+// keeps a saturating count per slot; reception only ever distinguishes
+// zero, one, and many, which is what the two bits encode.
+func (l *batchLane) addTx(slot int, kind msg.Kind, src int32) {
+	r := l.r
+	if !l.busy.Get(slot) {
+		l.busy.Set(slot)
+		r.soloKind[slot] = uint8(kind)
+		r.dirty = append(r.dirty, int32(slot))
+	} else {
+		l.multi.Set(slot)
+	}
+	if r.topo != nil {
+		r.txs = append(r.txs, txRec{slot: int32(slot), src: src, kind: uint8(kind)})
+	}
+}
+
+// observe mirrors run.observe with the load order inverted: the jam
+// plan is consulted before any channel state, so a jammed listen — the
+// common case under the strategies that matter — resolves without
+// touching the per-slot arrays at all. The outputs are identical for
+// every input: jammed slots are noise in both kernels regardless of
+// traffic.
+func (l *batchLane) observe(slot, listener int, plan *adversary.Plan) (msg.Kind, outcome) {
+	if plan != nil && plan.Jammed(slot) && plan.Disrupts(slot, listener) {
+		return 0, outcomeNoise
+	}
+	if !l.busy.Get(slot) {
+		return 0, outcomeSilence
+	}
+	if l.r.topo != nil {
+		return l.observeSparse(slot, listener)
+	}
+	if l.multi.Get(slot) {
+		return 0, outcomeNoise
+	}
+	return msg.Kind(l.r.soloKind[slot]), outcomeReceived
+}
+
+// observeSparse mirrors run.observeSparse past its jam and empty-slot
+// checks (both already resolved by observe): the listener's perception
+// is a binary search over the phase's slot-sorted transmission records,
+// counting audible transmitters.
+func (l *batchLane) observeSparse(slot, listener int) (msg.Kind, outcome) {
+	r := l.r
+	s := int32(slot)
+	lo, hi := 0, len(r.txs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.txs[mid].slot < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	heard := 0
+	var kind msg.Kind
+	for i := lo; i < len(r.txs) && r.txs[i].slot == s; i++ {
+		if !r.audible(r.txs[i].src, listener) {
+			continue
+		}
+		if heard++; heard > 1 {
+			return 0, outcomeNoise
+		}
+		kind = msg.Kind(r.txs[i].kind)
+	}
+	if heard == 0 {
+		return 0, outcomeSilence
+	}
+	return kind, outcomeReceived
+}
+
+// planNodeSends mirrors run.planNodeSends walking the lane's block
+// schedules: same streams, same keyed draws, same merge and charging
+// order, slot sequences pinned identical by the sampling differential
+// tests.
+func (l *batchLane) planNodeSends(n *nodeState, ph core.Phase) {
+	r := l.r
+	n.sendSlots = n.sendSlots[:0]
+	n.sendKinds = n.sendKinds[:0]
+	n.phaseListens = 0
+	if !n.active() {
+		return
+	}
+	var dataP float64
+	var dataKind msg.Kind
+	switch ph.Kind {
+	case core.PhasePropagate:
+		if n.informed && r.params.SendStep(n.mark) == ph.Step {
+			dataP = clamp01(ph.NodeSendP * n.sendScale)
+			dataKind = msg.KindData
+		}
+	case core.PhaseRequest:
+		if !n.informed {
+			dataP = clamp01(ph.NodeSendP * n.sendScale)
+			dataKind = msg.KindNack
+		}
+	}
+	decoyP := ph.DecoyP
+
+	ord := phaseOrdinal(ph, r.params.K)
+	round := uint64(ph.Round)
+	var dSlot, cSlot int
+	var dOK, cOK bool
+	if dataP > 0 {
+		n.streamA.Reseed(r.opts.Seed, nodeActor(n.id), round, ord, purpSend)
+		l.blkA.Reset(&n.streamA, dataP, ph.Length)
+		dSlot, dOK = l.blkA.Next()
+	}
+	if decoyP > 0 {
+		n.streamB.Reseed(r.opts.Seed, nodeActor(n.id), round, ord, purpDecoy)
+		l.blkB.Reset(&n.streamB, decoyP, ph.Length)
+		cSlot, cOK = l.blkB.Next()
+	}
+
+	// When the meter covers the phase's worst case (a data and a decoy
+	// stream can emit at most 2·Length sends), no send can exhaust it
+	// mid-walk, so the per-send charges fold into one ChargeN at the
+	// end — Meter charges are pure accumulation, so the final state is
+	// identical. Otherwise take the scalar per-send path, whose
+	// mid-walk death is observable.
+	prepaid := n.meter.CanAfford(2 * int64(ph.Length))
+	sends := int64(0)
+	for dOK || cOK {
+		var slot int
+		var kind msg.Kind
+		switch {
+		case dOK && (!cOK || dSlot <= cSlot):
+			slot, kind = dSlot, dataKind
+			if cOK && cSlot == dSlot {
+				cSlot, cOK = l.blkB.Next()
+			}
+			dSlot, dOK = l.blkA.Next()
+		default:
+			slot, kind = cSlot, msg.KindDecoy
+			cSlot, cOK = l.blkB.Next()
+		}
+		if prepaid {
+			sends++
+		} else if err := n.meter.Charge(energy.Send); err != nil {
+			n.dead = true
+			return
+		}
+		n.sendSlots = append(n.sendSlots, int32(slot))
+		n.sendKinds = append(n.sendKinds, kind)
+	}
+	if prepaid {
+		_ = n.meter.ChargeN(energy.Send, sends)
+	}
+}
+
+// mergeNodeSends mirrors run.mergeNodeSends through the lane's addTx.
+func (l *batchLane) mergeNodeSends(out *adversary.PhaseOutcome) {
+	r := l.r
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		for j, slot := range n.sendSlots {
+			kind := n.sendKinds[j]
+			l.addTx(int(slot), kind, int32(n.id))
+			switch kind {
+			case msg.KindData:
+				out.NodeDataSends++
+			case msg.KindNack:
+				out.NodeNacks++
+			case msg.KindDecoy:
+				out.NodeDecoys++
+			}
+		}
+	}
+}
+
+// aliceSends mirrors run.aliceSends on a block schedule.
+func (l *batchLane) aliceSends(ph core.Phase, out *adversary.PhaseOutcome) {
+	r := l.r
+	if ph.AliceSendP <= 0 || !r.alice.active() {
+		return
+	}
+	r.aliceStream.Reseed(r.opts.Seed, actorAlice, uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpSend)
+	l.blkA.Reset(&r.aliceStream, ph.AliceSendP, ph.Length)
+	prepaid := r.alice.meter.CanAfford(int64(ph.Length))
+	sends := int64(0)
+	for {
+		slot, ok := l.blkA.Next()
+		if !ok {
+			break
+		}
+		if prepaid {
+			sends++
+		} else if err := r.alice.meter.Charge(energy.Send); err != nil {
+			r.alice.dead = true
+			return
+		}
+		l.addTx(slot, msg.KindData, txSrcAlice)
+		out.AliceSends++
+	}
+	if prepaid {
+		_ = r.alice.meter.ChargeN(energy.Send, sends)
+	}
+}
+
+// adversaryPlan mirrors run.adversaryPlan; the reactive RSSI view is
+// one word-level union of the busy set instead of a per-dirty-slot
+// loop (every dirty slot carries traffic, so the sets are equal).
+func (l *batchLane) adversaryPlan(ph core.Phase, out *adversary.PhaseOutcome) *adversary.Plan {
+	r := l.r
+	r.advStream.Reseed(r.opts.Seed, actorAdversary, uint64(ph.Round), phaseOrdinal(ph, r.params.K))
+	st := &r.advStream
+	var plan *adversary.Plan
+	if reactive, ok := r.strategy.(adversary.Reactive); ok && r.opts.AllowReactive {
+		r.activity.Reset(ph.Length)
+		r.activity.OrBits(&l.busy)
+		plan = reactive.PlanReactive(ph, &r.activity, &r.hist, r.pool, st)
+	} else {
+		plan = r.strategy.PlanPhase(ph, &r.hist, r.pool, st)
+	}
+	if plan == nil {
+		return nil
+	}
+
+	jams := int64(plan.JamCount())
+	if r.pool != nil && r.pool.Remaining() < jams {
+		jams = plan.TruncateJamsAfter(r.pool.Remaining())
+	}
+	if r.pool != nil {
+		_ = r.pool.Charge(energy.Jam, jams)
+	}
+	out.JammedSlots = jams
+	r.totalJams += jams
+
+	injections := plan.Injections()
+	keep := int64(len(injections))
+	if r.pool != nil && r.pool.Remaining() < keep {
+		keep = plan.TruncateInjectionsAfter(r.pool.Remaining())
+	}
+	if r.pool != nil {
+		_ = r.pool.Charge(energy.Send, keep)
+	}
+	out.InjectedFrames = keep
+	r.totalInjects += keep
+	for _, inj := range plan.Injections() {
+		l.addTx(inj.Slot, inj.Frame.Kind, txSrcAdversary)
+	}
+	if jams == 0 && keep == 0 {
+		plan.Release()
+		return nil
+	}
+	return plan
+}
+
+// walkNodeListens mirrors run.walkNodeListens on a block schedule and
+// the lane's observe.
+func (l *batchLane) walkNodeListens(n *nodeState, ph core.Phase, plan *adversary.Plan) {
+	r := l.r
+	if !n.active() || n.informed {
+		return
+	}
+	listenP := clamp01(ph.NodeListenP * n.listenScale)
+	if listenP <= 0 {
+		return
+	}
+	n.streamA.Reseed(r.opts.Seed, nodeActor(n.id), uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpListen)
+	l.blkA.Reset(&n.streamA, listenP, ph.Length)
+	// A meter that covers every slot of the phase cannot exhaust
+	// mid-walk, so the per-listen charges fold into one ChargeN —
+	// charges are pure accumulation, so the final meter state is
+	// identical. Otherwise keep the scalar per-listen path, whose
+	// mid-walk death is observable.
+	prepaid := n.meter.CanAfford(int64(ph.Length))
+	listens := int64(0)
+	si := 0
+	// Consume whole draw blocks (Take) instead of a call per event; the
+	// scalar loop's informed/dead checks before each event become
+	// labeled breaks right after the state changes, which is the same
+	// exit point — nothing else mutates them mid-walk.
+outer:
+	for {
+		blk := l.blkA.Take()
+		if len(blk) == 0 {
+			break
+		}
+		for _, s32 := range blk {
+			slot := int(s32)
+			for si < len(n.sendSlots) && int(n.sendSlots[si]) < slot {
+				si++
+			}
+			if si < len(n.sendSlots) && int(n.sendSlots[si]) == slot {
+				continue
+			}
+			if prepaid {
+				listens++
+			} else if err := n.meter.Charge(energy.Listen); err != nil {
+				n.dead = true
+				break outer
+			}
+			n.phaseListens++
+			kind, out := l.observe(slot, n.id, plan)
+			if ph.Kind == core.PhaseRequest {
+				n.listens++
+				if out != outcomeSilence {
+					n.noisy++
+				}
+			}
+			if out == outcomeReceived && kind == msg.KindData {
+				n.informed = true
+				n.justInformed = true
+				if ph.Kind == core.PhasePropagate {
+					n.mark = core.InformMark(ph.Step)
+				} else {
+					n.mark = core.MarkInformPhase
+				}
+				break outer
+			}
+		}
+	}
+	if prepaid {
+		_ = n.meter.ChargeN(energy.Listen, listens)
+	}
+}
+
+// aliceListens mirrors run.aliceListens on a block schedule.
+func (l *batchLane) aliceListens(ph core.Phase, plan *adversary.Plan, out *adversary.PhaseOutcome) {
+	r := l.r
+	if ph.AliceListenP <= 0 || !r.alice.active() {
+		return
+	}
+	r.aliceStream.Reseed(r.opts.Seed, actorAlice, uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpListen)
+	l.blkA.Reset(&r.aliceStream, ph.AliceListenP, ph.Length)
+	prepaid := r.alice.meter.CanAfford(int64(ph.Length))
+	listens := int64(0)
+outer:
+	for {
+		blk := l.blkA.Take()
+		if len(blk) == 0 {
+			break
+		}
+		for _, s32 := range blk {
+			if prepaid {
+				listens++
+			} else if err := r.alice.meter.Charge(energy.Listen); err != nil {
+				r.alice.dead = true
+				break outer
+			}
+			_, o := l.observe(int(s32), msg.SenderAlice, plan)
+			out.AliceListens++
+			r.alice.listens++
+			if o != outcomeSilence {
+				r.alice.noisy++
+			}
+		}
+	}
+	if prepaid {
+		_ = r.alice.meter.ChargeN(energy.Listen, listens)
+	}
+}

@@ -1,0 +1,285 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rcbcast/internal/adversary"
+	"rcbcast/internal/core"
+	"rcbcast/internal/energy"
+	"rcbcast/internal/topology"
+)
+
+var batchTopos = []struct {
+	name string
+	spec topology.Spec
+}{
+	{"clique", topology.Spec{}},
+	{"grid", topology.Spec{Kind: "grid", Reach: 2}},
+	{"gilbert", topology.Spec{Kind: "gilbert", Radius: 0.25}},
+}
+
+// batchLaneOptions derives lane `lane`'s Options for a differential
+// case: the config's fresh construction (strategies and pools are
+// per-run mutable state, so scalar and batch each call mk() themselves)
+// with the topology installed and the seed varied per lane.
+func batchLaneOptions(mk func() Options, spec topology.Spec, lane int) Options {
+	o := mk()
+	o.Topology = spec
+	o.Seed += uint64(lane) * 7919
+	if !spec.IsClique() {
+		// Sparse runs at n=192 are slow; a short round window still
+		// exercises every phase kind and both kernels identically.
+		o.Params.MaxRound = o.Params.StartRound + 2
+	}
+	return o
+}
+
+// TestBatchMatchesScalar is the tentpole oracle: for every behavioural
+// config, topology kind, and batch width — including width 1 — each
+// lane of RunBatch must produce a Result bit-for-bit identical to the
+// scalar engine's for the same Options.
+func TestBatchMatchesScalar(t *testing.T) {
+	widths := []int{1, 2, 4, 8}
+	if testing.Short() {
+		widths = []int{1, 8}
+	}
+	for name, mk := range equivalenceConfigs() {
+		for _, tp := range batchTopos {
+			for _, width := range widths {
+				t.Run(fmt.Sprintf("%s/%s/w%d", name, tp.name, width), func(t *testing.T) {
+					scalar := make([]*Result, width)
+					for lane := 0; lane < width; lane++ {
+						res, err := Run(batchLaneOptions(mk, tp.spec, lane))
+						if err != nil {
+							t.Fatal(err)
+						}
+						scalar[lane] = res
+					}
+					opts := make([]Options, width)
+					for lane := range opts {
+						opts[lane] = batchLaneOptions(mk, tp.spec, lane)
+					}
+					batch, err := RunBatch(opts, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(batch) != width {
+						t.Fatalf("got %d results for %d lanes", len(batch), width)
+					}
+					for lane := range batch {
+						if !reflect.DeepEqual(scalar[lane], batch[lane]) {
+							t.Fatalf("lane %d diverged:\nscalar: %+v\nbatch:  %+v",
+								lane, scalar[lane], batch[lane])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBatchScratchReuse pins the scratch discipline: consecutive
+// batches on one BatchScratch — including a width change and a second
+// pass over the same specs — are byte-identical to fresh-scratch runs,
+// and the topology cache actually carries graphs across batches.
+func TestBatchScratchReuse(t *testing.T) {
+	mkOpts := func(width int, spec topology.Spec) []Options {
+		opts := make([]Options, width)
+		for lane := range opts {
+			params := core.PracticalParams(128, 2)
+			if !spec.IsClique() {
+				params.MaxRound = params.StartRound + 2
+			}
+			opts[lane] = Options{
+				Params:   params,
+				Seed:     uint64(300 + lane),
+				Topology: spec,
+				Strategy: adversary.FullJam{},
+				Pool:     energy.NewPool(1 << 12),
+			}
+		}
+		return opts
+	}
+	for _, tp := range batchTopos {
+		t.Run(tp.name, func(t *testing.T) {
+			bs := NewBatchScratch()
+			var rounds [][]*Result
+			for _, width := range []int{4, 2, 4} {
+				got, err := RunBatch(mkOpts(width, tp.spec), bs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rounds = append(rounds, got)
+			}
+			fresh, err := RunBatch(mkOpts(4, tp.spec), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, width := range []int{4, 2, 4} {
+				for lane := 0; lane < width; lane++ {
+					if !reflect.DeepEqual(rounds[i][lane], fresh[lane]) {
+						t.Fatalf("pass %d lane %d: reused scratch diverged from fresh", i, lane)
+					}
+				}
+			}
+			hits, misses := bs.cache.Stats()
+			switch {
+			case tp.spec.IsClique():
+				// The clique never consults the cache (global fast path).
+				if hits+misses != 0 {
+					t.Fatalf("clique batches touched the topology cache: %d hits, %d misses", hits, misses)
+				}
+			case tp.spec.TrialInvariant():
+				// One build serves all ten lane-trials across the passes.
+				if misses != 1 || hits != 9 {
+					t.Fatalf("grid cache stats = (%d hits, %d misses), want (9, 1)", hits, misses)
+				}
+			default:
+				// Gilbert: one build per distinct seed (4), reused on the
+				// later passes (2 + 4 hits).
+				if misses != 4 || hits != 6 {
+					t.Fatalf("gilbert cache stats = (%d hits, %d misses), want (6, 4)", hits, misses)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchValidation covers the batch API's edges: empty input, lane
+// mismatch on each execution-shaping field, and per-lane option errors.
+func TestBatchValidation(t *testing.T) {
+	res, err := RunBatch(nil, nil)
+	if res != nil || err != nil {
+		t.Fatalf("empty batch: got (%v, %v)", res, err)
+	}
+	base := Options{Params: core.PracticalParams(64, 2), Seed: 1}
+	bad := base
+	bad.Params.K = 3
+	if _, err := RunBatch([]Options{base, bad}, nil); !errors.Is(err, errBatchMismatch) {
+		t.Fatalf("params mismatch: %v", err)
+	}
+	bad = base
+	bad.Topology = topology.Spec{Kind: "grid"}
+	if _, err := RunBatch([]Options{base, bad}, nil); !errors.Is(err, errBatchMismatch) {
+		t.Fatalf("topology mismatch: %v", err)
+	}
+	bad = base
+	bad.MaxPhaseSlots = 9999
+	if _, err := RunBatch([]Options{base, bad}, nil); !errors.Is(err, errBatchMismatch) {
+		t.Fatalf("max-phase-slots mismatch: %v", err)
+	}
+	invalid := base
+	invalid.Params.N = 0
+	if _, err := RunBatch([]Options{invalid, invalid}, nil); err == nil {
+		t.Fatal("invalid lane options must be rejected")
+	}
+}
+
+// TestBatchContextCancel: a canceled context surfaces as a
+// *PartialRunError, exactly like the scalar context path.
+func TestBatchContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := make([]Options, 4)
+	for lane := range opts {
+		opts[lane] = Options{Params: core.PracticalParams(128, 2), Seed: uint64(lane)}
+	}
+	_, err := RunBatchContext(ctx, opts, nil)
+	var pe *PartialRunError
+	if !errors.As(err, &pe) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want *PartialRunError wrapping context.Canceled, got %v", err)
+	}
+}
+
+// steadyBatch mirrors steadyTrials for the batch kernel: the
+// BENCH_ENGINE workload at batch width 8 with everything a sweep hoists
+// (options slice, pools, scratch) hoisted out of the loop.
+func steadyBatch(spec topology.Spec, fail func(error)) (trial func(), width int) {
+	const w = 8
+	params := core.PracticalParams(256, 2)
+	if !spec.IsClique() {
+		params.MaxRound = params.StartRound + 2
+	}
+	pools := make([]*energy.Pool, w)
+	opts := make([]Options, w)
+	for lane := range opts {
+		pools[lane] = energy.NewPool(1 << 12)
+		opts[lane] = Options{
+			Params:   params,
+			Topology: spec,
+			Strategy: adversary.FullJam{},
+			Pool:     pools[lane],
+		}
+	}
+	bs := NewBatchScratch()
+	seed := uint64(0)
+	return func() {
+		for lane := range opts {
+			pools[lane].Reset(1 << 12)
+			opts[lane].Seed = seed
+			seed++
+		}
+		res, err := RunBatch(opts, bs)
+		if err != nil {
+			fail(err)
+		}
+		if len(res) != w || res[0].N != 256 {
+			fail(errBadResult)
+		}
+	}, w
+}
+
+// TestSteadyStateAllocsBatch extends the allocation gate to the batch
+// kernel: a warmed-up batch allocates per lane what a warmed-up scalar
+// run allocates per trial (run struct, escaped Options, Result,
+// NodeCosts, cost-sort copy) plus the shared results slice — block
+// schedules, bitsets, and the topology cache must all recycle.
+func TestSteadyStateAllocsBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts; CI gates this test in a separate non-race step")
+	}
+	for _, tc := range []struct {
+		name    string
+		spec    topology.Spec
+		ceiling float64 // per lane, matching the scalar gate's anatomy
+	}{
+		{"clique", topology.Spec{}, 16},
+		{"grid", topology.Spec{Kind: "grid", Reach: 2}, 24},
+		{"gilbert", topology.Spec{Kind: "gilbert", Radius: 0.25}, 24},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			trial, width := steadyBatch(tc.spec, func(err error) { t.Fatal(err) })
+			for i := 0; i < 8; i++ {
+				trial()
+			}
+			ceiling := tc.ceiling * float64(width)
+			if got := testing.AllocsPerRun(10, trial); got > ceiling {
+				t.Fatalf("steady-state %s batch allocates %.1f objects/op at width %d, ceiling %v",
+					tc.name, got, width, ceiling)
+			}
+		})
+	}
+}
+
+// BenchmarkSteadyStateBatch is BenchmarkSteadyState on the batch
+// kernel: width-8 batches, scratch warmed before the timer. ns/op is
+// per batch (8 trials); compare ns/op/8 against BenchmarkSteadyState.
+func BenchmarkSteadyStateBatch(b *testing.B) {
+	for _, tc := range steadyKinds {
+		b.Run(tc.name, func(b *testing.B) {
+			trial, _ := steadyBatch(tc.spec, func(err error) { b.Fatal(err) })
+			for i := 0; i < 2; i++ {
+				trial()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trial()
+			}
+		})
+	}
+}

@@ -143,6 +143,15 @@ type run struct {
 }
 
 func newRun(opts *Options) (*run, error) {
+	return newRunTopo(opts, nil)
+}
+
+// newRunTopo is newRun with an optional topology source: the batch
+// kernel passes a topology.Cache's Get so the lanes of a batch share
+// trial-invariant graphs and reuse per-seed Gilbert builds, instead of
+// rebuilding per lane. A nil lookup builds fresh into the run's scratch,
+// exactly as before; the graphs are byte-identical either way.
+func newRunTopo(opts *Options, lookup func(topology.Spec, int, uint64) (topology.Topology, *topology.CSR, error)) (*run, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -154,7 +163,17 @@ func newRun(opts *Options) (*run, error) {
 	}
 	r.adoptScratch(r.params.N)
 	if !opts.Topology.IsClique() {
-		topo, err := opts.Topology.BuildInto(r.params.N, opts.Seed, r.topoScratch())
+		var topo topology.Topology
+		var csr *topology.CSR
+		var err error
+		if lookup != nil {
+			topo, csr, err = lookup(opts.Topology, r.params.N, opts.Seed)
+		} else {
+			topo, err = opts.Topology.BuildInto(r.params.N, opts.Seed, r.topoScratch())
+			if err == nil && !topo.Complete() {
+				csr = topology.BuildCSR(topo, r.topoScratch())
+			}
+		}
 		if err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
@@ -162,7 +181,7 @@ func newRun(opts *Options) (*run, error) {
 			// Complete graphs (a reach-covering grid, say) resolve
 			// identically through the global fast path.
 			r.topo = topo
-			r.csr = topology.BuildCSR(topo, r.topoScratch())
+			r.csr = csr
 		}
 	}
 	nodeBudget := int64(energy.Unlimited)

@@ -1,0 +1,125 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLogPortableMatchesMathLog pins the portable fdlibm kernel to
+// math.Log bit for bit over the draw domain — the identity the whole
+// block-draw design rests on. If this test fails on some platform, the
+// init self-check must have routed block draws to math.Log already;
+// assert that coupling too.
+func TestLogPortableMatchesMathLog(t *testing.T) {
+	sm := uint64(42)
+	mismatches := 0
+	for i := 0; i < 2_000_000; i++ {
+		u := float64(splitMix64(&sm)>>11) * 0x1p-53
+		if u == 0 {
+			u = 0x1p-53
+		}
+		if got, want := logPortable(u), math.Log(u); got != want {
+			mismatches++
+			if useLogPortable {
+				t.Fatalf("logPortable(%x) = %x, math.Log = %x, but useLogPortable is true",
+					u, got, want)
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Logf("portable log kernel differs from math.Log on this platform (%d/2M); block draws fall back", mismatches)
+	}
+	for _, u := range []float64{0x1p-53, 0x1p-52, 0.25, 0.5, math.Sqrt2 / 2, math.Nextafter(math.Sqrt2/2, 0), 0.75, 0.9999999999999999} {
+		if got, want := logPortable(u), math.Log(u); got != want && useLogPortable {
+			t.Fatalf("logPortable(%v) = %x, math.Log = %x", u, got, want)
+		}
+	}
+}
+
+// TestLog4PortableMatchesScalar pins the interleaved four-lane kernel
+// to its scalar form lane for lane.
+func TestLog4PortableMatchesScalar(t *testing.T) {
+	sm := uint64(7)
+	for i := 0; i < 100_000; i++ {
+		var u [4]float64
+		for j := range u {
+			u[j] = float64(splitMix64(&sm)>>11) * 0x1p-53
+			if u[j] == 0 {
+				u[j] = 0x1p-53
+			}
+		}
+		l0, l1, l2, l3 := log4Portable(u[0], u[1], u[2], u[3])
+		for j, got := range []float64{l0, l1, l2, l3} {
+			if want := logPortable(u[j]); got != want {
+				t.Fatalf("lane %d: log4Portable(%x) = %x, logPortable = %x", j, u[j], got, want)
+			}
+		}
+	}
+}
+
+// TestGeometricBlockMatchesScalar asserts the block draw is the scalar
+// draw sequence: same values element for element, same stream state
+// afterwards, across probabilities from near-0 to near-1 and block
+// lengths that exercise both the four-lane body and the remainder tail.
+func TestGeometricBlockMatchesScalar(t *testing.T) {
+	ps := []float64{1e-9, 1e-4, 0.01, 0.1, 0.3, 0.5, 0.9, 0.999999}
+	sizes := []int{1, 2, 3, 4, 5, 7, 8, 16, 33}
+	for _, p := range ps {
+		lnQ := math.Log1p(-p)
+		for _, size := range sizes {
+			a := New(99, uint64(size))
+			b := New(99, uint64(size))
+			block := make([]int, size)
+			a.GeometricBlockLnQ(lnQ, block)
+			for i := 0; i < size; i++ {
+				want := b.GeometricLnQ(lnQ)
+				if block[i] != want {
+					t.Fatalf("p=%v size=%d draw %d: block %d, scalar %d", p, size, i, block[i], want)
+				}
+			}
+			if a.s != b.s {
+				t.Fatalf("p=%v size=%d: stream states diverged after block draw", p, size)
+			}
+		}
+	}
+}
+
+// TestGeometricBlockNeverSentinel exercises the MaxInt "never" sentinel
+// through the block path: a p so small that ln(u)/lnQ overflows the
+// int64 guard must come back as MaxInt from both paths.
+func TestGeometricBlockNeverSentinel(t *testing.T) {
+	lnQ := math.Log1p(-5e-324) // smallest positive p: lnQ is -5e-324ish, ratios explode
+	a, b := New(3), New(3)
+	block := make([]int, 8)
+	a.GeometricBlockLnQ(lnQ, block)
+	for i, got := range block {
+		if want := b.GeometricLnQ(lnQ); got != want {
+			t.Fatalf("draw %d: block %d, scalar %d", i, got, want)
+		}
+		if got != math.MaxInt {
+			t.Fatalf("draw %d: expected the MaxInt sentinel, got %d", i, got)
+		}
+	}
+}
+
+func BenchmarkGeometricScalar(b *testing.B) {
+	st := New(1)
+	lnQ := math.Log1p(-0.05)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += st.GeometricLnQ(lnQ)
+	}
+	_ = sink
+}
+
+func BenchmarkGeometricBlock8(b *testing.B) {
+	st := New(1)
+	lnQ := math.Log1p(-0.05)
+	var buf [8]int
+	sink := 0
+	for i := 0; i < b.N; i += 8 {
+		st.GeometricBlockLnQ(lnQ, buf[:])
+		sink += buf[0]
+	}
+	_ = sink
+}

@@ -1,0 +1,87 @@
+package rng
+
+import "math"
+
+// This file gates the assembly draw kernel (geoblock_amd64.s): eight
+// complete geometric draws per call — the xoshiro steps, the 53-bit
+// uniform conversion, the fdlibm log evaluated four lanes wide on AVX2
+// vectors, the division by lnQ, and the truncation with the "never"
+// sentinel. Lane arithmetic in AVX2 is the same IEEE-754 operation the
+// scalar instruction performs, and the kernel is written mul/add
+// separate (no FMA contraction), so each lane reproduces logPortable's
+// roundings exactly. That claim is not taken on faith: useGeoBlock8
+// requires a start-up differential against the scalar draw across seeds
+// and skip distributions, including the sentinel regime, and the block
+// draw falls back to the four-lane Go kernel wherever it fails.
+
+// geoBlock8Asm draws the next 8 geometric skips of the stream state s
+// with the given lnQ, bit-identical to 8 scalar GeometricLnQ calls: it
+// advances s exactly 8 xoshiro steps and fills dst with the 8 draws.
+// invLnQ must be 1/lnQ (hoisted so the kernel's quotient fast path
+// multiplies instead of dividing). Only valid when useGeoBlock8 is
+// true.
+//
+//go:noescape
+func geoBlock8Asm(s *[4]uint64, dst *[8]int, lnQ, invLnQ float64)
+
+// cpuid executes CPUID with the given leaf and subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0 (requires OSXSAVE).
+func xgetbv0() (eax, edx uint32)
+
+// useGeoBlock8 is true when the CPU and OS support AVX2 and the
+// assembly kernel reproduces the scalar draw bit-for-bit.
+var useGeoBlock8 = func() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&6 != 6 { // XMM and YMM state OS-enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	if ebx7&avx2Bit == 0 {
+		return false
+	}
+	return geoBlock8SelfCheck()
+}()
+
+// geoBlock8SelfCheck runs the assembly kernel against the scalar draw
+// over a spread of stream states and skip distributions — dense and
+// sparse schedules, and lnQ values small enough to drive quotients into
+// the MaxInt sentinel — requiring bit-identical draws and final stream
+// state everywhere.
+func geoBlock8SelfCheck() bool {
+	ps := []float64{0.999999, 0.9, 0.5, 0.2, 0.01, 1e-6, 1e-12, 1e-18, 1e-300}
+	sm := uint64(0xc0ffee5eed5a11ad)
+	for trial := 0; trial < 512; trial++ {
+		state := [4]uint64{splitMix64(&sm), splitMix64(&sm), splitMix64(&sm), splitMix64(&sm)}
+		for _, p := range ps {
+			lnQ := math.Log1p(-p)
+			var ref Stream
+			ref.s = state
+			ref.init = true
+			asmState := state
+			var got [8]int
+			geoBlock8Asm(&asmState, &got, lnQ, 1/lnQ)
+			for d := 0; d < 8; d++ {
+				if got[d] != ref.GeometricLnQ(lnQ) {
+					return false
+				}
+			}
+			if asmState != ref.s {
+				return false
+			}
+			state = asmState
+		}
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGeoBlock8Asm is the self-check as a visible test: on machines
+// with the AVX2 kernel, eight-draw blocks must match eight scalar draws
+// bit-for-bit — values and final stream state — across seeds and skip
+// distributions from dense schedules to the MaxInt sentinel regime.
+func TestGeoBlock8Asm(t *testing.T) {
+	if !useGeoBlock8 {
+		t.Skip("assembly draw kernel unavailable on this machine; Go block path in use")
+	}
+	if !geoBlock8SelfCheck() {
+		t.Fatal("assembly draw kernel diverges from the scalar draw")
+	}
+	// Direct spot check with sentinel-heavy lnQ so a regression in the
+	// fixup path fails loudly here, not just inside the bool above.
+	lnQ := math.Log1p(-1e-300)
+	var ref Stream
+	ref.Reseed(42)
+	st := New(42)
+	st.ensure()
+	ref.ensure()
+	var got [8]int
+	geoBlock8Asm(&st.s, &got, lnQ, 1/lnQ)
+	for d := 0; d < 8; d++ {
+		if want := ref.GeometricLnQ(lnQ); got[d] != want {
+			t.Fatalf("draw %d: asm %d, scalar %d", d, got[d], want)
+		}
+		if got[d] != math.MaxInt {
+			t.Fatalf("draw %d: want MaxInt sentinel with p=1e-300, got %d", d, got[d])
+		}
+	}
+}
+
+// TestGeoBlock8AsmExactIntegerQuotient drives the kernel's near-integer
+// fixup path deliberately: lnQ is derived from the first draw's own log
+// so that q = log(u0)/lnQ is exactly integral, which the multiply fast
+// path must flag and resolve with the scalar's division.
+func TestGeoBlock8AsmExactIntegerQuotient(t *testing.T) {
+	if !useGeoBlock8 {
+		t.Skip("assembly draw kernel unavailable on this machine; Go block path in use")
+	}
+	for _, k := range []float64{1, 2, 3, 7, 1000} {
+		var probe Stream
+		probe.Reseed(1234)
+		probe.ensure()
+		u0 := probe.u53()
+		lnQ := math.Log(u0) / k // q for draw 0 == k exactly (up to the division's rounding)
+		var ref Stream
+		ref.Reseed(1234)
+		ref.ensure()
+		st := New(1234)
+		st.ensure()
+		var got [8]int
+		geoBlock8Asm(&st.s, &got, lnQ, 1/lnQ)
+		for d := 0; d < 8; d++ {
+			if want := ref.GeometricLnQ(lnQ); got[d] != want {
+				t.Fatalf("k=%v draw %d: asm %d, scalar %d", k, d, got[d], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package rng
+
+// Architectures without the assembly draw kernel take the four-lane Go
+// path in GeometricBlockLnQ unconditionally.
+const useGeoBlock8 = false
+
+func geoBlock8Asm(s *[4]uint64, dst *[8]int, lnQ, invLnQ float64) {
+	panic("rng: geoBlock8Asm without assembly kernel")
+}

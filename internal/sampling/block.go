@@ -1,0 +1,155 @@
+package sampling
+
+import (
+	"math"
+
+	"rcbcast/internal/rng"
+)
+
+// blockDraws is the prefetch depth of a BlockSchedule refill: enough to
+// keep the eight-draw assembly kernel fed with two full blocks on dense
+// schedules without drawing absurdly past the phase end on sparse ones
+// (the adaptive refill still draws as little as 2 there, and measured
+// stream over-draw stays within a few percent of the scalar engine's).
+const blockDraws = 16
+
+// BlockSchedule enumerates exactly the slot sequence of a SlotSchedule
+// over the same stream, probability, and length — but draws its
+// geometric skips in prefetched blocks (rng.Stream.GeometricBlockLnQ),
+// which the batched engine kernel uses to overlap the log/divide tail
+// of consecutive draws. The visible slots are bit-identical to the
+// scalar schedule's (pinned by the differential test); the *stream* is
+// left further advanced, which is safe wherever the stream is re-keyed
+// before its next use — the engine Reseeds every schedule stream per
+// phase, so leftover state is never observed. Do not substitute a
+// BlockSchedule where a later consumer continues drawing from the same
+// stream.
+type BlockSchedule struct {
+	st        *rng.Stream
+	p         float64
+	lnQ       float64
+	length    int
+	pos       int // origin of the next geometric draw
+	buf       [blockDraws]int32
+	gs        [blockDraws]int
+	head, n   int
+	exhausted bool
+	everySlot bool
+}
+
+// Reset re-initializes the schedule in place over [0, length) with
+// per-slot probability p drawn from st, mirroring SlotSchedule.Reset.
+// Unlike the scalar schedule it draws nothing until the first Next.
+func (s *BlockSchedule) Reset(st *rng.Stream, p float64, length int) {
+	s.st, s.p, s.length = st, p, length
+	s.lnQ = 0
+	s.pos = 0
+	s.head, s.n = 0, 0
+	s.everySlot = p >= 1
+	s.exhausted = p <= 0 || length <= 0
+	if !s.exhausted && !s.everySlot {
+		s.lnQ = math.Log1p(-p)
+	}
+}
+
+// Next returns the next action slot, or (0, false) when the phase is
+// exhausted — the identical sequence SlotSchedule.Next yields. The
+// buffered fast path is small enough to inline into the engine's walk
+// loops; everything else lives in nextSlow.
+func (s *BlockSchedule) Next() (slot int, ok bool) {
+	h := s.head
+	if h >= s.n {
+		return s.nextSlow()
+	}
+	s.head = h + 1
+	return int(s.buf[h]), true
+}
+
+// Take returns every already-drawn action slot not yet consumed,
+// advancing past all of them, refilling once when the buffer is empty;
+// it returns nil when the phase is exhausted. Consuming via Take yields
+// exactly the Next sequence, one block at a time, letting dense walk
+// loops range over a slice instead of paying a call per event. The
+// returned slice aliases the schedule's buffer: it is valid until the
+// next Take, Next, or Reset.
+func (s *BlockSchedule) Take() []int32 {
+	if s.head >= s.n {
+		if s.exhausted {
+			return nil
+		}
+		if s.everySlot {
+			// Materialize the every-slot run in buffer-sized chunks so
+			// Take has one shape; p >= 1 schedules are rare and cheap.
+			n := 0
+			for ; n < blockDraws && s.pos < s.length; n++ {
+				s.buf[n] = int32(s.pos)
+				s.pos++
+			}
+			s.exhausted = s.pos >= s.length
+			s.head, s.n = 0, n
+		} else {
+			s.refill()
+		}
+		if s.head >= s.n {
+			return nil
+		}
+	}
+	b := s.buf[s.head:s.n]
+	s.head = s.n
+	return b
+}
+
+func (s *BlockSchedule) nextSlow() (slot int, ok bool) {
+	if s.exhausted {
+		return 0, false
+	}
+	if s.everySlot {
+		slot = s.pos
+		s.pos++
+		if s.pos >= s.length {
+			s.exhausted = true
+		}
+		return slot, true
+	}
+	s.refill()
+	if s.head >= s.n {
+		return 0, false
+	}
+	slot = int(s.buf[s.head])
+	s.head++
+	return slot, true
+}
+
+// refill prefetches a block of geometric skips and converts them to
+// action slots, stopping at the first draw that falls past the phase
+// end (the scalar schedule's termination rule). The draw count adapts
+// to the expected remaining actions so sparse schedules do not burn
+// four-lane blocks to learn they are done.
+func (s *BlockSchedule) refill() {
+	want := int(s.p*float64(s.length-s.pos)) + 1
+	if want > blockDraws {
+		want = blockDraws
+	} else if want < 2 {
+		want = 2
+	}
+	s.st.GeometricBlockLnQ(s.lnQ, s.gs[:want])
+	s.head, s.n = 0, 0
+	pos := s.pos
+	for _, g := range s.gs[:want] {
+		if g >= s.length-pos { // also covers the MaxInt "never" sentinel
+			s.exhausted = true
+			break
+		}
+		slot := pos + g
+		s.buf[s.n] = int32(slot)
+		s.n++
+		pos = slot + 1
+		if pos >= s.length {
+			// Exhausted at the phase boundary, exactly as the scalar
+			// schedule (which stops without drawing there).
+			s.exhausted = true
+			break
+		}
+	}
+	s.pos = pos
+}

@@ -1,0 +1,66 @@
+package sampling
+
+import (
+	"testing"
+
+	"rcbcast/internal/rng"
+)
+
+// TestBlockScheduleMatchesSlotSchedule pins the block schedule to the
+// scalar one slot for slot across the probability / length grid the
+// engine exercises: degenerate p, p ≥ 1, sparse and dense regimes, and
+// lengths around the block size.
+func TestBlockScheduleMatchesSlotSchedule(t *testing.T) {
+	ps := []float64{0, -0.5, 1e-9, 1e-4, 0.01, 0.1, 0.5, 0.97, 1, 1.5}
+	lengths := []int{0, 1, 2, 7, 8, 9, 63, 64, 100, 1024, 1 << 15}
+	for _, p := range ps {
+		for _, length := range lengths {
+			var scalarStream, blockStream rng.Stream
+			scalarStream.Reseed(12345, uint64(length))
+			blockStream.Reseed(12345, uint64(length))
+			var scalar SlotSchedule
+			var block BlockSchedule
+			scalar.Reset(&scalarStream, p, length)
+			block.Reset(&blockStream, p, length)
+			for i := 0; ; i++ {
+				ws, wok := scalar.Next()
+				gs, gok := block.Next()
+				if ws != gs || wok != gok {
+					t.Fatalf("p=%v length=%d event %d: scalar (%d,%v) block (%d,%v)",
+						p, length, i, ws, wok, gs, gok)
+				}
+				if !wok {
+					break
+				}
+			}
+			// Once exhausted, both stay exhausted.
+			if _, ok := block.Next(); ok {
+				t.Fatalf("p=%v length=%d: block schedule revived after exhaustion", p, length)
+			}
+		}
+	}
+}
+
+// TestBlockScheduleManySeeds sweeps seeds at one engine-typical
+// configuration so refill boundaries land everywhere in the buffer.
+func TestBlockScheduleManySeeds(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		var ss, bs rng.Stream
+		ss.Reseed(seed)
+		bs.Reseed(seed)
+		var scalar SlotSchedule
+		var block BlockSchedule
+		scalar.Reset(&ss, 0.07, 4096)
+		block.Reset(&bs, 0.07, 4096)
+		for {
+			ws, wok := scalar.Next()
+			gs, gok := block.Next()
+			if ws != gs || wok != gok {
+				t.Fatalf("seed %d: scalar (%d,%v) block (%d,%v)", seed, ws, wok, gs, gok)
+			}
+			if !wok {
+				break
+			}
+		}
+	}
+}

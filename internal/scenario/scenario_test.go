@@ -214,6 +214,7 @@ func TestValidateErrors(t *testing.T) {
 		"bad quiet":              {N: 64, Quiet: "sometimes"},
 		"max and extra":          {N: 64, Overrides: Overrides{MaxRound: 9, ExtraRounds: 2}},
 		"bad k":                  {N: 64, K: 1},
+		"negative batch":         {N: 64, Batch: -4},
 	}
 	for name, sc := range cases {
 		if err := sc.Validate(); err == nil {
@@ -302,6 +303,39 @@ func TestScenarioStream(t *testing.T) {
 	}
 	if want.AdversarySpent != seq[3] {
 		t.Fatal("Scenario.Stream seeds diverge from TrialSpecs")
+	}
+}
+
+// TestScenarioStreamBatch pins the batch field's routing: a scenario
+// with Batch > 1 streams through the batched lockstep kernel with sink
+// output identical to the scalar stream's.
+func TestScenarioStreamBatch(t *testing.T) {
+	sc := Scenario{
+		N: 64, K: 2,
+		Adversary: AdversarySpec{Kind: "full"},
+		Budget:    BudgetSpec{Pool: 1 << 10},
+	}
+	render := func(sc Scenario) []int64 {
+		var spents []int64
+		err := sc.Stream(context.Background(), 1, 1, 0, 10,
+			sinkFunc(func(i int, r *engine.Result) error {
+				if i != len(spents) {
+					t.Fatalf("delivery out of order: got %d at position %d", i, len(spents))
+				}
+				spents = append(spents, r.AdversarySpent)
+				return nil
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spents
+	}
+	scalar := render(sc)
+	for _, width := range []int{2, 4, 8} {
+		sc.Batch = width
+		if !reflect.DeepEqual(render(sc), scalar) {
+			t.Fatalf("batch=%d stream diverges from the scalar stream", width)
+		}
 	}
 }
 

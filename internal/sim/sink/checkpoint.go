@@ -229,6 +229,16 @@ func fingerprint(specs []sim.TrialSpec) string {
 // override) is rejected instead of silently splicing two different
 // sweeps into one output.
 func StreamCheckpointed(ctx context.Context, procs int, specs []sim.TrialSpec, cp *Checkpoint, sinks ...sim.Sink) error {
+	return StreamCheckpointedBatch(ctx, procs, 1, specs, cp, sinks...)
+}
+
+// StreamCheckpointedBatch is StreamCheckpointed executing the
+// un-journaled tail through the batched lockstep kernel
+// (sim.StreamBatch) at the given width. Journal and sink output are
+// byte-identical at every width — including across an interrupt/resume
+// whose tail regroups at different batch boundaries — because the
+// kernel's per-trial results match the scalar engine's bit for bit.
+func StreamCheckpointedBatch(ctx context.Context, procs, width int, specs []sim.TrialSpec, cp *Checkpoint, sinks ...sim.Sink) error {
 	if cp.Done() > len(specs) {
 		return fmt.Errorf("sink: checkpoint has %d trials but the sweep has %d", cp.Done(), len(specs))
 	}
@@ -267,7 +277,7 @@ func StreamCheckpointed(ctx context.Context, procs int, specs []sim.TrialSpec, c
 	for _, s := range sinks {
 		session = append(session, offset{d: base, s: s})
 	}
-	return sim.Stream(ctx, procs, specs[base:], session...)
+	return sim.StreamBatch(ctx, procs, width, specs[base:], session...)
 }
 
 // offset re-indexes a resumed tail-run's trial indices back to sweep

@@ -1,0 +1,120 @@
+package topology
+
+// Cache memoizes built topologies with their CSR adjacency views across
+// the trials one worker executes. Clique and grid graphs are
+// trial-invariant — a pure function of (spec, n) — so a sweep's worker
+// builds each exactly once however many trials it runs; Gilbert graphs
+// are keyed by their derived graph seed, so repeated executions of the
+// same trial (differential oracles, batch lanes, re-runs) reuse the
+// build, while distinct trials get distinct graphs exactly as before.
+//
+// Every entry owns its construction scratch, so a cached graph and its
+// CSR stay valid for the entry's whole lifetime — unlike a build into a
+// shared Scratch, which the next build invalidates. That lifetime
+// guarantee is what lets the batched engine kernel keep B lanes'
+// Gilbert graphs alive simultaneously; size the capacity accordingly.
+//
+// A Cache must not be used by concurrently executing builds or lookups;
+// give each worker its own (the engine's batch scratch embeds one).
+// Cached graphs are byte-identical to fresh builds — pinned by test.
+type Cache struct {
+	capacity     int
+	clock        uint64
+	hits, misses uint64
+	entries      []cacheEntry
+}
+
+type cacheKey struct {
+	spec Spec
+	n    int
+	seed uint64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	topo  Topology
+	csr   *CSR
+	sc    *Scratch
+	stamp uint64
+}
+
+// NewCache returns a cache holding at most capacity graphs (minimum 1),
+// evicting the least recently used.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{capacity: capacity}
+}
+
+// Capacity reports the maximum number of live entries.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// EnsureCapacity raises the capacity to at least capacity, never
+// lowering it — the batch kernel calls this so every lane of a batch
+// can hold its graph live at once.
+func (c *Cache) EnsureCapacity(capacity int) {
+	if capacity > c.capacity {
+		c.capacity = capacity
+	}
+}
+
+// Stats reports the lookup counters.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// TrialInvariant reports whether the spec's graph is a pure function of
+// (spec, n) alone — every kind but the seed-randomized gilbert. The
+// cache folds the seed out of such keys, so one entry serves every
+// trial of a sweep point.
+func (s Spec) TrialInvariant() bool { return s.Kind != "gilbert" }
+
+// Get returns the topology for (spec, n, seed) plus its CSR adjacency
+// view, building and caching on miss. The CSR is nil for complete
+// graphs (the engine's global-channel fast path needs none). The
+// returned graph is valid until the entry is evicted: with a capacity
+// of at least the number of graphs simultaneously in use, callers may
+// hold results across subsequent Gets.
+func (c *Cache) Get(spec Spec, n int, seed uint64) (Topology, *CSR, error) {
+	key := cacheKey{spec: spec, n: n, seed: seed}
+	if spec.TrialInvariant() {
+		key.seed = 0
+	}
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.key == key {
+			c.hits++
+			c.clock++
+			e.stamp = c.clock
+			return e.topo, e.csr, nil
+		}
+	}
+	c.misses++
+	var e *cacheEntry
+	if len(c.entries) < c.capacity {
+		c.entries = append(c.entries, cacheEntry{sc: NewScratch()})
+		e = &c.entries[len(c.entries)-1]
+	} else {
+		e = &c.entries[0]
+		for i := range c.entries {
+			if c.entries[i].stamp < e.stamp {
+				e = &c.entries[i]
+			}
+		}
+	}
+	topo, err := spec.BuildInto(n, seed, e.sc)
+	if err != nil {
+		// Leave the victim entry unusable rather than half-built.
+		e.key = cacheKey{}
+		e.topo, e.csr = nil, nil
+		return nil, nil, err
+	}
+	e.key = key
+	e.topo = topo
+	e.csr = nil
+	if !topo.Complete() {
+		e.csr = BuildCSR(topo, e.sc)
+	}
+	c.clock++
+	e.stamp = c.clock
+	return e.topo, e.csr, nil
+}
