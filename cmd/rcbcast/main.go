@@ -39,6 +39,7 @@ import (
 	"rcbcast/internal/scenario"
 	"rcbcast/internal/topology"
 	"rcbcast/internal/trace"
+	"rcbcast/internal/version"
 )
 
 func main() {
@@ -70,9 +71,14 @@ func run(args []string, out io.Writer) error {
 		traceTo = fs.String("trace", "", "write an event trace: 'text' or 'json' to stdout, or a .ndjson file path")
 		paper   = fs.Bool("paper", false, "use PaperParams instead of PracticalParams")
 		budgets = fs.Bool("budgets", false, "enforce the paper's device budgets (C=8)")
+		showVer = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVer {
+		fmt.Fprintln(out, version.String())
+		return nil
 	}
 	if *list {
 		scenario.WriteList(out)

@@ -60,6 +60,7 @@ import (
 	"rcbcast/internal/sim"
 	"rcbcast/internal/sim/sink"
 	"rcbcast/internal/topology"
+	"rcbcast/internal/version"
 )
 
 func main() {
@@ -94,11 +95,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		checkpoint = fs.String("checkpoint", "", "journal completed trials here; rerun to resume")
 		cpuprofile = fs.String("cpuprofile", "", "raw sweep mode: write a pprof CPU profile of the sweep here")
 		memprofile = fs.String("memprofile", "", "raw sweep mode: write a pprof heap profile at sweep end here")
+		showVer    = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *showVer {
+		fmt.Fprintln(out, version.String())
+		return nil
+	}
 	if *listScn {
 		scenario.WriteList(out)
 		return nil
@@ -291,8 +297,10 @@ func runSweep(ctx context.Context, out io.Writer, cfg sweepConfig) (err error) {
 		return fmt.Errorf("unknown -out %q (have jsonl, csv)", cfg.outFormat)
 	}
 	if cfg.progress {
-		every := cfg.trials / 20
-		sinks = append(sinks, sink.NewProgress(os.Stderr, cfg.trials, every))
+		// Time-throttled: one line per second with trials/s and ETA,
+		// however long the trials take — a count-based cadence either
+		// spams short trials or goes silent on expensive ones.
+		sinks = append(sinks, sink.NewProgressEvery(os.Stderr, cfg.trials, time.Second))
 	}
 	if cfg.checkpoint != "" {
 		cp, cerr := sink.OpenCheckpoint(cfg.checkpoint)

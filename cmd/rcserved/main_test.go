@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"rcbcast/internal/scenario"
+	"rcbcast/internal/sim/sink"
+)
+
+// TestMain doubles as the e2e child: with RCSERVED_E2E_CHILD set, the
+// test binary *is* rcserved — the real run() on real flags, killable
+// with a real SIGKILL.
+func TestMain(m *testing.M) {
+	if os.Getenv("RCSERVED_E2E_CHILD") == "1" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		var args []string
+		if err := json.Unmarshal([]byte(os.Getenv("RCSERVED_E2E_ARGS")), &args); err != nil {
+			fmt.Fprintln(os.Stderr, "rcserved: bad e2e args:", err)
+			os.Exit(1)
+		}
+		if err := run(ctx, args, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rcserved:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "rcbcast ") || !strings.Contains(out, "go1.") {
+		t.Fatalf("version output %q lacks the module and go stamps", out)
+	}
+}
+
+func TestDirRequired(t *testing.T) {
+	err := run(context.Background(), nil, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-dir is required") {
+		t.Fatalf("run without -dir: %v", err)
+	}
+}
+
+// e2eScenario is the sweep the durability test runs: ~1ms/trial at
+// -procs 1, so thousands of trials give the kill a wide mid-job window.
+const e2eScenario = `{"n": 64, "adversary": {"kind": "full"}, "budget": {"pool": 1024}, "overrides": {"extra_rounds": 6}}`
+
+const e2eTrials = 2500
+
+// server is one child rcserved process.
+type server struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+// startServer launches the test binary in child mode and parses the
+// resolved listen address from its startup line.
+func startServer(t *testing.T, dir string) *server {
+	t.Helper()
+	args, err := json.Marshal([]string{"-addr", "127.0.0.1:0", "-dir", dir, "-procs", "1", "-drain", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "RCSERVED_E2E_CHILD=1", "RCSERVED_E2E_ARGS="+string(args))
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("no startup line from rcserved (err=%v)", sc.Err())
+	}
+	line := sc.Text()
+	addr, ok := strings.CutPrefix(line, "rcserved: listening on ")
+	if !ok {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	return &server{cmd: cmd, base: "http://" + addr}
+}
+
+// jobStatus fetches one job's status fields.
+func (s *server) jobStatus(t *testing.T, id string) (state string, done int, version string) {
+	t.Helper()
+	resp, err := http.Get(s.base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		State   string `json:"state"`
+		Done    int    `json:"done"`
+		Version string `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	return st.State, st.Done, st.Version
+}
+
+// TestSIGKILLDurability is the contract the service exists for: SIGKILL
+// the server mid-job, restart it on the same store, and the job resumes
+// on its own to results byte-identical to an uninterrupted run.
+func TestSIGKILLDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes and runs a multi-second sweep")
+	}
+	dir := t.TempDir()
+
+	s1 := startServer(t, dir)
+	body := fmt.Sprintf(`{"scenario": %s, "trials": %d}`, e2eScenario, e2eTrials)
+	resp, err := http.Post(s1.base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
+		t.Fatalf("submit: %d, id %q", resp.StatusCode, submitted.ID)
+	}
+
+	// Kill — with SIGKILL, no drain, no warning — once the job is far
+	// enough in to have journaled real work but nowhere near done.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		state, done, _ := s1.jobStatus(t, submitted.ID)
+		if state == "done" {
+			t.Fatalf("job finished before the kill window; raise e2eTrials")
+		}
+		if done >= 50 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached the kill window (state %s, done %d)", state, done)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	s1.cmd.Wait()
+
+	// Restart on the same store: the job must resume without any client
+	// action and run to completion.
+	s2 := startServer(t, dir)
+	defer func() {
+		s2.cmd.Process.Signal(syscall.SIGTERM)
+		s2.cmd.Wait()
+	}()
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		state, done, version := s2.jobStatus(t, submitted.ID)
+		if state == "done" {
+			if done != e2eTrials {
+				t.Fatalf("resumed job done = %d, want %d", done, e2eTrials)
+			}
+			if version == "" {
+				t.Fatal("job record lost its version stamp")
+			}
+			break
+		}
+		if state == "failed" || state == "canceled" {
+			t.Fatalf("resumed job ended %s", state)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job stuck at %s/%d", state, done)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err = http.Get(s2.base + "/v1/jobs/" + submitted.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the identical sweep, uninterrupted, straight through
+	// the scenario streaming layer (the same path rcexp uses).
+	spec, err := scenario.Decode([]byte(e2eScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := spec.Stream(context.Background(), 0, 1, 0, e2eTrials, sink.NewNDJSON(&want)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("post-SIGKILL results differ from an uninterrupted run (%d vs %d bytes)",
+			len(got), want.Len())
+	}
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDecodeErrorsNameFieldPaths pins the decode-failure messages the
+// sweep service returns as 400 bodies: every type error names the field
+// path from the document root and the offending JSON value kind, every
+// unknown field keeps its name, and syntax errors keep their offset.
+func TestDecodeErrorsNameFieldPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string // substrings the message must contain
+	}{
+		{
+			name: "top-level type error",
+			in:   `{"n": "big"}`,
+			want: []string{`field "n"`, "JSON string", "int"},
+		},
+		{
+			name: "adversary knob type error",
+			in:   `{"n": 64, "adversary": {"kind": "random", "p": "half"}}`,
+			want: []string{`field "adversary.p"`, "JSON string", "float64"},
+		},
+		{
+			name: "topology knob type error",
+			in:   `{"n": 64, "topology": {"kind": "gilbert", "radius": true}}`,
+			want: []string{`field "topology.radius"`, "JSON bool", "float64"},
+		},
+		{
+			name: "budget knob type error",
+			in:   `{"n": 64, "budget": {"pool": "lots"}}`,
+			want: []string{`field "budget.pool"`, "JSON string", "int64"},
+		},
+		{
+			name: "overrides knob type error",
+			in:   `{"n": 64, "overrides": {"extra_rounds": 3.5}}`,
+			want: []string{`field "overrides.extra_rounds"`, "JSON number 3.5", "int"},
+		},
+		{
+			name: "composite part type error",
+			in:   `{"n": 64, "adversary": {"kind": "composite", "parts": [{"kind": 7}]}}`,
+			want: []string{`field "adversary.parts.kind"`, "JSON number", "string"},
+		},
+		{
+			name: "adversary is not an object",
+			in:   `{"n": 64, "adversary": "full"}`,
+			want: []string{`field "adversary"`, "JSON string"},
+		},
+		{
+			name: "unknown top-level field",
+			in:   `{"n": 64, "adverzary": {"kind": "full"}}`,
+			want: []string{`unknown field "adverzary"`, "-dump-scenario"},
+		},
+		{
+			name: "unknown nested field",
+			in:   `{"n": 64, "adversary": {"kindd": "full"}}`,
+			want: []string{`unknown field "kindd"`},
+		},
+		{
+			name: "document is not an object",
+			in:   `[1, 2]`,
+			want: []string{"a scenario is a JSON object", "JSON array"},
+		},
+		{
+			name: "syntax error keeps its offset",
+			in:   `{"n": 64,}`,
+			want: []string{"invalid JSON at byte"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("Decode(%s) succeeded, want an error", tc.in)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Fatalf("Decode(%s) error %q does not mention %q", tc.in, err, w)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeValidPassesThrough guards against the error rewriting
+// breaking the happy path.
+func TestDecodeValidPassesThrough(t *testing.T) {
+	s, err := Decode([]byte(`{"n": 64, "adversary": {"kind": "random", "p": 0.25}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 64 || s.Adversary.Kind != "random" || s.Adversary.P != 0.25 {
+		t.Fatalf("decoded scenario %+v lost fields", s)
+	}
+}

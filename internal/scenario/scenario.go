@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"strings"
 
 	"rcbcast/internal/adversary"
 	"rcbcast/internal/core"
@@ -432,14 +434,43 @@ func (s Scenario) TrialSpecs(base uint64, point, trials int) ([]sim.TrialSpec, e
 
 // Decode parses a JSON scenario, rejecting unknown fields so typos in
 // hand-written files surface as errors instead of silently benign runs.
+// Errors name the offending field path and value kind (see decodeErr) —
+// they double as the sweep service's 400 bodies, so "cannot unmarshal
+// string into Go value" without a path is not good enough.
 func Decode(data []byte) (Scenario, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var s Scenario
 	if err := dec.Decode(&s); err != nil {
-		return Scenario{}, fmt.Errorf("scenario: decode: %w", err)
+		return Scenario{}, decodeErr(err)
 	}
 	return s, nil
+}
+
+// decodeErr rewrites encoding/json's decode failures into messages that
+// name what the author has to fix: the field path from the document
+// root (type errors carry it as UnmarshalTypeError.Field), the JSON
+// value kind found there, and the Go type it must decode into. Unknown
+// fields keep the offending name; syntax errors keep the byte offset.
+func decodeErr(err error) error {
+	var te *json.UnmarshalTypeError
+	if errors.As(err, &te) {
+		if te.Field == "" {
+			return fmt.Errorf("scenario: decode: a scenario is a JSON object, not JSON %s", te.Value)
+		}
+		return fmt.Errorf("scenario: decode: field %q: cannot use JSON %s as %s",
+			te.Field, te.Value, te.Type)
+	}
+	var se *json.SyntaxError
+	if errors.As(err, &se) {
+		return fmt.Errorf("scenario: decode: invalid JSON at byte %d: %w", se.Offset, err)
+	}
+	// DisallowUnknownFields reports a bare `json: unknown field "x"`;
+	// keep the quoted name and say how to list the valid ones.
+	if rest, ok := strings.CutPrefix(err.Error(), "json: unknown field "); ok {
+		return fmt.Errorf("scenario: decode: unknown field %s (rcbcast -dump-scenario prints every valid field)", rest)
+	}
+	return fmt.Errorf("scenario: decode: %w", err)
 }
 
 // Encode renders the scenario as indented JSON. Encoding is

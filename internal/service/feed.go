@@ -1,0 +1,126 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// feed is one job's live result stream: the out.ndjson file plus an
+// in-memory watch point so subscribers follow appends without polling
+// the filesystem. The file is the single source of truth — a late
+// subscriber reads it from byte 0 and gets exactly what an early
+// subscriber saw, because the sweep layer's determinism makes the
+// file's content a pure function of the job spec (a resume rewrites the
+// identical prefix before appending new trials).
+//
+// Appends come from the job runner's single delivery goroutine;
+// subscribers and status queries read concurrently through snapshot.
+type feed struct {
+	path string
+
+	mu       sync.Mutex
+	f        *os.File      // open only while the job runs
+	size     int64         // bytes visible to subscribers
+	watch    chan struct{} // closed and replaced on every append/reset
+	terminal bool          // no further appends will come
+}
+
+// newFeed wires a feed to its backing file. Existing bytes (a completed
+// or interrupted job from a previous process) are immediately visible;
+// terminal is set by the caller from the job's loaded state.
+func newFeed(path string, terminal bool) *feed {
+	size := int64(0)
+	if st, err := os.Stat(path); err == nil {
+		size = st.Size()
+	}
+	return &feed{path: path, size: size, watch: make(chan struct{}), terminal: terminal}
+}
+
+// openForRun truncates the file and resets the visible size for a job
+// (re)start: the run's checkpoint replay rewrites the journaled prefix
+// byte-identically, so subscribers that already read past the reset
+// simply wait for the size to catch back up — the bytes they hold are
+// the bytes being rewritten.
+func (fd *feed) openForRun() error {
+	f, err := os.OpenFile(fd.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: open results: %w", err)
+	}
+	fd.mu.Lock()
+	fd.f = f
+	fd.size = 0
+	fd.terminal = false
+	fd.notifyLocked()
+	fd.mu.Unlock()
+	return nil
+}
+
+// Write implements io.Writer for the NDJSON sink: append, publish the
+// new size, wake subscribers. One call per trial line.
+func (fd *feed) Write(p []byte) (int, error) {
+	fd.mu.Lock()
+	f := fd.f
+	fd.mu.Unlock()
+	if f == nil {
+		return 0, fmt.Errorf("service: results feed is not open")
+	}
+	n, err := f.Write(p)
+	if n > 0 {
+		fd.mu.Lock()
+		fd.size += int64(n)
+		fd.notifyLocked()
+		fd.mu.Unlock()
+	}
+	return n, err
+}
+
+// closeRun closes the backing file after a run attempt. terminal marks
+// whether the job reached a final state (done/failed/canceled) or will
+// resume (shutdown requeue) — subscribers end on terminal, keep waiting
+// otherwise.
+func (fd *feed) closeRun(terminal bool) {
+	fd.mu.Lock()
+	if fd.f != nil {
+		fd.f.Close()
+		fd.f = nil
+	}
+	fd.terminal = terminal
+	fd.notifyLocked()
+	fd.mu.Unlock()
+}
+
+// setTerminal publishes a terminal transition that happens outside a
+// run (canceling a queued job).
+func (fd *feed) setTerminal() {
+	fd.mu.Lock()
+	fd.terminal = true
+	fd.notifyLocked()
+	fd.mu.Unlock()
+}
+
+// reopen marks a terminal feed live again (a failed/canceled job being
+// resubmitted): subscribers attached before the run starts wait instead
+// of ending early.
+func (fd *feed) reopen() {
+	fd.mu.Lock()
+	fd.terminal = false
+	fd.notifyLocked()
+	fd.mu.Unlock()
+}
+
+// notifyLocked wakes every waiting subscriber. Callers hold fd.mu.
+func (fd *feed) notifyLocked() {
+	close(fd.watch)
+	fd.watch = make(chan struct{})
+}
+
+// snapshot returns the visible byte count, a channel closed at the next
+// change, and whether the stream is complete. A subscriber streams
+// [offset, size), then either returns (terminal and caught up) or waits
+// on watch.
+func (fd *feed) snapshot() (size int64, watch <-chan struct{}, terminal bool) {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.size, fd.watch, fd.terminal
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rcbcast/internal/engine"
+	"rcbcast/internal/sim"
+)
+
+// setWrapSpecs installs a testWrapSpecs hook and returns its teardown.
+// Hook-using tests must not run in parallel.
+func setWrapSpecs(hook func(*Job, []sim.TrialSpec) []sim.TrialSpec) func() {
+	testWrapSpecs = hook
+	return func() { testWrapSpecs = nil }
+}
+
+// setExtraSinks installs a testExtraSinks hook and returns its teardown.
+func setExtraSinks(hook func(*Job) []sim.Sink) func() {
+	testExtraSinks = hook
+	return func() { testExtraSinks = nil }
+}
+
+// trialGate holds a job mid-run deterministically: trials with sweep
+// index >= free park inside their Configure hook (on the engine worker,
+// before the trial executes) until release. Tests use it to pin
+// "genuinely running" states — cancellation, live streaming, queue
+// occupancy — without timing guesses.
+type trialGate struct {
+	free        int
+	released    chan struct{}
+	parked      chan struct{}
+	parkOnce    sync.Once
+	releaseOnce sync.Once
+}
+
+func newTrialGate(free int) *trialGate {
+	return &trialGate{free: free, released: make(chan struct{}), parked: make(chan struct{})}
+}
+
+// wrap is a testWrapSpecs hook.
+func (g *trialGate) wrap(_ *Job, specs []sim.TrialSpec) []sim.TrialSpec {
+	out := append([]sim.TrialSpec(nil), specs...)
+	for i := range out {
+		if i < g.free {
+			continue
+		}
+		inner := out[i].Configure
+		out[i].Configure = func(o *engine.Options) {
+			g.parkOnce.Do(func() { close(g.parked) })
+			<-g.released
+			if inner != nil {
+				inner(o)
+			}
+		}
+	}
+	return out
+}
+
+// release lets every parked (and future) trial proceed.
+func (g *trialGate) release() {
+	g.releaseOnce.Do(func() { close(g.released) })
+}
+
+// waitParked blocks until some trial reached the gate.
+func (g *trialGate) waitParked(t *testing.T) {
+	t.Helper()
+	select {
+	case <-g.parked:
+	case <-time.After(20 * time.Second):
+		t.Fatal("no trial reached the gate")
+	}
+}

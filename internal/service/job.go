@@ -1,0 +1,188 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rcbcast/internal/engine"
+	"rcbcast/internal/scenario"
+	"rcbcast/internal/sim/sink"
+)
+
+// State is a job's lifecycle position. Transitions:
+//
+//	queued → running → done
+//	                 → failed            (a trial or sink error)
+//	                 → canceled          (client cancel)
+//	                 → queued            (graceful shutdown: requeued,
+//	                                      resumed from the journal on
+//	                                      the next start)
+//	queued → canceled                    (cancel before a runner claims it)
+//
+// done, failed and canceled are terminal for scheduling, but failed and
+// canceled jobs can be resubmitted: the journal holds their delivered
+// prefix, so a resubmit resumes rather than restarts.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether no runner currently owns or will claim the
+// job.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one submitted sweep: an immutable spec (scenario, trial count,
+// base seed) plus scheduling state. The spec fields are never mutated
+// after submit; the state fields are guarded by mu, and the progress
+// counters are atomics so status queries never contend with delivery.
+type Job struct {
+	// ID is the sweep key: a hash of the canonical scenario encoding,
+	// the trial count, and the base seed. Resubmitting the same sweep
+	// yields the same id — and therefore the same journal — which is
+	// what makes submit idempotent and resume automatic.
+	ID string
+	// Client is the submitting client's identity (limiter key).
+	Client string
+	// Scenario is the validated sweep scenario.
+	Scenario scenario.Scenario
+	// Trials and BaseSeed complete the sweep spec: trial t runs with
+	// seed sim.SweepSeed(BaseSeed, 0, t), exactly like rcexp sweeps.
+	Trials   int
+	BaseSeed uint64
+	// Version stamps the build that accepted the job (internal/version).
+	Version string
+
+	dir  string
+	feed *feed
+
+	mu        sync.Mutex
+	state     State
+	errMsg    string
+	partials  int // run attempts that ended in a *sim.PartialError
+	canceled  bool
+	cancelRun func() // non-nil while running
+
+	done      atomic.Int64 // trials delivered to sinks (sweep coordinates)
+	execBase  atomic.Int64 // journal prefix replayed, not executed, this run
+	execStart atomic.Int64 // unixnano of the first executed delivery this run
+}
+
+// jobID derives the sweep key. The canonical scenario encoding is
+// byte-stable (scenario.Encode round-trips deterministically), so equal
+// sweeps collide on purpose and distinct ones practically never do.
+func jobID(sc scenario.Scenario, trials int, baseSeed uint64) (string, error) {
+	enc, err := scenario.Encode(sc)
+	if err != nil {
+		return "", fmt.Errorf("service: encode scenario: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(enc)
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(trials))
+	binary.LittleEndian.PutUint64(b[8:], baseSeed)
+	h.Write(b[:])
+	return fmt.Sprintf("j%016x", h.Sum64()), nil
+}
+
+// Paths inside the job's store directory.
+func (j *Job) recordPath() string  { return filepath.Join(j.dir, "job.json") }
+func (j *Job) journalPath() string { return filepath.Join(j.dir, "journal.ckpt") }
+func (j *Job) resultsPath() string { return filepath.Join(j.dir, "out.ndjson") }
+
+// Status is the wire form of a job's state — the status endpoint's
+// response body and one element of the list endpoint's.
+type Status struct {
+	ID            string  `json:"id"`
+	State         State   `json:"state"`
+	Client        string  `json:"client,omitempty"`
+	Scenario      string  `json:"scenario,omitempty"`
+	Trials        int     `json:"trials"`
+	Done          int     `json:"done"`
+	TrialsPerSec  float64 `json:"trials_per_sec,omitempty"`
+	ETASeconds    float64 `json:"eta_seconds,omitempty"`
+	PartialErrors int     `json:"partial_errors,omitempty"`
+	Canceled      bool    `json:"canceled,omitempty"`
+	Error         string  `json:"error,omitempty"`
+	Version       string  `json:"version"`
+}
+
+// Status snapshots the job. Rate covers only trials executed in the
+// current run (a resume's replayed prefix arrives in microseconds and
+// would otherwise dwarf the real rate), measured from the first
+// executed delivery.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	st := Status{
+		ID:            j.ID,
+		State:         j.state,
+		Client:        j.Client,
+		Scenario:      j.Scenario.Name,
+		Trials:        j.Trials,
+		PartialErrors: j.partials,
+		Canceled:      j.canceled,
+		Error:         j.errMsg,
+		Version:       j.Version,
+	}
+	j.mu.Unlock()
+	st.Done = int(j.done.Load())
+	if st.State == StateRunning {
+		if startNs := j.execStart.Load(); startNs != 0 {
+			executed := st.Done - int(j.execBase.Load())
+			rate := sink.Rate(executed, time.Unix(0, startNs), time.Now())
+			if rate > 0 {
+				st.TrialsPerSec = rate
+				st.ETASeconds = sink.ETA(st.Done, j.Trials, rate).Seconds()
+			}
+		}
+	}
+	return st
+}
+
+// meterSink plumbs delivery progress into the job's atomics: done is
+// the sweep-coordinate count, and the first index at or past the
+// replayed prefix starts the rate clock.
+type meterSink struct{ j *Job }
+
+func (m meterSink) Trial(i int, _ *engine.Result) error {
+	j := m.j
+	j.done.Store(int64(i) + 1)
+	if int64(i) >= j.execBase.Load() && j.execStart.Load() == 0 {
+		j.execStart.Store(time.Now().UnixNano())
+	}
+	return nil
+}
+
+func (m meterSink) Flush() error { return nil }
+
+// record converts the job to its persisted form (store.go).
+func (j *Job) record() jobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	raw, _ := json.Marshal(j.Scenario)
+	return jobRecord{
+		ID:            j.ID,
+		Client:        j.Client,
+		Scenario:      raw,
+		Trials:        j.Trials,
+		BaseSeed:      j.BaseSeed,
+		State:         j.state,
+		Done:          int(j.done.Load()),
+		PartialErrors: j.partials,
+		Canceled:      j.canceled,
+		Error:         j.errMsg,
+		Version:       j.Version,
+	}
+}

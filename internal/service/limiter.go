@@ -1,0 +1,59 @@
+package service
+
+import "sync"
+
+// limiter enforces the per-client in-flight cap: a client's queued plus
+// running jobs never exceed cap. Slots are acquired at submit (and at
+// restart for resumed jobs) and released when a job reaches a terminal
+// state — done, failed, or canceled.
+type limiter struct {
+	mu       sync.Mutex
+	cap      int
+	inflight map[string]int
+}
+
+func newLimiter(cap int) *limiter {
+	return &limiter{cap: cap, inflight: make(map[string]int)}
+}
+
+// acquire takes a slot for client, reporting false at the cap.
+func (l *limiter) acquire(client string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight[client] >= l.cap {
+		return false
+	}
+	l.inflight[client]++
+	return true
+}
+
+// force takes a slot regardless of the cap — restart-time re-admission
+// of jobs the client already held before the process died. The cap
+// still binds new submissions.
+func (l *limiter) force(client string) {
+	l.mu.Lock()
+	l.inflight[client]++
+	l.mu.Unlock()
+}
+
+// release returns a slot.
+func (l *limiter) release(client string) {
+	l.mu.Lock()
+	if n := l.inflight[client]; n <= 1 {
+		delete(l.inflight, client)
+	} else {
+		l.inflight[client] = n - 1
+	}
+	l.mu.Unlock()
+}
+
+// snapshot copies the per-client counts for the metrics endpoint.
+func (l *limiter) snapshot() map[string]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int, len(l.inflight))
+	for c, n := range l.inflight {
+		out[c] = n
+	}
+	return out
+}

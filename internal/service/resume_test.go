@@ -1,0 +1,211 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRestartResumesInterruptedJob pins the durability contract end to
+// end inside the package: a job interrupted mid-run — shut down
+// gracefully, then made to look SIGKILLed (record doctored back to
+// "running", journal tail torn) — is re-admitted by the next manager,
+// resumes from its journaled prefix without any client action, and its
+// final results are byte-identical to an uninterrupted run.
+func TestRestartResumesInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+	sc := testScenario("restart-resume")
+	const trials = 60
+	gate := newTrialGate(5)
+	teardown := setWrapSpecs(gate.wrap)
+
+	m1, err := NewManager(Config{Dir: dir, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Logf = t.Logf
+	j, accepted, err := m1.Submit("alice", sc, trials, 1)
+	if err != nil || !accepted {
+		t.Fatalf("submit: accepted=%v err=%v", accepted, err)
+	}
+	waitStatus(t, j, "prefix delivered", func(st Status) bool { return st.Done >= 1 })
+	gate.waitParked(t)
+
+	// Graceful shutdown while the job is mid-run. Release the gate only
+	// after the drain has begun, so the run is guaranteed to end on the
+	// canceled context — a checkpointed partial, not a completion.
+	closeErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		closeErr <- m1.Close(ctx)
+	}()
+	for m1.ctx.Err() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	gate.release()
+	if err := <-closeErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	teardown()
+
+	st := j.Status()
+	if st.State != StateQueued {
+		t.Fatalf("drained job is %s, want queued (requeued for restart)", st.State)
+	}
+	if st.Done == 0 || st.Done >= trials {
+		t.Fatalf("drained job delivered %d trials, want a strict mid-run prefix", st.Done)
+	}
+
+	// Make the store look SIGKILLed rather than drained: the record
+	// still claims "running" and the journal's last line is torn.
+	recPath := filepath.Join(dir, j.ID, "job.json")
+	rec, err := os.ReadFile(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := bytes.Replace(rec, []byte(`"state": "queued"`), []byte(`"state": "running"`), 1)
+	if bytes.Equal(doctored, rec) {
+		t.Fatalf("record did not contain the queued state:\n%s", rec)
+	}
+	if err := os.WriteFile(recPath, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.OpenFile(filepath.Join(dir, j.ID, "journal.ckpt"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.WriteString(`{"trial": 9999, "result": {"succ`); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+
+	// Restart: the new manager must resume the job on its own.
+	m2 := newTestManager(t, Config{Dir: dir, Procs: 2})
+	j2, ok := m2.Get(j.ID)
+	if !ok {
+		t.Fatalf("restarted manager lost job %s", j.ID)
+	}
+	final := waitStatus(t, j2, "resumed to done", stateIs(StateDone))
+	if final.Done != trials {
+		t.Fatalf("resumed job done = %d, want %d", final.Done, trials)
+	}
+	got := readResults(t, j2)
+	if want := referenceNDJSON(t, sc, trials, 1); !bytes.Equal(got, want) {
+		t.Fatalf("resumed results differ from an uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+	if inflight := m2.Metrics().ClientsInFlight; len(inflight) != 0 {
+		t.Fatalf("limiter slots leaked after completion: %v", inflight)
+	}
+}
+
+// TestRestartLoadsTerminalJobs: completed jobs survive a restart as
+// history — served, deduped against, not rerun.
+func TestRestartLoadsTerminalJobs(t *testing.T) {
+	dir := t.TempDir()
+	sc := testScenario("restart-done")
+	const trials = 12
+
+	m1, err := NewManager(Config{Dir: dir, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Logf = t.Logf
+	j, _, err := m1.Submit("alice", sc, trials, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, j, "done", stateIs(StateDone))
+	want := readResults(t, j)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newTestManager(t, Config{Dir: dir, Procs: 2})
+	j2, ok := m2.Get(j.ID)
+	if !ok {
+		t.Fatal("restarted manager lost the done job")
+	}
+	if st := j2.Status(); st.State != StateDone || st.Done != trials {
+		t.Fatalf("restarted job is %s/%d, want done/%d", st.State, st.Done, trials)
+	}
+	if got := readResults(t, j2); !bytes.Equal(got, want) {
+		t.Fatal("results changed across restart")
+	}
+	j3, accepted, err := m2.Submit("bob", sc, trials, 1)
+	if err != nil || accepted || j3 != j2 {
+		t.Fatalf("submit of a done sweep should dedupe: accepted=%v err=%v", accepted, err)
+	}
+}
+
+// TestForeignJournalFailsTheJob: a journal whose fingerprint belongs to
+// a different sweep must fail the job loudly, never silently feed it
+// wrong results.
+func TestForeignJournalFailsTheJob(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{Dir: dir, Procs: 2})
+
+	scA := testScenario("journal-owner")
+	jA, _, err := m.Submit("alice", scA, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, jA, "done", stateIs(StateDone))
+
+	// Plant A's journal where the next sweep's journal belongs. The
+	// sweeps must differ in the fingerprinted spec (seed, params, or
+	// topology — not just the name), or the journals would rightly
+	// interchange.
+	scB := testScenario("journal-thief")
+	scB.N = 32
+	idB, err := jobID(scB, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, err := os.ReadFile(jA.journalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, idB), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, idB, "journal.ckpt"), journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jB, _, err := m.Submit("alice", scB, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitStatus(t, jB, "failed", stateIs(StateFailed))
+	if !strings.Contains(st.Error, "different sweep") {
+		t.Fatalf("failure %q does not name the fingerprint mismatch", st.Error)
+	}
+}
+
+// TestStoreSkipsCorruptRecords: one unreadable record must not take the
+// store down.
+func TestStoreSkipsCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "jbroken"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jbroken", "job.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := newTestManager(t, Config{Dir: dir, Procs: 2})
+	j, _, err := m.Submit("alice", testScenario("survives-corruption"), 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, j, "done", stateIs(StateDone))
+	if got := len(m.List()); got != 1 {
+		t.Fatalf("list holds %d jobs, want 1 (the corrupt record skipped)", got)
+	}
+}

@@ -161,6 +161,131 @@ func TestCheckpointCancelResumeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestCheckpointMidJournalCorruptionDropsSuffix: a corrupted interior
+// line breaks the contiguous-prefix invariant, so everything from the
+// corruption on is truncated away and re-run — the resumed output must
+// still be byte-identical to an uninterrupted sweep.
+func TestCheckpointMidJournalCorruptionDropsSuffix(t *testing.T) {
+	specs := jamSpecs(64, 4)
+	var want bytes.Buffer
+	if err := sim.Stream(context.Background(), 1, jamSpecs(64, 4), NewNDJSON(&want)); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp := openCheckpoint(t, path)
+	if err := StreamCheckpointed(context.Background(), 1, specs, cp); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	// Corrupt the journal line of trial 1 (line 2: after the header) in
+	// place, keeping the line count intact.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 5 {
+		t.Fatalf("journal has %d lines, want header + 4 trials", len(lines))
+	}
+	lines[2] = append(bytes.Repeat([]byte("x"), len(lines[2])-1), '\n')
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2 := openCheckpoint(t, path)
+	if cp2.Done() != 1 {
+		t.Fatalf("corrupted journal recovered %d trials, want 1 (the prefix before the damage)", cp2.Done())
+	}
+	var out bytes.Buffer
+	if err := StreamCheckpointed(context.Background(), 1, jamSpecs(64, 4), cp2, NewNDJSON(&out)); err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Done() != 4 {
+		t.Fatalf("resumed journal has %d trials, want 4", cp2.Done())
+	}
+	if !bytes.Equal(out.Bytes(), want.Bytes()) {
+		t.Fatalf("resume after mid-journal corruption differs from uninterrupted run:\n%s\nvs\n%s",
+			out.String(), want.String())
+	}
+}
+
+// TestCheckpointOutOfOrderTrialsTruncated: journal lines must be the
+// consecutive trials 0..done-1; a gap (here 0 then 2) ends the valid
+// prefix even though every line parses.
+func TestCheckpointOutOfOrderTrialsTruncated(t *testing.T) {
+	specs := jamSpecs(64, 3)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp := openCheckpoint(t, path)
+	if err := StreamCheckpointed(context.Background(), 1, specs, cp); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// header, trial0, trial2 (trial1 removed): the gap invalidates the
+	// suffix, not just the missing line.
+	doctored := bytes.Join([][]byte{lines[0], lines[1], lines[3]}, nil)
+	if err := os.WriteFile(path, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2 := openCheckpoint(t, path)
+	defer cp2.Close()
+	if cp2.Done() != 1 {
+		t.Fatalf("gapped journal recovered %d trials, want 1", cp2.Done())
+	}
+}
+
+// TestCheckpointCorruptHeaderRestartsJournal: an unreadable header
+// invalidates the whole journal (there is no way to check what sweep it
+// belongs to), so the resume re-runs from scratch — and still produces
+// byte-identical output.
+func TestCheckpointCorruptHeaderRestartsJournal(t *testing.T) {
+	specs := jamSpecs(64, 3)
+	var want bytes.Buffer
+	if err := sim.Stream(context.Background(), 1, jamSpecs(64, 3), NewNDJSON(&want)); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp := openCheckpoint(t, path)
+	if err := StreamCheckpointed(context.Background(), 1, specs, cp); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, []byte(`#smash`)) // the header line no longer parses
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2 := openCheckpoint(t, path)
+	if cp2.Done() != 0 {
+		t.Fatalf("journal with a corrupt header recovered %d trials, want 0", cp2.Done())
+	}
+	var out bytes.Buffer
+	if err := StreamCheckpointed(context.Background(), 1, jamSpecs(64, 3), cp2, NewNDJSON(&out)); err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Done() != 3 {
+		t.Fatalf("restarted journal has %d trials, want 3", cp2.Done())
+	}
+	if !bytes.Equal(out.Bytes(), want.Bytes()) {
+		t.Fatalf("restart after header corruption differs from uninterrupted run:\n%s\nvs\n%s",
+			out.String(), want.String())
+	}
+}
+
 // TestCheckpointSpecMismatchRejected: resuming with different specs —
 // another n, seed base, or trial count — must fail fast instead of
 // splicing two sweeps into one output file.

@@ -3,24 +3,41 @@ package sink
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"rcbcast/internal/engine"
 )
 
-// Progress reports sweep advancement: one line every Every delivered
-// trials, plus a final line at Flush. Reporting is count-based, never
-// time-based, so the lines are deterministic; they are meant for a side
-// channel (stderr) while the stream's primary sinks write the data.
+// Progress reports sweep advancement on a side channel (stderr) while
+// the stream's primary sinks write the data. It has two modes:
+//
+//   - Count mode (NewProgress): one line every Every delivered trials.
+//     Reporting depends only on the delivery count, so the lines are
+//     deterministic — the mode tests and goldens rely on.
+//   - Time mode (NewProgressEvery): at most one line per interval, each
+//     carrying the observed delivery rate (trials/s) and, when the
+//     total is known, an ETA. Lines depend on wall-clock timing and are
+//     not deterministic; this is the mode for humans watching a long
+//     sweep and for the service's status endpoint.
+//
+// Both modes print a final line at Flush, so interrupted streams still
+// show how far they got.
 type Progress struct {
 	w            io.Writer
 	total, every int
 	done         int
 	lastLine     int
+
+	// Time mode: report at most once per interval, with rate and ETA.
+	interval   time.Duration
+	now        func() time.Time // injectable for deterministic tests
+	start      time.Time        // first delivery (rate epoch)
+	lastReport time.Time
 }
 
-// NewProgress returns a progress sink writing to w. total is the
-// expected trial count (0 omits percentages); every <= 0 reports every
-// trial.
+// NewProgress returns a count-mode progress sink writing to w. total is
+// the expected trial count (0 omits percentages); every <= 0 reports
+// every trial.
 func NewProgress(w io.Writer, total, every int) *Progress {
 	if every <= 0 {
 		every = 1
@@ -28,11 +45,35 @@ func NewProgress(w io.Writer, total, every int) *Progress {
 	return &Progress{w: w, total: total, every: every}
 }
 
+// NewProgressEvery returns a time-mode progress sink writing to w: at
+// most one line per interval (<= 0 selects one second), each reporting
+// the delivery rate and — when total > 0 — the ETA. Rate is measured
+// from the first delivered trial, so a checkpoint resume's replayed
+// prefix (delivered in microseconds) only briefly inflates it.
+func NewProgressEvery(w io.Writer, total int, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Progress{w: w, total: total, interval: interval, now: time.Now}
+}
+
 // Trial implements sim.Sink.
 func (p *Progress) Trial(int, *engine.Result) error {
 	p.done++
+	if p.interval > 0 {
+		now := p.now()
+		if p.start.IsZero() {
+			p.start, p.lastReport = now, now
+			return nil
+		}
+		if now.Sub(p.lastReport) < p.interval {
+			return nil
+		}
+		p.lastReport = now
+		return p.line(now)
+	}
 	if p.done%p.every == 0 {
-		return p.line()
+		return p.line(time.Time{})
 	}
 	return nil
 }
@@ -43,16 +84,61 @@ func (p *Progress) Flush() error {
 	if p.lastLine == p.done && p.done != 0 {
 		return nil
 	}
-	return p.line()
+	var now time.Time
+	if p.interval > 0 {
+		now = p.now()
+	}
+	return p.line(now)
 }
 
-func (p *Progress) line() error {
+func (p *Progress) line(now time.Time) error {
 	p.lastLine = p.done
+	var counts string
 	if p.total > 0 {
-		_, err := fmt.Fprintf(p.w, "progress: %d/%d trials (%.1f%%)\n",
+		counts = fmt.Sprintf("progress: %d/%d trials (%.1f%%)",
 			p.done, p.total, 100*float64(p.done)/float64(p.total))
+	} else {
+		counts = fmt.Sprintf("progress: %d trials", p.done)
+	}
+	if p.interval == 0 {
+		_, err := fmt.Fprintln(p.w, counts)
 		return err
 	}
-	_, err := fmt.Fprintf(p.w, "progress: %d trials\n", p.done)
+	rate := Rate(p.done, p.start, now)
+	if rate <= 0 {
+		_, err := fmt.Fprintln(p.w, counts)
+		return err
+	}
+	if p.total > 0 && p.done < p.total {
+		_, err := fmt.Fprintf(p.w, "%s %.1f trials/s eta %s\n",
+			counts, rate, ETA(p.done, p.total, rate))
+		return err
+	}
+	_, err := fmt.Fprintf(p.w, "%s %.1f trials/s\n", counts, rate)
 	return err
+}
+
+// Rate computes a delivery rate in trials/s from a count and its
+// observation span: done trials since start, observed at now. It
+// returns 0 when the span is empty or not yet started — callers omit
+// the rate rather than print an infinity.
+func Rate(done int, start, now time.Time) float64 {
+	if start.IsZero() || done <= 0 {
+		return 0
+	}
+	elapsed := now.Sub(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(done) / elapsed.Seconds()
+}
+
+// ETA projects the remaining runtime of a sweep from its observed rate,
+// rounded to whole seconds (sub-second precision is noise at sweep
+// scale). Zero when the rate is unusable or the sweep is complete.
+func ETA(done, total int, rate float64) time.Duration {
+	if rate <= 0 || total <= done {
+		return 0
+	}
+	return time.Duration(float64(total-done) / rate * float64(time.Second)).Round(time.Second)
 }

@@ -1,0 +1,81 @@
+package sink
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestProgressEveryThrottlesAndReportsRate drives the time-throttled
+// mode on an injected clock: one line per interval at most, each with
+// the observed trials/s and, mid-sweep, an ETA.
+func TestProgressEveryThrottlesAndReportsRate(t *testing.T) {
+	var buf bytes.Buffer
+	cur := time.Unix(1000, 0)
+	p := NewProgressEvery(&buf, 10, time.Second)
+	p.now = func() time.Time { return cur }
+
+	for i := 0; i < 10; i++ {
+		if err := p.Trial(0, nil); err != nil {
+			t.Fatal(err)
+		}
+		cur = cur.Add(250 * time.Millisecond)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := "progress: 5/10 trials (50.0%) 5.0 trials/s eta 1s\n" +
+		"progress: 9/10 trials (90.0%) 4.5 trials/s eta 0s\n" +
+		"progress: 10/10 trials (100.0%) 4.0 trials/s\n"
+	if buf.String() != want {
+		t.Fatalf("time-mode progress lines:\n%swant:\n%s", buf.String(), want)
+	}
+}
+
+// TestProgressEveryUnknownTotal omits percentages and ETA when the
+// sweep length is unknown.
+func TestProgressEveryUnknownTotal(t *testing.T) {
+	var buf bytes.Buffer
+	cur := time.Unix(0, 0)
+	p := NewProgressEvery(&buf, 0, time.Second)
+	p.now = func() time.Time { return cur }
+	for i := 0; i < 3; i++ {
+		if err := p.Trial(0, nil); err != nil {
+			t.Fatal(err)
+		}
+		cur = cur.Add(time.Second)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "progress: 2 trials 2.0 trials/s\nprogress: 3 trials 1.5 trials/s\n"
+	if buf.String() != want {
+		t.Fatalf("unknown-total progress lines:\n%swant:\n%s", buf.String(), want)
+	}
+}
+
+func TestRateAndETA(t *testing.T) {
+	start := time.Unix(100, 0)
+	if r := Rate(50, start, start.Add(10*time.Second)); r != 5 {
+		t.Fatalf("Rate = %v, want 5", r)
+	}
+	if r := Rate(50, time.Time{}, start); r != 0 {
+		t.Fatalf("Rate with zero start = %v, want 0", r)
+	}
+	if r := Rate(0, start, start.Add(time.Second)); r != 0 {
+		t.Fatalf("Rate with no trials = %v, want 0", r)
+	}
+	if r := Rate(5, start, start); r != 0 {
+		t.Fatalf("Rate over an empty span = %v, want 0", r)
+	}
+	if eta := ETA(50, 100, 5); eta != 10*time.Second {
+		t.Fatalf("ETA = %v, want 10s", eta)
+	}
+	if eta := ETA(100, 100, 5); eta != 0 {
+		t.Fatalf("ETA of a finished sweep = %v, want 0", eta)
+	}
+	if eta := ETA(10, 100, 0); eta != 0 {
+		t.Fatalf("ETA with no rate = %v, want 0", eta)
+	}
+}

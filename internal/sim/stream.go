@@ -56,6 +56,15 @@ const reorderPerProc = 4
 // streamWindow returns the reorder window for a resolved worker count.
 func streamWindow(procs int) int { return reorderPerProc * procs }
 
+// Window reports the streaming session's live-result bound for a worker
+// count (<= 0 selects GOMAXPROCS, exactly as Stream does): at most
+// Window(procs) trials of one sweep are running or awaiting in-order
+// delivery at any moment. The sweep service surfaces the bound in its
+// metrics and the limits tests assert against it; it is a property of
+// the session, not a tunable. (Sweeps shorter than the worker count use
+// an even smaller window, so this is an upper bound.)
+func Window(procs int) int { return streamWindow(Procs(procs)) }
+
 // streamItem carries one finished trial from a worker to the collector.
 type streamItem[T any] struct {
 	i   int

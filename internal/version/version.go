@@ -1,0 +1,55 @@
+// Package version is the one place the build identifies itself: every
+// CLI (rcbcast, rcexp, rcserved) reports the same -version string, and
+// the sweep service stamps it into job records so a result file can be
+// traced back to the build that produced it.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// String renders the build identity: module path version (the VCS
+// revision when the binary was built from a checkout) plus the Go
+// toolchain version. The format is stable enough to grep —
+// "rcbcast VERSION GOVERSION" — but meant for humans and job records,
+// not machine parsing.
+func String() string {
+	return fmt.Sprintf("rcbcast %s %s", build(), runtime.Version())
+}
+
+// build resolves the module version, preferring an embedded VCS
+// revision: `go build` from a release module reports its semver, a
+// checkout build reports (devel)+REVISION, and binaries without build
+// info (some test harnesses) report devel.
+func build() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "devel"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "-dirty"
+		}
+		v += "+" + rev
+	}
+	return v
+}

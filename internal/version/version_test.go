@@ -1,0 +1,20 @@
+package version
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStringShape(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, "rcbcast ") {
+		t.Fatalf("version %q does not start with the module name", s)
+	}
+	if !strings.HasSuffix(s, runtime.Version()) {
+		t.Fatalf("version %q does not end with the toolchain version %q", s, runtime.Version())
+	}
+	if fields := strings.Fields(s); len(fields) != 3 {
+		t.Fatalf("version %q is not three fields (name, build, go version)", s)
+	}
+}
