@@ -1,0 +1,183 @@
+// Command rccoordd is the sweep coordinator: it distributes one
+// scenario sweep across a pool of rcserved workers (internal/dist,
+// DESIGN.md §13) and writes the merged NDJSON — byte-identical to a
+// single-machine `rcexp -scenario ... -trials N` run — to stdout.
+//
+// Usage:
+//
+//	rccoordd -workers http://a:8344,http://b:8344 \
+//	         -scenario full-jam -trials 100000 > runs.jsonl
+//	rccoordd -workers ... -scenario spec.json -shard-size 500 \
+//	         -out runs.jsonl
+//	rccoordd -version
+//
+// The sweep spec flags (-scenario, -topology, -n, -trials, -seed)
+// mirror rcexp's sweep mode exactly, because the contract is that both
+// produce the same bytes. -addr serves /metrics and /healthz while the
+// sweep runs (":0" picks a free port; the resolved address is printed
+// to stderr). Worker failure is handled by retry with backoff and shard
+// reassignment; the sweep fails only if one shard fails -attempts
+// times, or a worker rejects the submission outright.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rcbcast/internal/dist"
+	"rcbcast/internal/scenario"
+	"rcbcast/internal/topology"
+	"rcbcast/internal/version"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rccoordd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rccoordd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workers   = fs.String("workers", "", "comma-separated worker base URLs (required)")
+		scn       = fs.String("scenario", "", "named scenario or JSON scenario file (required)")
+		topo      = fs.String("topology", "", "override the scenario's topology (KIND[:KNOB=V,...])")
+		n         = fs.Int("n", 0, "network size override (0 = scenario default)")
+		trials    = fs.Int("trials", 0, "sweep trial count (required)")
+		baseSeed  = fs.Uint64("seed", 1, "base seed")
+		shardSize = fs.Int("shard-size", 0, "trials per shard (0 = auto: about four shards per worker slot)")
+		window    = fs.Int("window", 0, "merge reorder window in shards (0 = auto)")
+		perWorker = fs.Int("per-worker", dist.DefaultPerWorker, "in-flight shards per worker")
+		attempts  = fs.Int("attempts", dist.DefaultMaxAttempts, "run attempts per shard before the sweep fails")
+		stall     = fs.Duration("stall", dist.DefaultStallTimeout, "abandon a shard attempt whose result stream is silent this long")
+		backoff   = fs.Duration("backoff", dist.DefaultBackoff, "first retry delay for a failing worker (doubles per consecutive failure)")
+		outPath   = fs.String("out", "", "write merged NDJSON here instead of stdout")
+		addr      = fs.String("addr", "", "serve /metrics and /healthz on this address while the sweep runs (empty = no server)")
+		showVer   = fs.Bool("version", false, "print the build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, version.String())
+		return nil
+	}
+	if *workers == "" {
+		return errors.New("-workers is required")
+	}
+	if *scn == "" {
+		return errors.New("-scenario is required")
+	}
+	if *trials <= 0 {
+		return errors.New("-trials must be positive")
+	}
+
+	sc, err := loadScenario(*scn)
+	if err != nil {
+		return err
+	}
+	if *topo != "" {
+		spec, terr := topology.ParseSpec(*topo)
+		if terr != nil {
+			return terr
+		}
+		sc.ApplyTopology(spec)
+	}
+	if *n > 0 {
+		sc.N = *n
+	} else if sc.N == 0 {
+		sc.N = 512
+	}
+
+	logger := log.New(stderr, "", log.LstdFlags)
+	c, err := dist.New(dist.Config{
+		Workers:      strings.Split(*workers, ","),
+		ShardSize:    *shardSize,
+		WindowShards: *window,
+		PerWorker:    *perWorker,
+		MaxAttempts:  *attempts,
+		StallTimeout: *stall,
+		Backoff:      *backoff,
+		Logf:         logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *addr != "" {
+		ln, lerr := net.Listen("tcp", *addr)
+		if lerr != nil {
+			return lerr
+		}
+		defer ln.Close()
+		// The resolved address line is the handshake scripts parse; keep
+		// its shape stable (stderr: stdout carries the merged NDJSON).
+		fmt.Fprintf(stderr, "rccoordd: metrics on %s\n", ln.Addr())
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, c.Metrics())
+		})
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, map[string]string{"status": "ok", "version": version.String()})
+		})
+		go http.Serve(ln, mux)
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, ferr := os.Create(*outPath)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		out = f
+	}
+
+	start := time.Now()
+	sum, err := c.Run(ctx, sc, *trials, *baseSeed, out)
+	if err != nil {
+		return err
+	}
+	logger.Printf("rccoordd: %s in %v", sum, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// loadScenario resolves a registry name or a JSON scenario file,
+// mirroring rcexp.
+func loadScenario(arg string) (scenario.Scenario, error) {
+	if sc, ok := scenario.Lookup(arg); ok {
+		return sc, nil
+	}
+	if strings.HasSuffix(arg, ".json") {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return scenario.Scenario{}, err
+		}
+		return scenario.Decode(data)
+	}
+	return scenario.Scenario{}, fmt.Errorf(
+		"unknown scenario %q: not a registry name (rcexp -list-scenarios) and not a .json file", arg)
+}

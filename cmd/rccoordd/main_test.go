@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rcbcast/internal/service"
+	"rcbcast/internal/sim/sink"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "rcbcast ") {
+		t.Fatalf("version output %q lacks the module stamp", buf.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{nil, "-workers is required"},
+		{[]string{"-workers", "http://x"}, "-scenario is required"},
+		{[]string{"-workers", "http://x", "-scenario", "full-jam"}, "-trials must be positive"},
+		{[]string{"-workers", "ftp://x", "-scenario", "full-jam", "-trials", "4"}, "scheme"},
+		{[]string{"-workers", "http://x", "-scenario", "no-such", "-trials", "4"}, "unknown scenario"},
+	} {
+		err := run(context.Background(), tc.args, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("run(%v) = %v, want %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestCoordinatedSweepMatchesSingleMachine runs the CLI end to end
+// against two in-process workers and compares the merged stdout bytes
+// to the single-machine streaming path.
+func TestCoordinatedSweepMatchesSingleMachine(t *testing.T) {
+	startWorker := func() string {
+		m, err := service.NewManager(service.Config{Dir: t.TempDir(), Procs: 2, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(service.NewServer(m))
+		t.Cleanup(func() {
+			srv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			m.Close(ctx)
+		})
+		return srv.URL
+	}
+	const trials = 23
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-workers", startWorker() + "," + startWorker(),
+		"-scenario", "full-jam", "-n", "64",
+		"-trials", "23", "-shard-size", "4",
+	}
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	sc, err := loadScenario("full-jam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.N = 64
+	var want bytes.Buffer
+	if err := sc.Stream(context.Background(), 2, 1, 0, trials, sink.NewNDJSON(&want)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want.Bytes()) {
+		t.Fatalf("merged stdout differs from single-machine run (%d vs %d bytes)", stdout.Len(), want.Len())
+	}
+	if !strings.Contains(stderr.String(), "trials=23") {
+		t.Fatalf("summary line missing from stderr:\n%s", stderr.String())
+	}
+}

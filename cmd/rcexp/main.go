@@ -28,6 +28,15 @@
 //	rcexp -scenario full-jam -trials 100000 -progress \
 //	      -checkpoint sweep.ckpt > runs.jsonl
 //
+// -shard i/N runs only the i-th of N contiguous shards with sweep-global
+// seeds and trial numbers, so a shell loop is a poor-man's cluster:
+// concatenating the N outputs in order is byte-identical to the full
+// run (and to cmd/rccoordd's merged output):
+//
+//	for i in 0 1 2; do
+//	  rcexp -scenario full-jam -trials 90000 -shard $i/3 > part$i.jsonl &
+//	done; wait; cat part0.jsonl part1.jsonl part2.jsonl > runs.jsonl
+//
 // Ctrl-C stops a sweep (or an experiment) gracefully at the next engine
 // phase boundary; with -checkpoint, rerunning the same command resumes
 // from the completed-trial journal and the final output is
@@ -89,6 +98,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		scn        = fs.String("scenario", "", "raw sweep mode: stream trials of a named scenario or JSON scenario file")
 		topo       = fs.String("topology", "", "raw sweep mode: override the scenario's topology (KIND[:KNOB=V,...])")
 		trials     = fs.Int("trials", 0, "raw sweep trial count (requires -scenario)")
+		shard      = fs.String("shard", "", "run only the i-th of N contiguous sweep shards, as i/N; output is the byte-exact slice of the full run")
 		batch      = fs.Int("batch", 0, "raw sweep batch width: run that many trials per engine call on the batched kernel (0/1 = scalar; output is byte-identical)")
 		outFormat  = fs.String("out", "jsonl", "raw sweep output format: jsonl or csv")
 		progress   = fs.Bool("progress", false, "report sweep progress on stderr")
@@ -125,12 +135,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if (*cpuprofile != "" || *memprofile != "") && *scn == "" {
 		return errors.New("-cpuprofile/-memprofile need -scenario (sweep mode)")
 	}
+	if *shard != "" && *scn == "" {
+		return errors.New("-shard needs -scenario (sweep mode)")
+	}
 	if *scn != "" {
 		return runSweep(ctx, out, sweepConfig{
 			scenario:   *scn,
 			topology:   *topo,
 			n:          *n,
 			trials:     *trials,
+			shard:      *shard,
 			batch:      *batch,
 			baseSeed:   *baseSeed,
 			procs:      *procs,
@@ -197,6 +211,7 @@ type sweepConfig struct {
 	topology   string
 	n          int
 	trials     int
+	shard      string // "i/N", empty = whole sweep
 	batch      int
 	baseSeed   uint64
 	procs      int
@@ -283,7 +298,14 @@ func runSweep(ctx context.Context, out io.Writer, cfg sweepConfig) (err error) {
 	if cfg.batch > 0 {
 		width = cfg.batch
 	}
-	specs, err := sc.TrialSpecs(cfg.baseSeed, 0, cfg.trials)
+	var sh scenario.Shard
+	if cfg.shard != "" {
+		sh, err = parseShard(cfg.shard, cfg.trials)
+		if err != nil {
+			return err
+		}
+	}
+	specs, err := sc.ShardSpecs(cfg.baseSeed, 0, cfg.trials, sh)
 	if err != nil {
 		return err
 	}
@@ -300,7 +322,7 @@ func runSweep(ctx context.Context, out io.Writer, cfg sweepConfig) (err error) {
 		// Time-throttled: one line per second with trials/s and ETA,
 		// however long the trials take — a count-based cadence either
 		// spams short trials or goes silent on expensive ones.
-		sinks = append(sinks, sink.NewProgressEvery(os.Stderr, cfg.trials, time.Second))
+		sinks = append(sinks, sink.NewProgressEvery(os.Stderr, len(specs), time.Second))
 	}
 	if cfg.checkpoint != "" {
 		cp, cerr := sink.OpenCheckpoint(cfg.checkpoint)
@@ -310,10 +332,21 @@ func runSweep(ctx context.Context, out io.Writer, cfg sweepConfig) (err error) {
 		defer cp.Close()
 		if cp.Done() > 0 {
 			fmt.Fprintf(os.Stderr, "rcexp: resuming %d/%d journaled trials from %s\n",
-				cp.Done(), cfg.trials, cfg.checkpoint)
+				cp.Done(), len(specs), cfg.checkpoint)
 		}
-		err = sink.StreamCheckpointedBatch(ctx, cfg.procs, width, specs, cp, sinks...)
+		if sh.IsZero() {
+			err = sink.StreamCheckpointedBatch(ctx, cfg.procs, width, specs, cp, sinks...)
+		} else {
+			err = sink.StreamCheckpointedShard(ctx, cfg.procs, width, sh.Lo, specs, cp, sinks...)
+		}
 	} else {
+		if !sh.IsZero() {
+			// Deliver sweep-global trial numbers, so concatenating the N
+			// shard outputs in order reproduces the full run exactly.
+			for i, s := range sinks {
+				sinks[i] = sink.Offset(sh.Lo, s)
+			}
+		}
 		err = sim.StreamBatch(ctx, cfg.procs, width, specs, sinks...)
 	}
 	var pe *sim.PartialError
@@ -325,6 +358,20 @@ func runSweep(ctx context.Context, out io.Writer, cfg sweepConfig) (err error) {
 		return fmt.Errorf("sweep interrupted (%s): %w", hint, err)
 	}
 	return err
+}
+
+// parseShard resolves "-shard i/N" into the i-th contiguous shard of
+// the sweep (scenario.CutShard's i/N partition, 0-indexed).
+func parseShard(arg string, trials int) (scenario.Shard, error) {
+	var i, n int
+	if _, err := fmt.Sscanf(arg, "%d/%d", &i, &n); err != nil {
+		return scenario.Shard{}, fmt.Errorf("-shard must be i/N (e.g. 0/4), got %q", arg)
+	}
+	sh, err := scenario.CutShard(trials, i, n)
+	if err != nil {
+		return scenario.Shard{}, err
+	}
+	return sh, nil
 }
 
 // loadScenario resolves a registry name or a JSON scenario file.

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -232,5 +233,66 @@ func TestRcexpE13Quick(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "E13") || !strings.Contains(buf.String(), "reachable") {
 		t.Fatalf("E13 report incomplete:\n%s", buf.String())
+	}
+}
+
+// TestRcexpShardOracle is the poor-man's-cluster contract: the -shard
+// i/N outputs, concatenated in order, are byte-identical to the full
+// run — including through a checkpointed shard — and carry sweep-global
+// trial numbers.
+func TestRcexpShardOracle(t *testing.T) {
+	sweep := func(extra ...string) string {
+		var buf strings.Builder
+		args := append([]string{"-scenario", "full-jam", "-n", "64", "-trials", "7"}, extra...)
+		if err := run(context.Background(), args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	full := sweep()
+	var parts strings.Builder
+	for i := 0; i < 3; i++ {
+		parts.WriteString(sweep("-shard", fmt.Sprintf("%d/3", i)))
+	}
+	if parts.String() != full {
+		t.Fatalf("concatenated shards differ from the full run:\n%s\n---\n%s", parts.String(), full)
+	}
+
+	// A middle shard's first line carries its sweep-global trial number.
+	mid := sweep("-shard", "1/3")
+	var rec struct {
+		Trial int `json:"trial"`
+	}
+	if err := json.Unmarshal([]byte(strings.SplitN(mid, "\n", 2)[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Trial != 2 { // shard 1/3 of 7 trials = [2, 4)
+		t.Fatalf("shard 1/3 starts at trial %d, want 2", rec.Trial)
+	}
+
+	// Checkpointed shard: same bytes, and the journal is range-stamped —
+	// a different shard of the same sweep must refuse to resume it.
+	ckpt := filepath.Join(t.TempDir(), "shard.ckpt")
+	if got := sweep("-shard", "1/3", "-checkpoint", ckpt); got != mid {
+		t.Fatalf("checkpointed shard output differs:\n%s\n---\n%s", got, mid)
+	}
+	var buf strings.Builder
+	err := run(context.Background(),
+		[]string{"-scenario", "full-jam", "-n", "64", "-trials", "7", "-shard", "2/3", "-checkpoint", ckpt}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("foreign shard resumed another shard's journal: %v", err)
+	}
+}
+
+func TestRcexpShardErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(context.Background(), []string{"-shard", "0/2"}, &buf); err == nil {
+		t.Fatal("-shard without -scenario must error")
+	}
+	for _, bad := range []string{"x", "3/2", "-1/2", "0/0", "9/8"} {
+		args := []string{"-scenario", "full-jam", "-n", "64", "-trials", "4", "-shard", bad}
+		if err := run(context.Background(), args, &buf); err == nil {
+			t.Fatalf("-shard %q accepted", bad)
+		}
 	}
 }

@@ -1,0 +1,274 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rcbcast/internal/scenario"
+)
+
+// Shard lifecycle phases, as reported by Metrics.
+const (
+	phasePending  = "pending"
+	phaseAssigned = "assigned"
+	phaseDone     = "done"
+)
+
+// shardState is one planned shard's mutable state. A shard is owned
+// exclusively: by the worker loop that claimed it while an attempt
+// runs (sent, sum — handed off through the scheduler's lock), and by
+// the merge loop after lines closes (sum — handed off through the
+// close). phase and attempts are additionally read by Metrics, so they
+// live behind the small mutex.
+type shardState struct {
+	shard scenario.Shard
+	// lines buffers the shard's result lines for the merge loop. Its
+	// capacity is the shard's full trial count, so a producing worker
+	// never blocks on it — the merge window (sched) is what bounds
+	// total buffered memory, at WindowShards·ShardSize lines. Closed
+	// exactly once, when the last line is buffered.
+	lines chan []byte
+	sent  int     // lines buffered so far (== trials folded into sum)
+	sum   Summary // per-shard fold, merged in shard order
+
+	mu       sync.Mutex
+	phase    string
+	attempts int // failed run attempts
+}
+
+func (st *shardState) setPhase(p string) {
+	st.mu.Lock()
+	st.phase = p
+	st.mu.Unlock()
+}
+
+// Coordinator distributes one sweep over a worker pool and merges the
+// results. Create with New, run with Run (one sweep per Coordinator),
+// observe with Metrics from any goroutine.
+type Coordinator struct {
+	cfg     Config
+	workers []string
+	logf    func(string, ...any)
+
+	mu       sync.Mutex
+	shards   []*shardState
+	sched    *sched
+	inflight map[string]int
+	failErr  error
+
+	totalTrials atomic.Int64
+	merged      atomic.Int64
+	retries     atomic.Int64
+}
+
+// New validates the worker pool and returns a Coordinator. Remaining
+// Config defaults resolve at Run time (the shard-size heuristic needs
+// the trial count).
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("dist: at least one worker is required")
+	}
+	workers := make([]string, len(cfg.Workers))
+	for i, raw := range cfg.Workers {
+		w, err := normalizeWorker(raw)
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = w
+	}
+	c := &Coordinator{cfg: cfg, workers: workers, inflight: make(map[string]int)}
+	c.logf = func(format string, args ...any) {
+		if cfg.Logf != nil {
+			cfg.Logf(format, args...)
+		}
+	}
+	return c, nil
+}
+
+// fail records the run's first fatal error and stops everything.
+func (c *Coordinator) fail(cancel context.CancelFunc, err error) {
+	c.mu.Lock()
+	if c.failErr == nil {
+		c.failErr = err
+	}
+	c.mu.Unlock()
+	cancel()
+}
+
+// Run executes the sweep: plan shards, dispatch them across the worker
+// pool, and write the merged NDJSON — byte-identical to a
+// single-machine scenario.Stream run — to out, returning the
+// deterministically merged summary. Run blocks until the sweep
+// completes or fails; ctx cancellation aborts it.
+func (c *Coordinator) Run(ctx context.Context, sc scenario.Scenario, trials int, baseSeed uint64, out io.Writer) (*Summary, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("dist: trials must be positive (got %d)", trials)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	enc, err := scenario.Encode(sc)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encode scenario: %w", err)
+	}
+	cfg := c.cfg.withDefaults(trials)
+
+	plan := Plan(trials, cfg.ShardSize)
+	shards := make([]*shardState, len(plan))
+	for i, sh := range plan {
+		shards[i] = &shardState{
+			shard: sh,
+			lines: make(chan []byte, sh.Len()),
+			phase: phasePending,
+		}
+	}
+	sch := newSched(len(plan), cfg.WindowShards)
+	c.mu.Lock()
+	c.shards = shards
+	c.sched = sch
+	c.mu.Unlock()
+	c.totalTrials.Store(int64(trials))
+	c.logf("dist: %d trials in %d shards of ≤%d across %d workers (window %d shards)",
+		trials, len(plan), cfg.ShardSize, len(c.workers), cfg.WindowShards)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, base := range c.workers {
+		for i := 0; i < cfg.PerWorker; i++ {
+			w := &workerClient{
+				base:     base,
+				http:     cfg.Client,
+				scenario: enc,
+				trials:   trials,
+				baseSeed: baseSeed,
+				stall:    cfg.StallTimeout,
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.workerLoop(runCtx, cancel, cfg, w)
+			}()
+		}
+	}
+
+	bw := bufio.NewWriterSize(out, 64<<10)
+	sum := &Summary{}
+	mergeErr := c.merge(runCtx, cancel, bw, sum)
+	cancel()
+	wg.Wait()
+
+	c.mu.Lock()
+	failErr := c.failErr
+	c.mu.Unlock()
+	switch {
+	case failErr != nil:
+		return nil, failErr
+	case mergeErr != nil:
+		return nil, mergeErr
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, fmt.Errorf("dist: write merged output: %w", err)
+	}
+	c.logf("dist: sweep complete: %s", sum)
+	return sum, nil
+}
+
+// merge is the single in-order consumer: drain shard 0's lines, then
+// shard 1's, … — each shard's channel closes when its last line is
+// buffered, and advancing the frontier widens the scheduler's claim
+// window. Because trial indices are sweep-global and shards tile the
+// sweep, the concatenation is exactly the single-machine byte stream.
+func (c *Coordinator) merge(ctx context.Context, cancel context.CancelFunc, out *bufio.Writer, sum *Summary) error {
+	for _, st := range c.shards {
+	drain:
+		for {
+			select {
+			case line, ok := <-st.lines:
+				if !ok {
+					break drain
+				}
+				if _, err := out.Write(line); err != nil {
+					err = fmt.Errorf("dist: write merged output: %w", err)
+					c.fail(cancel, err)
+					return err
+				}
+				c.merged.Add(1)
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		sum.merge(&st.sum)
+		c.sched.advance()
+	}
+	return nil
+}
+
+// workerLoop is one worker slot: claim the lowest runnable shard, run
+// it, repeat. Failed attempts requeue the shard immediately — any
+// worker may reclaim it — while this slot backs off exponentially, so
+// a dead worker throttles itself without delaying reassignment.
+func (c *Coordinator) workerLoop(ctx context.Context, cancel context.CancelFunc, cfg Config, w *workerClient) {
+	consecutive := 0
+	for {
+		idx, ok, err := c.sched.claim(ctx)
+		if err != nil || !ok {
+			return
+		}
+		st := c.shards[idx]
+		st.setPhase(phaseAssigned)
+		c.addInflight(w.base, 1)
+		runErr := w.runShard(ctx, st)
+		c.addInflight(w.base, -1)
+
+		if runErr == nil {
+			st.setPhase(phaseDone)
+			c.sched.markDone()
+			consecutive = 0
+			continue
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		st.mu.Lock()
+		st.attempts++
+		attempts := st.attempts
+		st.phase = phasePending
+		st.mu.Unlock()
+		var perm *permanentError
+		if errors.As(runErr, &perm) {
+			c.fail(cancel, runErr)
+			return
+		}
+		if attempts >= cfg.MaxAttempts {
+			c.fail(cancel, fmt.Errorf("dist: shard %s failed %d attempts: %w", st.shard, attempts, runErr))
+			return
+		}
+		c.retries.Add(1)
+		c.logf("dist: shard %s attempt %d failed on %s: %v — requeued", st.shard, attempts, w.base, runErr)
+		c.sched.requeue(idx)
+
+		consecutive++
+		backoff := cfg.Backoff << (consecutive - 1)
+		if backoff > cfg.BackoffCap || backoff <= 0 {
+			backoff = cfg.BackoffCap
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (c *Coordinator) addInflight(base string, d int) {
+	c.mu.Lock()
+	c.inflight[base] += d
+	c.mu.Unlock()
+}

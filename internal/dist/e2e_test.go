@@ -1,0 +1,169 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"rcbcast/internal/service"
+)
+
+// TestMain doubles as the e2e worker child: with DIST_E2E_WORKER set,
+// the test binary *is* a worker service process — a real Manager behind
+// a real listener, killable with a real SIGKILL.
+func TestMain(m *testing.M) {
+	if os.Getenv("DIST_E2E_WORKER") == "1" {
+		runWorkerChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runWorkerChild() {
+	mgr, err := service.NewManager(service.Config{Dir: os.Getenv("DIST_E2E_DIR"), Procs: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("worker: listening on %s\n", ln.Addr())
+	if err := http.Serve(ln, service.NewServer(mgr)); err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+}
+
+// workerProc is one child worker process.
+type workerProc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func startWorkerProc(t *testing.T, dir string) *workerProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "DIST_E2E_WORKER=1", "DIST_E2E_DIR="+dir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("no startup line from worker (err=%v)", sc.Err())
+	}
+	addr, ok := strings.CutPrefix(sc.Text(), "worker: listening on ")
+	if !ok {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("unexpected startup line %q", sc.Text())
+	}
+	go io.Copy(io.Discard, stdout)
+	return &workerProc{cmd: cmd, base: "http://" + addr}
+}
+
+// TestWorkerSIGKILLReassignment is the distributed half of the
+// durability contract: SIGKILL a real worker process mid-sweep and the
+// coordinator reassigns its shards to the survivor, skips every
+// replayed line, and still produces merged NDJSON byte-identical to a
+// single-machine run.
+func TestWorkerSIGKILLReassignment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes and runs a multi-second sweep")
+	}
+	sc := testScenario("dist-e2e")
+	const trials, baseSeed = 2000, uint64(1)
+	want := referenceNDJSON(t, sc, trials, baseSeed)
+
+	victim := startWorkerProc(t, t.TempDir())
+	survivor := startWorkerProc(t, t.TempDir())
+	defer func() {
+		survivor.cmd.Process.Kill()
+		survivor.cmd.Wait()
+	}()
+
+	c, err := New(Config{
+		Workers:      []string{victim.base, survivor.base},
+		ShardSize:    150,
+		MaxAttempts:  20,
+		StallTimeout: 10 * time.Second,
+		Backoff:      100 * time.Millisecond,
+		BackoffCap:   500 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	type result struct {
+		sum *Summary
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		sum, err := c.Run(context.Background(), sc, trials, baseSeed, &got)
+		done <- result{sum, err}
+	}()
+
+	// Kill the first worker once real progress has merged but the sweep
+	// is nowhere near finished.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		m := c.Metrics()
+		if m.MergedTrials >= 200 {
+			break
+		}
+		select {
+		case r := <-done:
+			t.Fatalf("sweep finished before the kill window (err=%v); raise trials", r.err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never reached the kill window (metrics %+v)", m)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := victim.cmd.Process.Kill(); err != nil { // SIGKILL
+		t.Fatal(err)
+	}
+	victim.cmd.Wait()
+	t.Logf("killed worker %s at %d merged trials", victim.base, c.Metrics().MergedTrials)
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("Run after worker kill: %v", r.err)
+		}
+		if r.sum.Trials != trials {
+			t.Fatalf("summary folded %d trials, want %d", r.sum.Trials, trials)
+		}
+	case <-time.After(180 * time.Second):
+		t.Fatal("sweep did not complete after the worker kill")
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("merged output differs from single-machine run after SIGKILL (%d vs %d bytes)",
+			got.Len(), len(want))
+	}
+	if c.Metrics().Retries < 1 {
+		t.Fatal("expected at least one retry after killing a worker")
+	}
+}

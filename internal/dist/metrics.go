@@ -1,0 +1,65 @@
+package dist
+
+// Metrics is the coordinator's hand-rolled counter snapshot — the
+// /metrics body cmd/rccoordd serves, in the same style as the worker
+// service's.
+type Metrics struct {
+	Workers     int `json:"workers"`
+	TotalShards int `json:"total_shards"`
+	// Shards counts shards per lifecycle phase: pending (waiting for a
+	// first attempt), assigned (an attempt in flight), done (all lines
+	// buffered or merged), retrying (requeued after ≥1 failed attempt).
+	Shards            map[string]int `json:"shards"`
+	PerWorkerInFlight map[string]int `json:"per_worker_in_flight"`
+	Retries           int64          `json:"retries"`
+	MergedTrials      int64          `json:"merged_trials"`
+	TotalTrials       int64          `json:"total_trials"`
+	// MergeFrontierShard is the next shard index the merge loop will
+	// emit; WindowBufferedLines is the reorder window's occupancy —
+	// result lines buffered ahead of the frontier, bounded by
+	// WindowShards·ShardSize.
+	MergeFrontierShard  int `json:"merge_frontier_shard"`
+	WindowShards        int `json:"merge_window_shards"`
+	WindowBufferedLines int `json:"merge_window_buffered_lines"`
+}
+
+// Metrics snapshots the run. Safe from any goroutine, including before
+// Run starts (all-zero) and after it returns.
+func (c *Coordinator) Metrics() Metrics {
+	m := Metrics{
+		Workers:           len(c.workers),
+		Shards:            map[string]int{},
+		PerWorkerInFlight: map[string]int{},
+		Retries:           c.retries.Load(),
+		MergedTrials:      c.merged.Load(),
+		TotalTrials:       c.totalTrials.Load(),
+	}
+	c.mu.Lock()
+	shards := c.shards
+	sch := c.sched
+	for w, n := range c.inflight {
+		m.PerWorkerInFlight[w] = n
+	}
+	c.mu.Unlock()
+	if shards == nil {
+		return m
+	}
+	m.TotalShards = len(shards)
+	frontier, _, _ := sch.snapshot()
+	m.MergeFrontierShard = frontier
+	m.WindowShards = sch.window
+	for i, st := range shards {
+		st.mu.Lock()
+		phase, attempts := st.phase, st.attempts
+		st.mu.Unlock()
+		if phase == phasePending && attempts > 0 {
+			m.Shards["retrying"]++
+		} else {
+			m.Shards[phase]++
+		}
+		if i >= frontier {
+			m.WindowBufferedLines += len(st.lines)
+		}
+	}
+	return m
+}

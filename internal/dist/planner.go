@@ -1,0 +1,22 @@
+package dist
+
+import "rcbcast/internal/scenario"
+
+// Plan cuts a sweep of `trials` trials into contiguous shards of `size`
+// trials each (the last shard takes the remainder). The shards tile
+// [0, trials) exactly, in order, so concatenating their outputs in plan
+// order reproduces the whole sweep.
+func Plan(trials, size int) []scenario.Shard {
+	if trials <= 0 || size <= 0 {
+		return nil
+	}
+	shards := make([]scenario.Shard, 0, (trials+size-1)/size)
+	for lo := 0; lo < trials; lo += size {
+		hi := lo + size
+		if hi > trials {
+			hi = trials
+		}
+		shards = append(shards, scenario.Shard{Lo: lo, Hi: hi})
+	}
+	return shards
+}

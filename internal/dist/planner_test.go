@@ -1,0 +1,78 @@
+package dist
+
+import "testing"
+
+// TestPlanTilesSweep pins the planner invariant everything else rests
+// on: for any trial count and shard size, the shards tile [0, trials)
+// exactly, in order, with no gaps, overlaps, or empties.
+func TestPlanTilesSweep(t *testing.T) {
+	for _, trials := range []int{1, 2, 5, 7, 37, 100, 1000} {
+		for _, size := range []int{1, 2, 3, 5, 7, 37, 100, 2000} {
+			plan := Plan(trials, size)
+			next := 0
+			for i, sh := range plan {
+				if sh.Lo != next {
+					t.Fatalf("Plan(%d, %d) shard %d starts at %d, want %d", trials, size, i, sh.Lo, next)
+				}
+				if sh.Len() <= 0 || sh.Len() > size {
+					t.Fatalf("Plan(%d, %d) shard %d has %d trials, want 1..%d", trials, size, i, sh.Len(), size)
+				}
+				if err := sh.Validate(trials); err != nil {
+					t.Fatalf("Plan(%d, %d) shard %d invalid: %v", trials, size, i, err)
+				}
+				next = sh.Hi
+			}
+			if next != trials {
+				t.Fatalf("Plan(%d, %d) covers [0,%d), want [0,%d)", trials, size, next, trials)
+			}
+			want := (trials + size - 1) / size
+			if len(plan) != want {
+				t.Fatalf("Plan(%d, %d) has %d shards, want %d", trials, size, len(plan), want)
+			}
+		}
+	}
+	if p := Plan(0, 5); p != nil {
+		t.Fatalf("Plan(0, 5) = %v, want nil", p)
+	}
+	if p := Plan(5, 0); p != nil {
+		t.Fatalf("Plan(5, 0) = %v, want nil", p)
+	}
+}
+
+// TestConfigDefaults pins the shard-size heuristic and the window
+// default against drift.
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Workers: []string{"http://a", "http://b"}}.withDefaults(1000)
+	if cfg.PerWorker != 1 {
+		t.Fatalf("PerWorker = %d, want 1", cfg.PerWorker)
+	}
+	if cfg.ShardSize != 125 { // ceil(1000 / (4·2·1))
+		t.Fatalf("ShardSize = %d, want 125", cfg.ShardSize)
+	}
+	if cfg.WindowShards != 8 {
+		t.Fatalf("WindowShards = %d, want 8", cfg.WindowShards)
+	}
+	// Tiny sweeps still get at least one trial per shard.
+	if got := (Config{Workers: []string{"http://a"}}.withDefaults(2)).ShardSize; got != 1 {
+		t.Fatalf("ShardSize for 2 trials = %d, want 1", got)
+	}
+}
+
+func TestNormalizeWorker(t *testing.T) {
+	if _, err := normalizeWorker("ftp://x"); err == nil {
+		t.Fatal("ftp scheme accepted")
+	}
+	if _, err := normalizeWorker("http://"); err == nil {
+		t.Fatal("hostless url accepted")
+	}
+	got, err := normalizeWorker("http://10.0.0.7:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "http://10.0.0.7:8080" {
+		t.Fatalf("normalized to %q", got)
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no workers accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// sched is the coordinator's shard scheduler: a priority queue of
+// pending shard indices gated by the merge window. claim hands out the
+// lowest pending index, but only while it lies within WindowShards of
+// the merge frontier — the shard-granularity version of sim.Stream's
+// ticket semaphore. The gate bounds buffered out-of-order results and
+// guarantees the frontier shard (the one the merger is waiting on) is
+// always claimable, which is what makes the merge loop deadlock-free:
+// an unmerged shard is, at every instant, either buffered, running on
+// some worker, or at the head of the pending queue inside the window.
+type sched struct {
+	mu       sync.Mutex
+	pending  []int // sorted ascending; lowest claimed first
+	frontier int   // shards [0, frontier) are fully merged
+	done     int   // shards completed (lines all buffered)
+	total    int
+	window   int
+	watch    chan struct{} // closed and replaced on every state change
+}
+
+func newSched(total, window int) *sched {
+	s := &sched{
+		pending: make([]int, total),
+		total:   total,
+		window:  window,
+		watch:   make(chan struct{}),
+	}
+	for i := range s.pending {
+		s.pending[i] = i
+	}
+	return s
+}
+
+// notifyLocked wakes every claim waiter; callers hold s.mu.
+func (s *sched) notifyLocked() {
+	close(s.watch)
+	s.watch = make(chan struct{})
+}
+
+// claim blocks until a shard index inside the merge window is pending
+// and returns it, or returns ok=false when every shard has completed,
+// or ctx's error when canceled. An in-flight shard owned by another
+// worker keeps claim waiting: it will either complete (markDone) or
+// requeue, and both notify.
+func (s *sched) claim(ctx context.Context) (idx int, ok bool, err error) {
+	for {
+		s.mu.Lock()
+		if s.done == s.total {
+			s.mu.Unlock()
+			return 0, false, nil
+		}
+		if len(s.pending) > 0 && s.pending[0] < s.frontier+s.window {
+			idx = s.pending[0]
+			s.pending = s.pending[1:]
+			s.mu.Unlock()
+			return idx, true, nil
+		}
+		watch := s.watch
+		s.mu.Unlock()
+		select {
+		case <-watch:
+		case <-ctx.Done():
+			return 0, false, ctx.Err()
+		}
+	}
+}
+
+// requeue returns a failed shard to the pending queue so any worker can
+// reclaim it.
+func (s *sched) requeue(idx int) {
+	s.mu.Lock()
+	at := sort.SearchInts(s.pending, idx)
+	s.pending = append(s.pending, 0)
+	copy(s.pending[at+1:], s.pending[at:])
+	s.pending[at] = idx
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// markDone records that a shard's results are fully buffered, waking
+// claimers so they can observe completion.
+func (s *sched) markDone() {
+	s.mu.Lock()
+	s.done++
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// advance moves the merge frontier past one merged shard, widening the
+// claim window.
+func (s *sched) advance() {
+	s.mu.Lock()
+	s.frontier++
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// snapshot reports (frontier, done, pending count) for metrics.
+func (s *sched) snapshot() (frontier, done, pending int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frontier, s.done, len(s.pending)
+}

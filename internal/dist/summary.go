@@ -1,0 +1,74 @@
+package dist
+
+import (
+	"fmt"
+
+	"rcbcast/internal/sim/sink"
+	"rcbcast/internal/stats"
+)
+
+// Summary aggregates a sweep's per-trial records into per-metric
+// stats.Acc folds. Shard summaries are folded trial by trial (in trial
+// order, by the worker client) and merged into the sweep summary in
+// shard order by the merge loop — a fixed fold tree, so the summary is
+// deterministic for any worker count and completion interleaving.
+type Summary struct {
+	Trials         int64     `json:"trials"`
+	CompletedRate  float64   `json:"completed_rate"`
+	Informed       stats.Acc `json:"-"`
+	Stranded       stats.Acc `json:"-"`
+	Dead           stats.Acc `json:"-"`
+	Rounds         stats.Acc `json:"-"`
+	Slots          stats.Acc `json:"-"`
+	AliceCost      stats.Acc `json:"-"`
+	NodeMaxCost    stats.Acc `json:"-"`
+	AdversarySpent stats.Acc `json:"-"`
+
+	completed int64
+}
+
+// add folds one trial record.
+func (s *Summary) add(rec *sink.Record) {
+	s.Trials++
+	if rec.Completed {
+		s.completed++
+	}
+	s.Informed.Add(float64(rec.Informed))
+	s.Stranded.Add(float64(rec.Stranded))
+	s.Dead.Add(float64(rec.Dead))
+	s.Rounds.Add(float64(rec.Rounds))
+	s.Slots.Add(float64(rec.Slots))
+	s.AliceCost.Add(float64(rec.AliceCost))
+	s.NodeMaxCost.Add(float64(rec.NodeMaxCost))
+	s.AdversarySpent.Add(float64(rec.AdversarySpent))
+	s.CompletedRate = float64(s.completed) / float64(s.Trials)
+}
+
+// merge folds another (shard) summary in.
+func (s *Summary) merge(o *Summary) {
+	s.Trials += o.Trials
+	s.completed += o.completed
+	if s.Trials > 0 {
+		s.CompletedRate = float64(s.completed) / float64(s.Trials)
+	}
+	s.Informed.Merge(o.Informed)
+	s.Stranded.Merge(o.Stranded)
+	s.Dead.Merge(o.Dead)
+	s.Rounds.Merge(o.Rounds)
+	s.Slots.Merge(o.Slots)
+	s.AliceCost.Merge(o.AliceCost)
+	s.NodeMaxCost.Merge(o.NodeMaxCost)
+	s.AdversarySpent.Merge(o.AdversarySpent)
+}
+
+// String renders the headline aggregates, rcexp-summary style.
+func (s *Summary) String() string {
+	return fmt.Sprintf(
+		"trials=%d completed=%.3f informed=%.1f±%.1f rounds=%.1f±%.1f alice_cost=%.1f±%.1f adversary_spent=%.1f±%.1f",
+		s.Trials, s.CompletedRate,
+		s.Informed.Mean(), s.Informed.Std(),
+		s.Rounds.Mean(), s.Rounds.Std(),
+		s.AliceCost.Mean(), s.AliceCost.Std(),
+		s.AdversarySpent.Mean(), s.AdversarySpent.Std(),
+	)
+}

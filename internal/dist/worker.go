@@ -1,0 +1,201 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"rcbcast/internal/scenario"
+	"rcbcast/internal/sim/sink"
+)
+
+// clientIDHeader identifies the coordinator to the workers' per-client
+// limiter: every shard submission shares one slot pool per worker.
+const clientIDHeader = "rccoord"
+
+// permanentError marks a failure no retry can fix (the worker rejected
+// the submission as invalid) — the sweep fails immediately instead of
+// burning attempts.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// workerClient runs shards on one worker service over its HTTP API.
+type workerClient struct {
+	base     string // normalized base URL, no trailing slash
+	http     *http.Client
+	scenario json.RawMessage // canonical scenario encoding, shared across shards
+	trials   int
+	baseSeed uint64
+	stall    time.Duration
+}
+
+// submitBody mirrors service.SubmitRequest.
+type submitBody struct {
+	Scenario json.RawMessage `json:"scenario"`
+	Trials   int             `json:"trials"`
+	BaseSeed uint64          `json:"base_seed"`
+	Shard    scenario.Shard  `json:"shard"`
+}
+
+// runShard executes one shard attempt end to end: submit (idempotent —
+// a repeat lands on the same worker-side job and journal), then follow
+// the result stream until every one of the shard's lines is buffered.
+// The caller owns st exclusively for the duration of the call.
+func (w *workerClient) runShard(ctx context.Context, st *shardState) error {
+	id, err := w.submit(ctx, st.shard)
+	if err != nil {
+		return err
+	}
+	return w.follow(ctx, id, st)
+}
+
+// submit posts the shard job and returns its id. 4xx responses are
+// permanent (the request itself is bad); everything else — connection
+// errors, 429, 5xx — is retryable.
+func (w *workerClient) submit(ctx context.Context, sh scenario.Shard) (string, error) {
+	body, err := json.Marshal(submitBody{
+		Scenario: w.scenario,
+		Trials:   w.trials,
+		BaseSeed: w.baseSeed,
+		Shard:    sh,
+	})
+	if err != nil {
+		return "", &permanentError{fmt.Errorf("dist: encode submission: %w", err)}
+	}
+	reqCtx, cancel := context.WithTimeout(ctx, w.stall)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, w.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", &permanentError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", clientIDHeader)
+	resp, err := w.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("dist: submit to %s: %w", w.base, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	switch {
+	case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return "", fmt.Errorf("dist: %s is busy: %s", w.base, snippet(data))
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return "", &permanentError{fmt.Errorf("dist: %s rejected shard %s: %s", w.base, sh, snippet(data))}
+	default:
+		return "", fmt.Errorf("dist: submit to %s: status %d: %s", w.base, resp.StatusCode, snippet(data))
+	}
+	var status struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &status); err != nil || status.ID == "" {
+		return "", fmt.Errorf("dist: submit to %s: malformed response: %s", w.base, snippet(data))
+	}
+	return status.ID, nil
+}
+
+// follow streams the job's NDJSON results into the shard's line buffer.
+// The worker replays the stream from byte zero on every attach, so a
+// retry skips the st.sent lines already buffered by earlier attempts —
+// determinism makes the replayed prefix identical, which is what lets a
+// reassigned shard resume mid-stream without re-delivering a trial.
+// Each accepted line is sanity-checked (its trial index must be the
+// next sweep-global index) and folded into the shard's summary before
+// buffering. A watchdog abandons the attempt if the stream goes silent
+// for the stall timeout — the SIGKILLed-worker signature, since a dead
+// TCP peer otherwise blocks the read indefinitely.
+func (w *workerClient) follow(ctx context.Context, id string, st *shardState) error {
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	wd := time.AfterFunc(w.stall, cancel)
+	defer wd.Stop()
+
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, w.base+"/v1/jobs/"+id+"/results", nil)
+	if err != nil {
+		return &permanentError{err}
+	}
+	req.Header.Set("X-Client-ID", clientIDHeader)
+	resp, err := w.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: attach to %s job %s: %w", w.base, id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("dist: attach to %s job %s: status %d: %s", w.base, id, resp.StatusCode, snippet(data))
+	}
+
+	skip := st.sent // lines earlier attempts already buffered
+	want := st.shard.Len()
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 && line[len(line)-1] == '\n' {
+			wd.Reset(w.stall)
+			switch {
+			case skip > 0:
+				skip--
+			case st.sent >= want:
+				return fmt.Errorf("dist: %s job %s emitted more than %d lines for shard %s", w.base, id, want, st.shard)
+			default:
+				if err := st.accept(line); err != nil {
+					return fmt.Errorf("dist: %s job %s: %w", w.base, id, err)
+				}
+				if st.sent == want {
+					close(st.lines)
+					return nil
+				}
+			}
+		}
+		if err != nil {
+			switch {
+			case ctx.Err() != nil:
+				return ctx.Err() // the whole run is stopping
+			case reqCtx.Err() != nil:
+				// Only the watchdog cancels reqCtx once ctx is ruled out.
+				return fmt.Errorf("dist: %s job %s: stream stalled for %v at %d/%d lines", w.base, id, w.stall, st.sent, want)
+			case errors.Is(err, io.EOF):
+				return fmt.Errorf("dist: %s job %s: stream ended at %d/%d lines", w.base, id, st.sent, want)
+			default:
+				return fmt.Errorf("dist: %s job %s: read stream: %w", w.base, id, err)
+			}
+		}
+	}
+}
+
+// snippet compacts an HTTP error body for a log-friendly message.
+func snippet(data []byte) string {
+	s := string(bytes.TrimSpace(data))
+	if len(s) > 200 {
+		s = s[:200] + "…"
+	}
+	if s == "" {
+		return "(empty body)"
+	}
+	return s
+}
+
+// accept validates, folds, and buffers one result line. The line's
+// trial index must be the shard's next sweep-global index — anything
+// else means the worker's journal or feed is corrupt.
+func (st *shardState) accept(line []byte) error {
+	var rec sink.Record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return fmt.Errorf("malformed result line: %w", err)
+	}
+	if wantTrial := st.shard.Lo + st.sent; rec.Trial != wantTrial {
+		return fmt.Errorf("result line has trial %d, want %d (shard %s)", rec.Trial, wantTrial, st.shard)
+	}
+	st.sum.add(&rec)
+	st.lines <- line // never blocks: cap == shard.Len()
+	st.sent++
+	return nil
+}

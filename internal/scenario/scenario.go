@@ -418,18 +418,10 @@ func (s Scenario) TrialSpec(seed uint64) (sim.TrialSpec, error) {
 // TrialSpecs returns `trials` specs for a Monte-Carlo sweep point,
 // seeded with sim.SweepSeed(base, point, t) for t = 0..trials-1. The
 // scenario is resolved once; the specs differ only in their seeds (the
-// shared factories mint fresh per-trial state regardless).
+// shared factories mint fresh per-trial state regardless). Contiguous
+// sub-ranges of the same sweep come from ShardSpecs.
 func (s Scenario) TrialSpecs(base uint64, point, trials int) ([]sim.TrialSpec, error) {
-	proto, err := s.TrialSpec(0)
-	if err != nil {
-		return nil, err
-	}
-	specs := make([]sim.TrialSpec, trials)
-	for t := range specs {
-		specs[t] = proto
-		specs[t].Seed = sim.SweepSeed(base, point, t)
-	}
-	return specs, nil
+	return s.ShardSpecs(base, point, trials, Shard{})
 }
 
 // Decode parses a JSON scenario, rejecting unknown fields so typos in

@@ -62,6 +62,13 @@ type Job struct {
 	// seed sim.SweepSeed(BaseSeed, 0, t), exactly like rcexp sweeps.
 	Trials   int
 	BaseSeed uint64
+	// Shard, when non-zero, restricts the job to the contiguous sweep
+	// trials [Shard.Lo, Shard.Hi) — the worker half of the distributed
+	// coordinator/worker split (internal/dist). Trials stays the *whole
+	// sweep's* trial count; the shard's seeds and NDJSON trial numbers
+	// are sweep-global, so a shard job's output is byte-for-byte the
+	// [Lo, Hi) slice of the full sweep's.
+	Shard scenario.Shard
 	// Version stamps the build that accepted the job (internal/version).
 	Version string
 
@@ -83,7 +90,10 @@ type Job struct {
 // jobID derives the sweep key. The canonical scenario encoding is
 // byte-stable (scenario.Encode round-trips deterministically), so equal
 // sweeps collide on purpose and distinct ones practically never do.
-func jobID(sc scenario.Scenario, trials int, baseSeed uint64) (string, error) {
+// Shard jobs extend the hash with their trial range, so distinct shards
+// of one sweep are distinct jobs with distinct journals, while a
+// whole-sweep submit keeps its pre-shard id.
+func jobID(sc scenario.Scenario, trials int, baseSeed uint64, sh scenario.Shard) (string, error) {
 	enc, err := scenario.Encode(sc)
 	if err != nil {
 		return "", fmt.Errorf("service: encode scenario: %w", err)
@@ -94,7 +104,27 @@ func jobID(sc scenario.Scenario, trials int, baseSeed uint64) (string, error) {
 	binary.LittleEndian.PutUint64(b[:8], uint64(trials))
 	binary.LittleEndian.PutUint64(b[8:], baseSeed)
 	h.Write(b[:])
+	if !sh.IsZero() {
+		binary.LittleEndian.PutUint64(b[:8], uint64(sh.Lo))
+		binary.LittleEndian.PutUint64(b[8:], uint64(sh.Hi))
+		h.Write(b[:])
+	}
 	return fmt.Sprintf("j%016x", h.Sum64()), nil
+}
+
+// shardRange resolves the job's effective trial range: the shard's when
+// set, the whole sweep otherwise.
+func (j *Job) shardRange() (lo, hi int) {
+	if j.Shard.IsZero() {
+		return 0, j.Trials
+	}
+	return j.Shard.Lo, j.Shard.Hi
+}
+
+// shardLen is the number of trials this job executes.
+func (j *Job) shardLen() int {
+	lo, hi := j.shardRange()
+	return hi - lo
 }
 
 // Paths inside the job's store directory.
@@ -105,18 +135,22 @@ func (j *Job) resultsPath() string { return filepath.Join(j.dir, "out.ndjson") }
 // Status is the wire form of a job's state — the status endpoint's
 // response body and one element of the list endpoint's.
 type Status struct {
-	ID            string  `json:"id"`
-	State         State   `json:"state"`
-	Client        string  `json:"client,omitempty"`
-	Scenario      string  `json:"scenario,omitempty"`
-	Trials        int     `json:"trials"`
-	Done          int     `json:"done"`
-	TrialsPerSec  float64 `json:"trials_per_sec,omitempty"`
-	ETASeconds    float64 `json:"eta_seconds,omitempty"`
-	PartialErrors int     `json:"partial_errors,omitempty"`
-	Canceled      bool    `json:"canceled,omitempty"`
-	Error         string  `json:"error,omitempty"`
-	Version       string  `json:"version"`
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Client   string `json:"client,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	Trials   int    `json:"trials"`
+	// Shard is the job's trial range when it runs one shard of the
+	// sweep; absent for whole-sweep jobs. Done counts the job's own
+	// (shard) trials, so done == hi-lo means a shard job is complete.
+	Shard         scenario.Shard `json:"shard,omitzero"`
+	Done          int            `json:"done"`
+	TrialsPerSec  float64        `json:"trials_per_sec,omitempty"`
+	ETASeconds    float64        `json:"eta_seconds,omitempty"`
+	PartialErrors int            `json:"partial_errors,omitempty"`
+	Canceled      bool           `json:"canceled,omitempty"`
+	Error         string         `json:"error,omitempty"`
+	Version       string         `json:"version"`
 }
 
 // Status snapshots the job. Rate covers only trials executed in the
@@ -137,6 +171,7 @@ func (j *Job) Status() Status {
 		Version:       j.Version,
 	}
 	j.mu.Unlock()
+	st.Shard = j.Shard
 	st.Done = int(j.done.Load())
 	if st.State == StateRunning {
 		if startNs := j.execStart.Load(); startNs != 0 {
@@ -144,7 +179,7 @@ func (j *Job) Status() Status {
 			rate := sink.Rate(executed, time.Unix(0, startNs), time.Now())
 			if rate > 0 {
 				st.TrialsPerSec = rate
-				st.ETASeconds = sink.ETA(st.Done, j.Trials, rate).Seconds()
+				st.ETASeconds = sink.ETA(st.Done, j.shardLen(), rate).Seconds()
 			}
 		}
 	}
@@ -152,14 +187,19 @@ func (j *Job) Status() Status {
 }
 
 // meterSink plumbs delivery progress into the job's atomics: done is
-// the sweep-coordinate count, and the first index at or past the
-// replayed prefix starts the rate clock.
-type meterSink struct{ j *Job }
+// the count of the job's own trials delivered (indices arrive in sweep
+// coordinates, so shard jobs rebase by lo), and the first delivery past
+// the replayed prefix starts the rate clock.
+type meterSink struct {
+	j  *Job
+	lo int
+}
 
 func (m meterSink) Trial(i int, _ *engine.Result) error {
 	j := m.j
-	j.done.Store(int64(i) + 1)
-	if int64(i) >= j.execBase.Load() && j.execStart.Load() == 0 {
+	count := int64(i - m.lo + 1)
+	j.done.Store(count)
+	if count > j.execBase.Load() && j.execStart.Load() == 0 {
 		j.execStart.Store(time.Now().UnixNano())
 	}
 	return nil
@@ -178,6 +218,7 @@ func (j *Job) record() jobRecord {
 		Scenario:      raw,
 		Trials:        j.Trials,
 		BaseSeed:      j.BaseSeed,
+		Shard:         j.Shard,
 		State:         j.state,
 		Done:          int(j.done.Load()),
 		PartialErrors: j.partials,

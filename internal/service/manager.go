@@ -117,7 +117,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		if err := saveJob(j); err != nil {
 			m.logf("%v", err)
 		}
-		m.logf("service: resuming job %s (%d/%d trials journaled)", j.ID, j.done.Load(), j.Trials)
+		m.logf("service: resuming job %s (%d/%d trials journaled)", j.ID, j.done.Load(), j.shardLen())
 	}
 
 	m.wg.Add(cfg.Runners)
@@ -142,6 +142,7 @@ func (m *Manager) jobFromRecord(rec jobRecord) (*Job, error) {
 		Scenario: sc,
 		Trials:   rec.Trials,
 		BaseSeed: rec.BaseSeed,
+		Shard:    rec.Shard,
 		Version:  rec.Version,
 		dir:      m.jobDir(rec.ID),
 		state:    rec.State,
@@ -168,13 +169,27 @@ func (m *Manager) logf(format string, args ...any) {
 // resumption of a failed/canceled one); a dedupe hit on a live or
 // completed job returns accepted = false.
 func (m *Manager) Submit(client string, sc scenario.Scenario, trials int, baseSeed uint64) (j *Job, accepted bool, err error) {
+	return m.SubmitShard(client, sc, trials, baseSeed, scenario.Shard{})
+}
+
+// SubmitShard is Submit restricted to one contiguous shard [sh.Lo,
+// sh.Hi) of the sweep — the worker half of the distributed split.
+// trials remains the whole sweep's trial count (it anchors the shard's
+// sweep-global seeds and indices); the zero shard means the whole
+// sweep, making this a strict generalization of Submit. Each shard is
+// its own job with its own journal, keyed by scenario + trials + seed +
+// range.
+func (m *Manager) SubmitShard(client string, sc scenario.Scenario, trials int, baseSeed uint64, sh scenario.Shard) (j *Job, accepted bool, err error) {
 	if trials <= 0 {
 		return nil, false, fmt.Errorf("service: trials must be positive (got %d)", trials)
 	}
 	if err := sc.Validate(); err != nil {
 		return nil, false, err
 	}
-	id, err := jobID(sc, trials, baseSeed)
+	if err := sh.Validate(trials); err != nil {
+		return nil, false, err
+	}
+	id, err := jobID(sc, trials, baseSeed, sh)
 	if err != nil {
 		return nil, false, err
 	}
@@ -195,6 +210,7 @@ func (m *Manager) Submit(client string, sc scenario.Scenario, trials int, baseSe
 		Scenario: sc,
 		Trials:   trials,
 		BaseSeed: baseSeed,
+		Shard:    sh,
 		Version:  m.version,
 		dir:      m.jobDir(id),
 		state:    StateQueued,
@@ -217,7 +233,11 @@ func (m *Manager) Submit(client string, sc scenario.Scenario, trials int, baseSe
 	if err := saveJob(j); err != nil {
 		m.logf("%v", err)
 	}
-	m.logf("service: job %s queued by %s (%d trials)", id, client, trials)
+	if sh.IsZero() {
+		m.logf("service: job %s queued by %s (%d trials)", id, client, trials)
+	} else {
+		m.logf("service: job %s queued by %s (shard %s of %d trials)", id, client, sh, trials)
+	}
 	return j, true, nil
 }
 
@@ -418,10 +438,13 @@ func (m *Manager) runJob(j *Job) {
 
 // runSweep is the one place a job touches the execution stack: open the
 // journal, point the NDJSON sink at the live feed, and hand the sweep
-// to sink.StreamCheckpointedBatch — replay, fingerprint check, scalar
-// or batched execution, and per-trial journaling all come from there.
+// (or its shard) to sink's checkpointed streaming — replay, fingerprint
+// check, scalar or batched execution, and per-trial journaling all come
+// from there. Shard jobs use the range-stamped journal entry point, so
+// their NDJSON carries sweep-global trial indices while the journal
+// stays shard-local.
 func (m *Manager) runSweep(ctx context.Context, j *Job) error {
-	specs, err := j.Scenario.TrialSpecs(j.BaseSeed, 0, j.Trials)
+	specs, err := j.Scenario.ShardSpecs(j.BaseSeed, 0, j.Trials, j.Shard)
 	if err != nil {
 		return err
 	}
@@ -439,11 +462,15 @@ func (m *Manager) runSweep(ctx context.Context, j *Job) error {
 	if err := j.feed.openForRun(); err != nil {
 		return err
 	}
-	sinks := []sim.Sink{sink.NewNDJSON(j.feed), meterSink{j}}
+	lo, _ := j.shardRange()
+	sinks := []sim.Sink{sink.NewNDJSON(j.feed), meterSink{j: j, lo: lo}}
 	if testExtraSinks != nil {
 		sinks = append(sinks, testExtraSinks(j)...)
 	}
-	return sink.StreamCheckpointedBatch(ctx, m.cfg.Procs, j.Scenario.Batch, specs, cp, sinks...)
+	if j.Shard.IsZero() {
+		return sink.StreamCheckpointedBatch(ctx, m.cfg.Procs, j.Scenario.Batch, specs, cp, sinks...)
+	}
+	return sink.StreamCheckpointedShard(ctx, m.cfg.Procs, j.Scenario.Batch, lo, specs, cp, sinks...)
 }
 
 // Close drains the service: cancel every running job (each stops at its

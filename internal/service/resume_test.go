@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rcbcast/internal/scenario"
 )
 
 // TestRestartResumesInterruptedJob pins the durability contract end to
@@ -164,7 +166,7 @@ func TestForeignJournalFailsTheJob(t *testing.T) {
 	// interchange.
 	scB := testScenario("journal-thief")
 	scB.N = 32
-	idB, err := jobID(scB, 8, 1)
+	idB, err := jobID(scB, 8, 1, scenario.Shard{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,6 +60,10 @@ type SubmitRequest struct {
 	// default submit's results are byte-identical to
 	// `rcexp -scenario spec.json -trials N`.
 	BaseSeed *uint64 `json:"base_seed,omitempty"`
+	// Shard, when present, restricts the job to the sweep trials
+	// [lo, hi) — trials above stays the whole sweep's count, and the
+	// job's NDJSON is the byte-exact [lo, hi) slice of the full run's.
+	Shard *scenario.Shard `json:"shard,omitempty"`
 }
 
 // DefaultBaseSeed matches rcexp's -seed default.
@@ -102,7 +106,11 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	if req.BaseSeed != nil {
 		base = *req.BaseSeed
 	}
-	j, accepted, err := s.m.Submit(clientID(r), sc, req.Trials, base)
+	var sh scenario.Shard
+	if req.Shard != nil {
+		sh = *req.Shard
+	}
+	j, accepted, err := s.m.SubmitShard(clientID(r), sc, req.Trials, base, sh)
 	switch {
 	case errors.Is(err, ErrClientBusy), errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")

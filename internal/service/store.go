@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"rcbcast/internal/scenario"
 )
 
 // jobRecord is the on-disk job description (job.json): enough to rebuild
@@ -19,6 +21,7 @@ type jobRecord struct {
 	Scenario      json.RawMessage `json:"scenario"`
 	Trials        int             `json:"trials"`
 	BaseSeed      uint64          `json:"base_seed"`
+	Shard         scenario.Shard  `json:"shard,omitzero"`
 	State         State           `json:"state"`
 	Done          int             `json:"done,omitempty"`
 	PartialErrors int             `json:"partial_errors,omitempty"`

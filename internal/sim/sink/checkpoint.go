@@ -35,20 +35,28 @@ import (
 // Each Trial call flushes its line, so a context-canceled process loses
 // at most the trial in flight.
 type Checkpoint struct {
-	path  string
-	f     *os.File
-	bw    *bufio.Writer
-	enc   *json.Encoder
-	done  int
-	sweep string // fingerprint from the journal header ("" when absent)
-	err   error
+	path   string
+	f      *os.File
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	done   int
+	sweep  string // fingerprint from the journal header ("" when absent)
+	lo, hi int    // shard range from the header (0,0 = whole-sweep journal)
+	err    error
 }
 
 // journalHeader is the journal's first line: a fingerprint of the spec
 // list the sweep was started with, so a resume with different specs
 // fails fast instead of silently splicing two different experiments.
+// Shard journals (StreamCheckpointedShard) additionally record their
+// trial range [lo, hi): the fingerprint alone covers only the leading
+// spec, so two shards with the same lo but different hi — [0, 100) and
+// [0, 200) of one sweep — would otherwise collide and silently resume
+// each other's journals.
 type journalHeader struct {
 	Sweep string `json:"sweep"`
+	Lo    int    `json:"lo,omitempty"`
+	Hi    int    `json:"hi,omitempty"`
 }
 
 // journalLine is one journaled trial.
@@ -70,6 +78,7 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	var off int64
 	done := 0
 	sweep := ""
+	lo, hi := 0, 0
 	first := true
 	for {
 		line, err := br.ReadBytes('\n')
@@ -80,7 +89,7 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 			first = false
 			var jh journalHeader
 			if json.Unmarshal(line, &jh) == nil && jh.Sweep != "" {
-				sweep = jh.Sweep
+				sweep, lo, hi = jh.Sweep, jh.Lo, jh.Hi
 				off += int64(len(line))
 				continue
 			}
@@ -101,7 +110,7 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("sink: checkpoint: %w", err)
 	}
 	bw := bufio.NewWriter(f)
-	return &Checkpoint{path: path, f: f, bw: bw, enc: json.NewEncoder(bw), done: done, sweep: sweep}, nil
+	return &Checkpoint{path: path, f: f, bw: bw, enc: json.NewEncoder(bw), done: done, sweep: sweep, lo: lo, hi: hi}, nil
 }
 
 // Done returns the number of journaled leading trials; a resumed sweep
@@ -161,9 +170,11 @@ func (c *Checkpoint) Trial(_ int, r *engine.Result) error {
 	return nil
 }
 
-// writeHeader stamps a fresh journal with the sweep fingerprint.
-func (c *Checkpoint) writeHeader(fp string) error {
-	if err := c.enc.Encode(journalHeader{Sweep: fp}); err != nil {
+// writeHeader stamps a fresh journal with the sweep fingerprint and,
+// for shard journals, the trial range [lo, hi). Whole-sweep journals
+// pass (0, 0) and keep the pre-shard header shape.
+func (c *Checkpoint) writeHeader(fp string, lo, hi int) error {
+	if err := c.enc.Encode(journalHeader{Sweep: fp, Lo: lo, Hi: hi}); err != nil {
 		c.err = err
 		return err
 	}
@@ -171,7 +182,7 @@ func (c *Checkpoint) writeHeader(fp string) error {
 		c.err = err
 		return err
 	}
-	c.sweep = fp
+	c.sweep, c.lo, c.hi = fp, lo, hi
 	return nil
 }
 
@@ -239,19 +250,52 @@ func StreamCheckpointed(ctx context.Context, procs int, specs []sim.TrialSpec, c
 // whose tail regroups at different batch boundaries — because the
 // kernel's per-trial results match the scalar engine's bit for bit.
 func StreamCheckpointedBatch(ctx context.Context, procs, width int, specs []sim.TrialSpec, cp *Checkpoint, sinks ...sim.Sink) error {
+	return streamCheckpointed(ctx, procs, width, 0, false, specs, cp, sinks)
+}
+
+// StreamCheckpointedShard is StreamCheckpointedBatch for one contiguous
+// shard [lo, lo+len(specs)) of a larger sweep (scenario.ShardSpecs):
+// sink delivery is re-indexed to sweep-global trial coordinates, and
+// the journal header records the shard range alongside the sweep
+// fingerprint. A shard journal therefore can never be resumed by a
+// different shard of the same sweep — the fingerprint alone already
+// separates shards with different lo (their leading seeds differ), and
+// the recorded range separates same-lo shards with different hi —
+// and a whole-sweep run rejects a shard journal (and vice versa)
+// instead of silently splicing ranges.
+func StreamCheckpointedShard(ctx context.Context, procs, width, lo int, specs []sim.TrialSpec, cp *Checkpoint, sinks ...sim.Sink) error {
+	if lo < 0 {
+		return fmt.Errorf("sink: shard lo must be >= 0 (got %d)", lo)
+	}
+	return streamCheckpointed(ctx, procs, width, lo, true, specs, cp, sinks)
+}
+
+// streamCheckpointed is the one implementation under both entry points.
+// sharded selects the shard contract: delivery offset by lo and a
+// range-stamped, range-checked journal header covering [lo,
+// lo+len(specs)).
+func streamCheckpointed(ctx context.Context, procs, width, lo int, sharded bool, specs []sim.TrialSpec, cp *Checkpoint, sinks []sim.Sink) error {
 	if cp.Done() > len(specs) {
 		return fmt.Errorf("sink: checkpoint has %d trials but the sweep has %d", cp.Done(), len(specs))
 	}
 	if len(specs) == 0 {
 		return cp.Flush()
 	}
+	wantLo, wantHi := 0, 0
+	if sharded {
+		wantLo, wantHi = lo, lo+len(specs)
+	}
 	fp := fingerprint(specs)
 	switch {
 	case cp.sweep == "" && cp.done == 0:
 		// Fresh journal: stamp the header before any trial.
-		if err := cp.writeHeader(fp); err != nil {
+		if err := cp.writeHeader(fp, wantLo, wantHi); err != nil {
 			return err
 		}
+	case cp.sweep != "" && (cp.lo != wantLo || cp.hi != wantHi):
+		return fmt.Errorf(
+			"sink: checkpoint %s was written by shard %s of the sweep, not %s — delete it or rerun with the original shard",
+			cp.path, rangeLabel(cp.lo, cp.hi), rangeLabel(wantLo, wantHi))
 	case cp.sweep != "" && cp.sweep != fp:
 		return fmt.Errorf(
 			"sink: checkpoint %s was written by a different sweep (fingerprint %s, this sweep %s) — delete it or rerun with the original specs",
@@ -260,7 +304,16 @@ func StreamCheckpointedBatch(ctx context.Context, procs, width int, specs []sim.
 		// A non-empty headerless journal (cp used directly as a Stream
 		// sink) cannot be validated; accept it as-is.
 	}
-	if err := cp.Replay(sinks...); err != nil {
+	// The journal stores shard-local indices; downstream sinks see
+	// sweep-global ones.
+	outSinks := sinks
+	if lo > 0 {
+		outSinks = make([]sim.Sink, len(sinks))
+		for i, s := range sinks {
+			outSinks[i] = offset{d: lo, s: s}
+		}
+	}
+	if err := cp.Replay(outSinks...); err != nil {
 		return err
 	}
 	base := cp.Done()
@@ -275,12 +328,21 @@ func StreamCheckpointedBatch(ctx context.Context, procs, width int, specs []sim.
 	session := make([]sim.Sink, 0, len(sinks)+1)
 	session = append(session, cp) // journal first: never emit a trial the journal lacks
 	for _, s := range sinks {
-		session = append(session, offset{d: base, s: s})
+		session = append(session, offset{d: base + lo, s: s})
 	}
 	return sim.StreamBatch(ctx, procs, width, specs[base:], session...)
 }
 
-// offset re-indexes a resumed tail-run's trial indices back to sweep
+// rangeLabel names a header range for error messages; (0,0) is the
+// whole sweep.
+func rangeLabel(lo, hi int) string {
+	if lo == 0 && hi == 0 {
+		return "[whole sweep]"
+	}
+	return fmt.Sprintf("[%d,%d)", lo, hi)
+}
+
+// offset re-indexes a shard- or tail-local delivery back to sweep
 // coordinates for downstream sinks.
 type offset struct {
 	d int
@@ -289,3 +351,8 @@ type offset struct {
 
 func (o offset) Trial(i int, r *engine.Result) error { return o.s.Trial(i+o.d, r) }
 func (o offset) Flush() error                        { return o.s.Flush() }
+
+// Offset re-indexes a sink's trial indices by a fixed delta — the
+// adapter shard runs use to deliver sweep-global trial numbers from a
+// shard-local streaming session (rcexp -shard without a checkpoint).
+func Offset(delta int, s sim.Sink) sim.Sink { return offset{d: delta, s: s} }

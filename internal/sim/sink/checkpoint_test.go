@@ -321,3 +321,130 @@ func TestCheckpointSpecMismatchRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCheckpointShardGlobalIndices: a shard session delivers sweep-
+// global trial numbers, so its NDJSON is the byte-exact slice of the
+// full run's.
+func TestCheckpointShardGlobalIndices(t *testing.T) {
+	const trials = 10
+	whole := jamSpecs(64, trials)
+
+	var want bytes.Buffer
+	if err := sim.Stream(context.Background(), 2, whole, NewNDJSON(&want)); err != nil {
+		t.Fatal(err)
+	}
+	wantLines := bytes.SplitAfter(want.Bytes(), []byte("\n"))
+
+	for _, r := range []struct{ lo, hi int }{{0, 4}, {3, 7}, {9, 10}, {0, 10}} {
+		path := filepath.Join(t.TempDir(), "shard.ckpt")
+		cp := openCheckpoint(t, path)
+		var got bytes.Buffer
+		if err := StreamCheckpointedShard(context.Background(), 2, 1, r.lo, whole[r.lo:r.hi], cp, NewNDJSON(&got)); err != nil {
+			t.Fatalf("shard [%d,%d): %v", r.lo, r.hi, err)
+		}
+		want := bytes.Join(wantLines[r.lo:r.hi], nil)
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("shard [%d,%d) output is not the slice of the full run:\n%s\nvs\n%s",
+				r.lo, r.hi, got.String(), string(want))
+		}
+	}
+	if err := StreamCheckpointedShard(context.Background(), 1, 1, -1, whole[:1], openCheckpoint(t, filepath.Join(t.TempDir(), "x.ckpt"))); err == nil {
+		t.Fatal("negative lo accepted")
+	}
+}
+
+// TestCheckpointShardInterruptResume: a shard sweep interrupted
+// mid-run resumes from its journal with output byte-identical to the
+// uninterrupted shard — global indices included.
+func TestCheckpointShardInterruptResume(t *testing.T) {
+	const trials, lo, hi = 40, 8, 32
+	whole := jamSpecs(64, trials)
+	shard := whole[lo:hi]
+
+	var want bytes.Buffer
+	if err := StreamCheckpointedShard(context.Background(), 4, 1, lo, shard,
+		openCheckpoint(t, filepath.Join(t.TempDir(), "ref.ckpt")), NewNDJSON(&want)); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "shard.ckpt")
+	cp := openCheckpoint(t, path)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var first bytes.Buffer
+	err := StreamCheckpointedShard(ctx, 4, 1, lo, shard, cp,
+		NewNDJSON(&first),
+		Func(func(i int, _ *engine.Result) error {
+			if i == lo+7 { // delivery arrives in sweep coordinates
+				cancel()
+			}
+			return nil
+		}))
+	var pe *sim.PartialError
+	if !errors.As(err, &pe) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled shard: want *sim.PartialError wrapping Canceled, got %v", err)
+	}
+	if cp.Done() <= 7 || cp.Done() >= hi-lo {
+		t.Fatalf("journal has %d trials, want a strict mid-shard prefix past 7", cp.Done())
+	}
+	cp.Close()
+
+	cp2 := openCheckpoint(t, path)
+	var full bytes.Buffer
+	if err := StreamCheckpointedShard(context.Background(), 4, 1, lo, shard, cp2, NewNDJSON(&full)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full.Bytes(), want.Bytes()) {
+		t.Fatalf("resumed shard NDJSON differs from uninterrupted shard:\n%s\nvs\n%s",
+			full.String(), want.String())
+	}
+	if !bytes.HasPrefix(want.Bytes(), first.Bytes()) {
+		t.Fatalf("interrupted shard output is not a prefix of the reference:\n%s", first.String())
+	}
+}
+
+// TestCheckpointShardRangeMismatchRejected: the range-stamped header
+// separates shard journals from each other and from whole-sweep
+// journals — resuming any of them with the wrong range fails fast.
+func TestCheckpointShardRangeMismatchRejected(t *testing.T) {
+	const trials = 12
+	whole := jamSpecs(64, trials)
+
+	// Write a shard journal for [0, 6).
+	path := filepath.Join(t.TempDir(), "shard.ckpt")
+	cp := openCheckpoint(t, path)
+	if err := StreamCheckpointedShard(context.Background(), 1, 1, 0, whole[0:6], cp); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	// Same lo, longer hi: the fingerprint matches (same leading spec),
+	// only the recorded range catches it.
+	err := StreamCheckpointedShard(context.Background(), 1, 1, 0, whole[0:9], openCheckpoint(t, path))
+	if err == nil || !strings.Contains(err.Error(), "shard [0,6)") {
+		t.Fatalf("same-lo different-hi resume: want range rejection, got %v", err)
+	}
+	// A whole-sweep run must not splice a shard journal either (again a
+	// fingerprint collision: trial 0 leads both).
+	err = StreamCheckpointedBatch(context.Background(), 1, 1, whole, openCheckpoint(t, path))
+	if err == nil || !strings.Contains(err.Error(), "shard [0,6)") {
+		t.Fatalf("whole-sweep resume of a shard journal: want range rejection, got %v", err)
+	}
+
+	// And the converse: a shard run must not splice a whole-sweep journal.
+	wholePath := filepath.Join(t.TempDir(), "whole.ckpt")
+	cpw := openCheckpoint(t, wholePath)
+	if err := StreamCheckpointedBatch(context.Background(), 1, 1, whole[:6], cpw); err != nil {
+		t.Fatal(err)
+	}
+	cpw.Close()
+	err = StreamCheckpointedShard(context.Background(), 1, 1, 0, whole[0:6], openCheckpoint(t, wholePath))
+	if err == nil || !strings.Contains(err.Error(), "whole sweep") {
+		t.Fatalf("shard resume of a whole-sweep journal: want range rejection, got %v", err)
+	}
+
+	// The matching range still resumes cleanly.
+	if err := StreamCheckpointedShard(context.Background(), 1, 1, 0, whole[0:6], openCheckpoint(t, path)); err != nil {
+		t.Fatal(err)
+	}
+}

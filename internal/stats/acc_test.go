@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"rcbcast/internal/rng"
@@ -90,5 +91,74 @@ func TestAccEmpty(t *testing.T) {
 	var a Acc
 	if a.N() != 0 || a.Mean() != 0 || a.Std() != 0 || a.Min() != 0 || a.Max() != 0 || a.Sum() != 0 {
 		t.Fatal("zero-value accumulator must report zeros")
+	}
+}
+
+// TestAccMergePartitionProperty is the distribution-layer contract
+// quick-checked: folding any partition of a trial set shard by shard,
+// merging the shard accumulators in any order, equals the sequential
+// fold — exactly for n/min/max (integer and comparison arithmetic),
+// and to tight relative tolerance for mean and variance (Chan et al.'s
+// parallel combination is algebraically exact; only float rounding
+// differs with the fold tree).
+func TestAccMergePartitionProperty(t *testing.T) {
+	approx := func(got, want, rtol float64) bool {
+		return math.Abs(got-want) <= rtol*math.Max(1, math.Abs(want))
+	}
+	st := rng.New(7, 99)
+	for trial := 0; trial < 200; trial++ {
+		xs := sample(1+int(st.Uint64()%257), st.Uint64())
+		var seq Acc
+		for _, x := range xs {
+			seq.Add(x)
+		}
+
+		// Cut [0,len) into 1..12 random contiguous shards.
+		k := 1 + int(st.Uint64()%12)
+		cuts := map[int]bool{0: true, len(xs): true}
+		for len(cuts) < k+1 && len(cuts) < len(xs)+1 {
+			cuts[1+int(st.Uint64()%uint64(len(xs)))] = true
+		}
+		bounds := make([]int, 0, len(cuts))
+		for c := range cuts {
+			bounds = append(bounds, c)
+		}
+		sort.Ints(bounds)
+		shards := make([]Acc, 0, len(bounds)-1)
+		for i := 1; i < len(bounds); i++ {
+			var a Acc
+			for _, x := range xs[bounds[i-1]:bounds[i]] {
+				a.Add(x)
+			}
+			shards = append(shards, a)
+		}
+
+		// Merge in a random order.
+		order := make([]int, len(shards))
+		for i := range order {
+			order[i] = i
+		}
+		for i := len(order) - 1; i > 0; i-- {
+			j := int(st.Uint64() % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		var merged Acc
+		for _, i := range order {
+			merged.Merge(shards[i])
+		}
+
+		if merged.N() != seq.N() || merged.Min() != seq.Min() || merged.Max() != seq.Max() {
+			t.Fatalf("trial %d: n/min/max diverge: %d/%v/%v vs %d/%v/%v",
+				trial, merged.N(), merged.Min(), merged.Max(), seq.N(), seq.Min(), seq.Max())
+		}
+		if !approx(merged.Mean(), seq.Mean(), 1e-9) {
+			t.Fatalf("trial %d: mean %v vs %v (%d shards)", trial, merged.Mean(), seq.Mean(), len(shards))
+		}
+		if !approx(merged.Var(), seq.Var(), 1e-8) {
+			t.Fatalf("trial %d: var %v vs %v (%d shards)", trial, merged.Var(), seq.Var(), len(shards))
+		}
+		if !approx(merged.Sum(), seq.Sum(), 1e-9) {
+			t.Fatalf("trial %d: sum %v vs %v", trial, merged.Sum(), seq.Sum())
+		}
 	}
 }
