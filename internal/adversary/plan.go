@@ -56,8 +56,14 @@ func (b *Bitmap) Clear(slot int) { b.bs.Clear(slot) }
 // Get reports whether slot is marked.
 func (b *Bitmap) Get(slot int) bool { return b.bs.Get(slot) }
 
-// Count returns the number of marked slots.
+// Count returns the number of marked slots (a word-parallel popcount).
 func (b *Bitmap) Count() int { return b.bs.Count() }
+
+// NextSet returns the first marked slot at or after slot, or -1 when
+// none remains. Reactive strategies walk only the active slots of a
+// phase this way — zero words are skipped whole — instead of testing
+// every slot.
+func (b *Bitmap) NextSet(slot int) int { return b.bs.NextSet(slot) }
 
 // OrBits folds the marked bits of s into the bitmap. The lengths must
 // match; the batch kernel derives the reactive RSSI view this way (one

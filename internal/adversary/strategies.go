@@ -346,11 +346,12 @@ func (ReactiveJammer) PlanReactive(ph core.Phase, activity *Bitmap, _ *History, 
 	}
 	p := NewPlan(ph.Length)
 	var planned int64
-	for slot := 0; slot < ph.Length && planned < budget; slot++ {
-		if activity.Get(slot) {
-			p.Jam(slot)
-			planned++
-		}
+	// Walk only the active slots (word-parallel skip over silence): the
+	// jam set — the first `budget` active slots in order — is identical
+	// to the per-slot Get loop's.
+	for slot := activity.NextSet(0); slot >= 0 && planned < budget; slot = activity.NextSet(slot + 1) {
+		p.Jam(slot)
+		planned++
 	}
 	return p
 }

@@ -90,7 +90,8 @@ func (s *Set) Get(i int) bool {
 	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
-// Count returns the number of marked bits.
+// Count returns the number of marked bits — a word-parallel population
+// count (one OnesCount64 per 64 bits), not a per-bit walk.
 func (s *Set) Count() int {
 	total := 0
 	for _, w := range s.words {
@@ -133,6 +134,49 @@ func (s *Set) Or(o *Set) {
 	}
 	for i, w := range o.words {
 		s.words[i] |= w
+	}
+}
+
+// AndNot clears every bit of s that is set in o (s &^= o), one word
+// operation per 64 bits. The sets must have equal length. The batched
+// engine kernel clears its collision set against the busy set this way
+// at phase end instead of walking the dirty slots bit by bit.
+func (s *Set) AndNot(o *Set) {
+	if s.n != o.n {
+		panic("bitset: AndNot over sets of different lengths")
+	}
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// NextSet returns the index of the first marked bit at or after i, or
+// -1 when no such bit exists. Iterating a sparse set with
+//
+//	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1)
+//
+// skips runs of zero words whole instead of testing every bit, which is
+// what lets the reactive adversary walk only the active slots of a
+// phase.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	w := i >> 6
+	// Mask off the bits below i in the first word, then scan whole words.
+	word := s.words[w] &^ (1<<(uint(i)&63) - 1)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= len(s.words) {
+			return -1
+		}
+		word = s.words[w]
 	}
 }
 

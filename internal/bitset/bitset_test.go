@@ -140,6 +140,124 @@ func TestResetClearsResizeKeeps(t *testing.T) {
 	}
 }
 
+func TestAndNotAgainstReference(t *testing.T) {
+	st := rng.New(13)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + st.Intn(260)
+		a, b := New(n), New(n)
+		ra, rb := reference{}, reference{}
+		for i := 0; i < n; i++ {
+			if st.Bernoulli(0.5) {
+				a.Set(i)
+				ra[i] = true
+			}
+			if st.Bernoulli(0.5) {
+				b.Set(i)
+				rb[i] = true
+			}
+		}
+		a.AndNot(b)
+		for i := 0; i < n; i++ {
+			if want := ra[i] && !rb[i]; a.Get(i) != want {
+				t.Fatalf("n=%d andnot bit %d: got %v want %v", n, i, a.Get(i), want)
+			}
+		}
+	}
+}
+
+// TestAndNotTailWord pins the tail-word discipline: clearing against a
+// full mask must not disturb the zero bits beyond Len in the last word.
+func TestAndNotTailWord(t *testing.T) {
+	a, b := New(70), New(70)
+	a.SetRange(0, 70)
+	b.SetRange(64, 70)
+	a.AndNot(b)
+	if got := a.Count(); got != 64 {
+		t.Fatalf("count after tail AndNot = %d, want 64", got)
+	}
+	if w := a.Words(); w[1] != 0 {
+		t.Fatalf("tail word not fully cleared: %#x", w[1])
+	}
+	// And the invariant holds when the subtrahend's tail word is full of
+	// in-range ones.
+	a.SetRange(0, 70)
+	a.AndNot(a)
+	if a.Any() {
+		t.Fatal("self-AndNot left bits set")
+	}
+}
+
+func TestAndNotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AndNot over mismatched lengths must panic")
+		}
+	}()
+	New(64).AndNot(New(65))
+}
+
+// TestNextSetAgainstReference is the differential for the set-bit
+// iterator: for random sets, walking NextSet must visit exactly the
+// bits a naive per-bit loop visits, in order.
+func TestNextSetAgainstReference(t *testing.T) {
+	st := rng.New(17)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + st.Intn(400)
+		s := New(n)
+		var want []int
+		for i := 0; i < n; i++ {
+			if st.Bernoulli(0.1) {
+				s.Set(i)
+				want = append(want, i)
+			}
+		}
+		var got []int
+		for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+			got = append(got, i)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: iterated %d bits, want %d", n, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("n=%d: bit %d of walk = %d, want %d", n, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestNextSetEdges covers the cross-word hops and boundary arguments
+// the differential is unlikely to isolate: a lone bit several zero
+// words away, negative and past-the-end starts, and zero-length sets.
+func TestNextSetEdges(t *testing.T) {
+	s := New(300)
+	s.Set(0)
+	s.Set(257) // word 4, after three interior zero words
+	if got := s.NextSet(-5); got != 0 {
+		t.Fatalf("NextSet(-5) = %d, want 0", got)
+	}
+	if got := s.NextSet(1); got != 257 {
+		t.Fatalf("NextSet(1) = %d, want 257 (cross-word hop)", got)
+	}
+	if got := s.NextSet(257); got != 257 {
+		t.Fatalf("NextSet(257) = %d, want 257 (inclusive start)", got)
+	}
+	if got := s.NextSet(258); got != -1 {
+		t.Fatalf("NextSet(258) = %d, want -1", got)
+	}
+	if got := s.NextSet(300); got != -1 {
+		t.Fatalf("NextSet(Len) = %d, want -1", got)
+	}
+	empty := New(0)
+	if got := empty.NextSet(0); got != -1 {
+		t.Fatalf("zero-length NextSet = %d, want -1", got)
+	}
+	empty.AndNot(New(0)) // zero-length word ops are inert, not a panic
+	if empty.Count() != 0 || empty.Any() {
+		t.Fatal("zero-length set perturbed by AndNot")
+	}
+}
+
 func TestWordsInvariant(t *testing.T) {
 	s := New(70)
 	s.SetRange(0, 70)

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"math"
 	"slices"
 
 	"rcbcast/internal/adversary"
@@ -20,7 +21,7 @@ import (
 // Topology spec, per-lane seeds, strategies, pools, and budgets — in
 // lockstep over one shared phase schedule: each phase of the round
 // structure is executed across every still-running lane before the next
-// phase is fetched. Three things make the batch faster than B scalar
+// phase is fetched. Four things make the batch faster than B scalar
 // runs while keeping every lane's Result byte-identical to its scalar
 // counterpart (pinned by the differential and fuzz tests):
 //
@@ -30,13 +31,23 @@ import (
 //     the engine's dominant cost and its log/divide tail serializes in
 //     the scalar engine. Over-drawing a stream is safe here because the
 //     engine re-keys (Reseed) every schedule stream before each use.
-//   - Bitset reception. The per-slot channel state is two bits per slot
-//     (busy, multi — word-packed bitsets) plus the solo frame kind,
-//     replacing the scalar engine's byte-per-slot counts array; observe
-//     checks the jam plan before touching channel state at all. Under
-//     heavy jamming the scalar engine misses cache on a counts load per
-//     listen just to discard it; the batch kernel's hot listen path
-//     reads only word-packed bits.
+//   - Bitset reception. The per-slot channel state is word-packed
+//     bitsets plus the solo frame kind, replacing the scalar engine's
+//     byte-per-slot counts array; observe checks the jam plan before
+//     touching channel state at all. Under heavy jamming the scalar
+//     engine misses cache on a counts load per listen just to discard
+//     it; the batch kernel's hot listen path reads only packed bits.
+//   - Indexed sparse reception. Each lockstep phase runs as three batch
+//     passes: sends for every lane, then reception-index construction,
+//     then listens for every lane. The index pass walks each lane's
+//     transmissions through the CSR neighborhood rows exactly once per
+//     phase — scattering them into per-listener slot-sorted rows, built
+//     only for listeners that actually listen this phase — and the
+//     listen walks then merge their ascending sampled slots against the
+//     row with monotone cursors: a listen below the next event slot
+//     (own send, jam, or audible record) is silence by construction and
+//     resolves with one compare, never touching channel state. See
+//     buildRecvIndex and walkNodeListensIdx.
 //   - Cross-trial topology caching. Lanes resolve their graphs through
 //     one topology.Cache: clique and grid specs are trial-invariant, so
 //     a whole batch (and every batch after it on the same BatchScratch)
@@ -49,36 +60,115 @@ import (
 // BatchScratch recycles the batch kernel's working state across
 // RunBatch calls: the per-lane engine Scratches (their node arrays
 // carved from one flat slab, so a batch's lane states sit contiguously),
-// the per-lane reception bitsets and block schedules, the shared phase
-// schedule, and the cross-trial topology cache. It must never be shared
-// by concurrently executing batches; sim's batch workers pool them.
+// the per-lane reception bitsets, block schedules, and reception-index
+// offset arrays (likewise slab-carved), the shared phase schedule, and
+// the cross-trial topology cache. It must never be shared by
+// concurrently executing batches; sim's batch workers pool them.
 type BatchScratch struct {
 	lanes    []batchLane
 	nodeSlab []nodeState
 	slabN    int
 	cache    *topology.Cache
 	sched    core.Schedule
+
+	// Reception-index offset slabs: lane i's rowOff/rowEnd windows are
+	// carved from these alongside its node-state window, keeping the
+	// batch's struct-of-arrays state contiguous per array kind.
+	rowOffSlab []int32
+	rowEndSlab []int32
+
+	// noRecvIndex forces every sparse lane onto the record-walk fallback
+	// (observeSparse over slot-sorted txRecs) instead of the reception
+	// index — the differential tests pin the two paths against each
+	// other and against the scalar engine with this.
+	noRecvIndex bool
 }
 
 // NewBatchScratch returns an empty batch scratch; buffers grow to the
 // batch widths and node counts the runs it serves need.
 func NewBatchScratch() *BatchScratch { return &BatchScratch{} }
 
+// Reception-index packing. A sparse transmission is one uint64 —
+// slot<<24 | (src+txpSrcBias)<<8 | kind — so the per-phase record set
+// sorts slot-major with plain slices.Sort (no comparator, no stability
+// machinery: records that could swap under an unstable sort are either
+// bit-identical or same-slot, and same-slot reception is order-blind —
+// a solo record has nothing to swap with and two-plus records are noise
+// for every listener however they are ordered).
+const (
+	txpSlotShift = 24
+	txpSrcShift  = 8
+	txpSrcMask   = 0xffff
+	txpKindMask  = 0xff
+	// txpSrcBias shifts txSrcAdversary (-2) to zero so sources pack
+	// unsigned; node ids then need n+1 ≤ txpSrcMask.
+	txpSrcBias = 2
+
+	// txpMaxSlots bounds the phase lengths the packed encoding can hold.
+	txpMaxSlots = 1 << (64 - txpSlotShift - 1)
+)
+
 // batchLane is one trial's execution state inside a batch: its run plus
-// the lane-owned reception bitsets and the block-draw schedules its
+// the lane-owned reception bitsets, the block-draw schedules its
 // walkers reuse (one node is walked to completion before the next, so
-// two schedules per lane suffice — data/listen and decoy).
+// two schedules per lane suffice — data/listen and decoy), and the
+// lane's slice of the reception index.
 type batchLane struct {
 	sc          *Scratch
 	r           *run
 	busy, multi bitset.Set
 	blkA, blkB  sampling.BlockSchedule
+
+	// Lockstep-pass state, valid between sendPhase and listenPhase.
+	active bool
+	out    adversary.PhaseOutcome
+	plan   *adversary.Plan
+
+	// packed selects the reception-index path for this batch's sparse
+	// lanes (decided once per RunBatch: a topology is present and ids
+	// and slots fit the packed encoding).
+	packed bool
+	// txp holds the phase's packed transmission records, slot-sorted
+	// before the index build.
+	txp []uint64
+	// The reception index: listener v's audible transmissions for the
+	// current phase occupy rowSlot/rowInfo[rowOff[v]:rowEnd[v]], slots
+	// ascending; a collision is two-plus entries with the same slot
+	// (adjacent by construction), resolved at lookup. Row n (one past
+	// the node ids) is Alice's. Rows are built only for listeners whose
+	// lmask bit is set — everyone else's row is empty, and nothing reads
+	// it. Adversary injections are audible to every listener and stay
+	// out of the rows; they merge at lookup from the slot-sorted
+	// advSlot/advKind pair.
+	rowOff  []int32
+	rowEnd  []int32
+	rowSlot []int32
+	rowInfo []uint8
+	advSlot []int32
+	advKind []uint8
+	// srcCnt is the index build's per-source transmission tally (index n
+	// is Alice's), which lets the count pass walk each active source's
+	// CSR row once instead of once per record.
+	srcCnt []int32
+	// aliceRow lists the scatter targets of Alice's transmissions (the
+	// nodes mutually audible with her), rebuilt lazily in each index
+	// build that sees an Alice record — cache entries rebuild in place
+	// on eviction, so the CSR pointer alone cannot witness staleness.
+	aliceRow []int32
+	// lmask marks which listeners (index n is Alice) listen in the
+	// current phase; the index build skips everyone else's row. The
+	// listener set is fixed once sends settle: a walk only mutates its
+	// own listener's state, so the mask computed between the send and
+	// listen passes is exact.
+	lmask []bool
+	idx   bool // reception index valid for the current phase
 }
 
 // ensure grows the scratch for a batch of the given width over n-node
-// trials. Per-lane node arrays are carved from one contiguous slab
-// (re-carved only when the width or n outgrows it), and the topology
-// cache is sized so every lane's graph stays live for the whole batch.
+// trials. Per-lane node arrays and reception-index offset arrays are
+// carved from contiguous slabs (re-carved only when the width or n
+// outgrows them), and the topology cache is sized so every lane's graph
+// stays live for the whole batch.
 func (bs *BatchScratch) ensure(width, n int) {
 	if bs.cache == nil {
 		bs.cache = topology.NewCache(width + 2)
@@ -94,11 +184,15 @@ func (bs *BatchScratch) ensure(width, n int) {
 	}
 	if need := width * n; cap(bs.nodeSlab) < need || bs.slabN != n {
 		bs.nodeSlab = make([]nodeState, need)
+		bs.rowOffSlab = make([]int32, width*(n+2))
+		bs.rowEndSlab = make([]int32, width*(n+1))
 		bs.slabN = n
 		for i := 0; i < width; i++ {
 			// Full three-index slices: a lane's segment can never grow
 			// into its neighbor's.
 			bs.lanes[i].sc.nodes = bs.nodeSlab[i*n : (i+1)*n : (i+1)*n]
+			bs.lanes[i].rowOff = bs.rowOffSlab[i*(n+2) : (i+1)*(n+2) : (i+1)*(n+2)]
+			bs.lanes[i].rowEnd = bs.rowEndSlab[i*(n+1) : (i+1)*(n+1) : (i+1)*(n+1)]
 		}
 	}
 }
@@ -152,6 +246,10 @@ func RunBatchContext(ctx context.Context, opts []Options, bs *BatchScratch) ([]*
 			}
 		}
 	}()
+	// The reception index needs node ids and slots to fit the packed
+	// record encoding; anything outside (or the test hook) rides the
+	// record-walk fallback, byte-identical by the differential tests.
+	indexable := !bs.noRecvIndex && n+1 <= txpSrcMask && opts[0].maxPhaseSlots() <= txpMaxSlots
 	for i := range lanes {
 		l := &lanes[i]
 		o := opts[i]
@@ -163,6 +261,7 @@ func RunBatchContext(ctx context.Context, opts []Options, bs *BatchScratch) ([]*
 			return nil, err
 		}
 		l.r = r
+		l.packed = indexable && r.topo != nil
 	}
 
 	maxSlots := opts[0].maxPhaseSlots()
@@ -202,9 +301,25 @@ func RunBatchContext(ctx context.Context, opts []Options, bs *BatchScratch) ([]*
 		if ph.Length > maxSlots {
 			return nil, ErrPhaseTooLong
 		}
+		// Three lockstep passes per phase: every lane's sends commit,
+		// then every packed lane's reception index is built (one CSR
+		// scatter per lane — grouped so lanes sharing a graph walk its
+		// rows back to back, cache-warm), then every lane listens.
 		for i := range lanes {
-			if l := &lanes[i]; !l.r.done() {
-				l.runPhase(ph)
+			l := &lanes[i]
+			l.active = !l.r.done()
+			if l.active {
+				l.sendPhase(ph)
+			}
+		}
+		for i := range lanes {
+			if l := &lanes[i]; l.active && l.packed {
+				l.buildRecvIndex(ph)
+			}
+		}
+		for i := range lanes {
+			if l := &lanes[i]; l.active {
+				l.listenPhase(ph)
 			}
 		}
 	}
@@ -218,43 +333,53 @@ func RunBatchContext(ctx context.Context, opts []Options, bs *BatchScratch) ([]*
 	return results, nil
 }
 
-// runPhase executes one phase on this lane, mirroring run.runPhase with
-// the batch kernel's reception state and block-draw walkers.
-func (l *batchLane) runPhase(ph core.Phase) {
+// sendPhase is the first lockstep pass of a phase on this lane,
+// mirroring the front half of run.runPhase: transmissions committed and
+// charged, the adversary's plan fixed, the record set slot-sorted.
+func (l *batchLane) sendPhase(ph core.Phase) {
 	r := l.r
 	l.ensureBuffers(ph.Length)
-	out := adversary.PhaseOutcome{Phase: ph}
+	l.out = adversary.PhaseOutcome{Phase: ph}
 	if r.opts.Tracer != nil {
 		r.opts.Tracer.PhaseStart(ph)
 	}
 
-	// Pass A: transmissions (committed and charged at phase start).
-	l.aliceSends(ph, &out)
+	l.aliceSends(ph, &l.out)
 	for i := range r.nodes {
 		l.planNodeSends(&r.nodes[i], ph)
 	}
-	l.mergeNodeSends(&out)
+	l.mergeNodeSends(&l.out)
 
-	plan := l.adversaryPlan(ph, &out)
+	l.plan = l.adversaryPlan(ph, &l.out)
 
-	if r.topo != nil && len(r.txs) > 1 {
+	if l.packed {
+		if len(l.txp) > 1 {
+			slices.Sort(l.txp)
+		}
+	} else if r.topo != nil && len(r.txs) > 1 {
 		slices.SortStableFunc(r.txs, func(a, b txRec) int { return int(a.slot - b.slot) })
 	}
+}
 
-	// Pass B: listens.
+// listenPhase is the final lockstep pass: listens resolve against the
+// reception state the earlier passes built, then the phase is settled
+// exactly as run.runPhase settles it.
+func (l *batchLane) listenPhase(ph core.Phase) {
+	r := l.r
+	plan := l.plan
 	for i := range r.nodes {
 		l.walkNodeListens(&r.nodes[i], ph, plan)
 	}
 	for i := range r.nodes {
-		out.NodeListens += r.nodes[i].phaseListens
+		l.out.NodeListens += r.nodes[i].phaseListens
 	}
-	l.aliceListens(ph, plan, &out)
+	l.aliceListens(ph, plan, &l.out)
 
 	aliceWasActive := r.alice.active()
 	terminatedBefore := r.terminatedSet()
 	r.endPhase(ph)
 	r.emitTrace(ph, aliceWasActive, terminatedBefore)
-	r.recordOutcome(out)
+	r.recordOutcome(l.out)
 	if r.opts.Tracer != nil {
 		r.opts.Tracer.PhaseEnd(r.hist.Outcomes[len(r.hist.Outcomes)-1])
 	}
@@ -263,52 +388,209 @@ func (l *batchLane) runPhase(ph core.Phase) {
 	l.clearDirty()
 	if plan != nil {
 		plan.Release()
+		l.plan = nil
 	}
 }
 
-// ensureBuffers sizes the lane's per-slot reception state: the busy and
-// multi bitsets (two bits per slot; Resize keeps contents, which are
-// all-zero between phases by the dirty-clearing discipline) and the
-// solo-kind bytes, read only on an actual solo reception. The scalar
-// counts array is never touched by the batch kernel.
+// ensureBuffers sizes the lane's per-slot reception state. Sparse lanes
+// need only the busy prescreen bitset (their listener-resolved state
+// lives in the reception index or record set); dense lanes add the
+// multi bitset and the solo-kind bytes, read only on an actual solo
+// reception. Resize keeps contents, which are all-zero between phases
+// by the dirty-clearing discipline. The scalar counts array is never
+// touched by the batch kernel.
 func (l *batchLane) ensureBuffers(length int) {
 	r := l.r
+	l.busy.Resize(length)
+	if r.topo != nil {
+		return
+	}
 	if cap(r.soloKind) < length {
 		r.soloKind = make([]uint8, length)
 	}
 	r.soloKind = r.soloKind[:length]
-	l.busy.Resize(length)
 	l.multi.Resize(length)
 }
 
-// clearDirty zeroes exactly the slots the phase touched, mirroring
-// run.clearDirty on the bitset state.
+// clearDirty restores the all-zero between-phases channel state. Sparse
+// lanes write only the busy bits (their listener-resolved state lives in
+// the reception index or the record set), so one word-parallel reset
+// suffices; the dense path clears multi against busy in one AndNot pass
+// — collisions are a subset of traffic — and picks whole-array or
+// per-dirty-slot soloKind clearing by how much of the phase was touched.
 func (l *batchLane) clearDirty() {
 	r := l.r
-	for _, s := range r.dirty {
-		l.busy.Clear(int(s))
-		l.multi.Clear(int(s))
-		r.soloKind[s] = 0
+	if r.topo != nil {
+		l.busy.Reset(l.busy.Len())
+		r.txs = r.txs[:0]
+		l.txp = l.txp[:0]
+		l.idx = false
+		return
+	}
+	l.multi.AndNot(&l.busy)
+	l.busy.Reset(l.busy.Len())
+	if len(r.dirty)*8 >= len(r.soloKind) {
+		clear(r.soloKind)
+	} else {
+		for _, s := range r.dirty {
+			r.soloKind[s] = 0
+		}
 	}
 	r.dirty = r.dirty[:0]
-	r.txs = r.txs[:0]
 }
 
-// addTx mirrors run.addTx on the busy/multi bitsets. The scalar kernel
-// keeps a saturating count per slot; reception only ever distinguishes
-// zero, one, and many, which is what the two bits encode.
+// addTx mirrors run.addTx on the batch kernel's reception state. Dense
+// lanes keep the busy/multi/soloKind encoding (reception distinguishes
+// only zero, one, and many). Sparse lanes set just the busy prescreen
+// bit — their reception is listener-relative — and record the
+// transmission packed (index path) or as a txRec (fallback path).
 func (l *batchLane) addTx(slot int, kind msg.Kind, src int32) {
 	r := l.r
-	if !l.busy.Get(slot) {
-		l.busy.Set(slot)
-		r.soloKind[slot] = uint8(kind)
-		r.dirty = append(r.dirty, int32(slot))
-	} else {
-		l.multi.Set(slot)
+	if r.topo == nil {
+		if !l.busy.Get(slot) {
+			l.busy.Set(slot)
+			r.soloKind[slot] = uint8(kind)
+			r.dirty = append(r.dirty, int32(slot))
+		} else {
+			l.multi.Set(slot)
+		}
+		return
 	}
-	if r.topo != nil {
+	l.busy.Set(slot)
+	if l.packed {
+		l.txp = append(l.txp,
+			uint64(slot)<<txpSlotShift|
+				uint64(uint32(src+txpSrcBias))<<txpSrcShift|
+				uint64(kind))
+	} else {
 		r.txs = append(r.txs, txRec{slot: int32(slot), src: src, kind: uint8(kind)})
 	}
+}
+
+// buildRecvIndex scatters the phase's slot-sorted transmission records
+// through the CSR neighborhood rows into per-listener reception rows —
+// the phase's one CSR traversal. Counting-sort construction: a
+// per-source tally sizes each listener's row with one walk of each
+// active source's row (not one per record), a prefix sum lays the rows
+// out back-to-back in one entry array, and a fill pass in record order
+// — so rows come out slot-ascending — writes the entries. Collisions
+// stay as adjacent same-slot entries; the lookup resolves them with one
+// extra compare, which keeps the fill pass cheap. Rows are built only
+// for listeners the phase's lmask marks as listening — informed nodes
+// never listen, so late-trial phases scatter to a shrinking set — and
+// adversary records, audible to every listener, stay out of the rows
+// (they would turn the index dense) and merge at lookup from the
+// slot-sorted advSlot/advKind side arrays.
+func (l *batchLane) buildRecvIndex(ph core.Phase) {
+	r := l.r
+	n := len(r.nodes)
+	if cap(l.srcCnt) < n+1 {
+		l.srcCnt = make([]int32, n+1)
+	}
+	srcCnt := l.srcCnt[:n+1]
+	clear(srcCnt)
+	if cap(l.lmask) < n+1 {
+		l.lmask = make([]bool, n+1)
+	}
+	lm := l.lmask[:n+1]
+	for i := range r.nodes {
+		nd := &r.nodes[i]
+		lm[nd.id] = nd.active() && !nd.informed &&
+			clamp01(ph.NodeListenP*nd.listenScale) > 0
+	}
+	lm[n] = ph.AliceListenP > 0 && r.alice.active()
+	l.advSlot = l.advSlot[:0]
+	l.advKind = l.advKind[:0]
+	for _, p := range l.txp {
+		src := int32(p>>txpSrcShift&txpSrcMask) - txpSrcBias
+		switch {
+		case src >= 0:
+			srcCnt[src]++
+		case src == txSrcAlice:
+			srcCnt[n]++
+		}
+	}
+	cnt := l.rowEnd // reused: counts now, fill cursors after the prefix sum
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for u := 0; u < n; u++ {
+		c := srcCnt[u]
+		if c == 0 {
+			continue
+		}
+		for _, v := range r.csr.Row(u) {
+			if lm[v] {
+				cnt[v] += c
+			}
+		}
+		if lm[n] && r.csr.AliceHears(u) {
+			cnt[n] += c
+		}
+	}
+	if ac := srcCnt[n]; ac > 0 {
+		l.aliceRow = r.csr.AppendAliceAudible(l.aliceRow[:0])
+		for _, v := range l.aliceRow {
+			if lm[v] {
+				cnt[v] += ac
+			}
+		}
+		if lm[n] {
+			cnt[n] += ac // Alice hears her own transmissions
+		}
+	}
+	off := l.rowOff
+	off[0] = 0
+	for v := 0; v <= n; v++ {
+		off[v+1] = off[v] + cnt[v]
+	}
+	total := int(off[n+1])
+	if cap(l.rowSlot) < total {
+		l.rowSlot = make([]int32, total)
+		l.rowInfo = make([]uint8, total)
+	}
+	l.rowSlot = l.rowSlot[:total]
+	l.rowInfo = l.rowInfo[:total]
+	copy(l.rowEnd, off[:n+1])
+	for _, p := range l.txp {
+		slot := int32(p >> txpSlotShift)
+		src := int32(p>>txpSrcShift&txpSrcMask) - txpSrcBias
+		kind := uint8(p & txpKindMask)
+		switch {
+		case src >= 0:
+			for _, v := range r.csr.Row(int(src)) {
+				if lm[v] {
+					l.scatter(v, slot, kind)
+				}
+			}
+			if lm[n] && r.csr.AliceHears(int(src)) {
+				l.scatter(int32(n), slot, kind)
+			}
+		case src == txSrcAlice:
+			if lm[n] {
+				l.scatter(int32(n), slot, kind)
+			}
+			for _, v := range l.aliceRow {
+				if lm[v] {
+					l.scatter(v, slot, kind)
+				}
+			}
+		default:
+			l.advSlot = append(l.advSlot, slot)
+			l.advKind = append(l.advKind, kind)
+		}
+	}
+	l.idx = true
+}
+
+// scatter appends one audible transmission to listener row v — three
+// stores, no branches; rows inherit slot order from the sorted record
+// walk driving the fill pass.
+func (l *batchLane) scatter(v, slot int32, kind uint8) {
+	e := l.rowEnd[v]
+	l.rowSlot[e] = slot
+	l.rowInfo[e] = kind
+	l.rowEnd[v] = e + 1
 }
 
 // observe mirrors run.observe with the load order inverted: the jam
@@ -325,6 +607,10 @@ func (l *batchLane) observe(slot, listener int, plan *adversary.Plan) (msg.Kind,
 		return 0, outcomeSilence
 	}
 	if l.r.topo != nil {
+		// Packed lanes never reach here: their listens resolve through
+		// the event-skip walks (walkNodeListensIdx / aliceListensIdx),
+		// whose rows are filtered to actual listeners and would be wrong
+		// for anyone else. Only fallback lanes observe sparsely.
 		return l.observeSparse(slot, listener)
 	}
 	if l.multi.Get(slot) {
@@ -336,7 +622,9 @@ func (l *batchLane) observe(slot, listener int, plan *adversary.Plan) (msg.Kind,
 // observeSparse mirrors run.observeSparse past its jam and empty-slot
 // checks (both already resolved by observe): the listener's perception
 // is a binary search over the phase's slot-sorted transmission records,
-// counting audible transmitters.
+// counting audible transmitters. This is the fallback for lanes the
+// packed index encoding cannot hold (and the differential foil for the
+// index path, forced via BatchScratch.noRecvIndex).
 func (l *batchLane) observeSparse(slot, listener int) (msg.Kind, outcome) {
 	r := l.r
 	s := int32(slot)
@@ -496,7 +784,8 @@ func (l *batchLane) aliceSends(ph core.Phase, out *adversary.PhaseOutcome) {
 
 // adversaryPlan mirrors run.adversaryPlan; the reactive RSSI view is
 // one word-level union of the busy set instead of a per-dirty-slot
-// loop (every dirty slot carries traffic, so the sets are equal).
+// loop (every busy slot carries correct-side traffic at plan time, so
+// the sets are equal).
 func (l *batchLane) adversaryPlan(ph core.Phase, out *adversary.PhaseOutcome) *adversary.Plan {
 	r := l.r
 	r.advStream.Reseed(r.opts.Seed, actorAdversary, uint64(ph.Round), phaseOrdinal(ph, r.params.K))
@@ -544,7 +833,8 @@ func (l *batchLane) adversaryPlan(ph core.Phase, out *adversary.PhaseOutcome) *a
 }
 
 // walkNodeListens mirrors run.walkNodeListens on a block schedule and
-// the lane's observe.
+// the lane's observe. With a built reception index the walk dispatches
+// to the event-skip loop instead.
 func (l *batchLane) walkNodeListens(n *nodeState, ph core.Phase, plan *adversary.Plan) {
 	r := l.r
 	if !n.active() || n.informed {
@@ -556,6 +846,10 @@ func (l *batchLane) walkNodeListens(n *nodeState, ph core.Phase, plan *adversary
 	}
 	n.streamA.Reseed(r.opts.Seed, nodeActor(n.id), uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpListen)
 	l.blkA.Reset(&n.streamA, listenP, ph.Length)
+	if l.idx {
+		l.walkNodeListensIdx(n, ph, plan)
+		return
+	}
 	// A meter that covers every slot of the phase cannot exhaust
 	// mid-walk, so the per-listen charges fold into one ChargeN —
 	// charges are pure accumulation, so the final meter state is
@@ -613,7 +907,180 @@ outer:
 	}
 }
 
-// aliceListens mirrors run.aliceListens on a block schedule.
+// walkNodeListensIdx is the listen walk over a built reception index.
+// The sampled slots ascend, so the walk keeps monotone cursors into the
+// node's own reception row, the adversary records, and its send slots,
+// and maintains nextEvent — the earliest upcoming slot in any of them.
+// A jammed-and-disrupted listen short-circuits to noise on the plan's
+// bit test alone, exactly as observe orders it (under a phase-wide jam
+// every slot would be an "event"; the bitmap test keeps those listens
+// as cheap as before). Below that, a listen before nextEvent is not the
+// node's own send and has no audible record: it is silence by
+// construction and settles with one compare, no channel state touched.
+// Only event slots pay for full resolution. Every per-listen effect —
+// charge order, tallies, the informed break — is the scalar walk's, so
+// outcomes stay byte-identical.
+func (l *batchLane) walkNodeListensIdx(n *nodeState, ph core.Phase, plan *adversary.Plan) {
+	lo, hi := l.rowOff[n.id], l.rowEnd[n.id]
+	rs := l.rowSlot[lo:hi]
+	ri := l.rowInfo[lo:hi]
+	as := l.advSlot
+	ak := l.advKind
+	ss := n.sendSlots
+	isReq := ph.Kind == core.PhaseRequest
+
+	prepaid := n.meter.CanAfford(int64(ph.Length))
+	// The walk's per-listen tallies accumulate in locals and flush once
+	// at exit (every break lands past the loop) — the scalar walk's
+	// per-listen field updates are pure accumulation, so the final state
+	// is identical and the hot loop keeps its counters in registers.
+	listens := int64(0)
+	var phaseL int64
+	var reqL, reqNoisy int
+	var si, rc, ac int
+	nextEvent := math.MaxInt
+	if len(ss) > 0 {
+		nextEvent = int(ss[0])
+	}
+	if len(rs) > 0 && int(rs[0]) < nextEvent {
+		nextEvent = int(rs[0])
+	}
+	if len(as) > 0 && int(as[0]) < nextEvent {
+		nextEvent = int(as[0])
+	}
+outer:
+	for {
+		blk := l.blkA.Take()
+		if len(blk) == 0 {
+			break
+		}
+		for _, s32 := range blk {
+			slot := int(s32)
+			if plan != nil && plan.Jammed(slot) {
+				// Own sends are skipped before any observation, jammed
+				// or not.
+				for si < len(ss) && int(ss[si]) < slot {
+					si++
+				}
+				if si < len(ss) && int(ss[si]) == slot {
+					continue
+				}
+				if plan.Disrupts(slot, n.id) {
+					if prepaid {
+						listens++
+					} else if err := n.meter.Charge(energy.Listen); err != nil {
+						n.dead = true
+						break outer
+					}
+					phaseL++
+					if isReq {
+						reqL++
+						reqNoisy++
+					}
+					continue
+				}
+				// Jammed but not disrupted for this listener: the slot
+				// resolves audibly below, like any other.
+			}
+			if slot < nextEvent {
+				// Quiet listen: silence, charged and counted only.
+				if prepaid {
+					listens++
+				} else if err := n.meter.Charge(energy.Listen); err != nil {
+					n.dead = true
+					break outer
+				}
+				phaseL++
+				if isReq {
+					reqL++
+				}
+				continue
+			}
+			// Event slot: advance the cursors to it and resolve fully.
+			for si < len(ss) && int(ss[si]) < slot {
+				si++
+			}
+			for rc < len(rs) && rs[rc] < s32 {
+				rc++
+			}
+			for ac < len(as) && as[ac] < s32 {
+				ac++
+			}
+			isSend := si < len(ss) && int(ss[si]) == slot
+			var kind msg.Kind
+			heard := 0
+			if rc < len(rs) && rs[rc] == s32 {
+				if rc+1 < len(rs) && rs[rc+1] == s32 {
+					heard = 2
+				} else {
+					heard = 1
+					kind = msg.Kind(ri[rc])
+				}
+			}
+			for j := ac; heard < 2 && j < len(as) && as[j] == s32; j++ {
+				if heard++; heard == 1 {
+					kind = msg.Kind(ak[j])
+				}
+			}
+			// Step every cursor past the slot and refresh nextEvent for
+			// the listens that follow.
+			for si < len(ss) && int(ss[si]) <= slot {
+				si++
+			}
+			for rc < len(rs) && rs[rc] == s32 {
+				rc++
+			}
+			for ac < len(as) && as[ac] == s32 {
+				ac++
+			}
+			nextEvent = math.MaxInt
+			if si < len(ss) {
+				nextEvent = int(ss[si])
+			}
+			if rc < len(rs) && int(rs[rc]) < nextEvent {
+				nextEvent = int(rs[rc])
+			}
+			if ac < len(as) && int(as[ac]) < nextEvent {
+				nextEvent = int(as[ac])
+			}
+			if isSend {
+				continue
+			}
+			if prepaid {
+				listens++
+			} else if err := n.meter.Charge(energy.Listen); err != nil {
+				n.dead = true
+				break outer
+			}
+			phaseL++
+			if isReq {
+				reqL++
+				if heard != 0 {
+					reqNoisy++
+				}
+			}
+			if heard == 1 && kind == msg.KindData {
+				n.informed = true
+				n.justInformed = true
+				if ph.Kind == core.PhasePropagate {
+					n.mark = core.InformMark(ph.Step)
+				} else {
+					n.mark = core.MarkInformPhase
+				}
+				break outer
+			}
+		}
+	}
+	n.phaseListens += phaseL
+	n.listens += reqL
+	n.noisy += reqNoisy
+	if prepaid {
+		_ = n.meter.ChargeN(energy.Listen, listens)
+	}
+}
+
+// aliceListens mirrors run.aliceListens on a block schedule, with the
+// same event-skip dispatch as the node walks.
 func (l *batchLane) aliceListens(ph core.Phase, plan *adversary.Plan, out *adversary.PhaseOutcome) {
 	r := l.r
 	if ph.AliceListenP <= 0 || !r.alice.active() {
@@ -621,6 +1088,10 @@ func (l *batchLane) aliceListens(ph core.Phase, plan *adversary.Plan, out *adver
 	}
 	r.aliceStream.Reseed(r.opts.Seed, actorAlice, uint64(ph.Round), phaseOrdinal(ph, r.params.K), purpListen)
 	l.blkA.Reset(&r.aliceStream, ph.AliceListenP, ph.Length)
+	if l.idx {
+		l.aliceListensIdx(ph, plan, out)
+		return
+	}
 	prepaid := r.alice.meter.CanAfford(int64(ph.Length))
 	listens := int64(0)
 outer:
@@ -630,13 +1101,14 @@ outer:
 			break
 		}
 		for _, s32 := range blk {
+			slot := int(s32)
 			if prepaid {
 				listens++
 			} else if err := r.alice.meter.Charge(energy.Listen); err != nil {
 				r.alice.dead = true
 				break outer
 			}
-			_, o := l.observe(int(s32), msg.SenderAlice, plan)
+			_, o := l.observe(slot, msg.SenderAlice, plan)
 			out.AliceListens++
 			r.alice.listens++
 			if o != outcomeSilence {
@@ -644,6 +1116,85 @@ outer:
 			}
 		}
 	}
+	if prepaid {
+		_ = r.alice.meter.ChargeN(energy.Listen, listens)
+	}
+}
+
+// aliceListensIdx is Alice's event-skip listen walk over row n of the
+// reception index. She has no send slots to skip and never acts on the
+// received kind — her tally only distinguishes silence from noise — so
+// event resolution reduces to: disrupted jam, or any audible record at
+// the slot.
+func (l *batchLane) aliceListensIdx(ph core.Phase, plan *adversary.Plan, out *adversary.PhaseOutcome) {
+	r := l.r
+	n := len(r.nodes)
+	lo, hi := l.rowOff[n], l.rowEnd[n]
+	rs := l.rowSlot[lo:hi]
+	as := l.advSlot
+
+	prepaid := r.alice.meter.CanAfford(int64(ph.Length))
+	// Tallies accumulate in locals and flush at exit, as in the node
+	// walk.
+	listens := int64(0)
+	var heardL, noisyL int
+	var rc, ac int
+	nextEvent := math.MaxInt
+	if len(rs) > 0 {
+		nextEvent = int(rs[0])
+	}
+	if len(as) > 0 && int(as[0]) < nextEvent {
+		nextEvent = int(as[0])
+	}
+outer:
+	for {
+		blk := l.blkA.Take()
+		if len(blk) == 0 {
+			break
+		}
+		for _, s32 := range blk {
+			slot := int(s32)
+			noisy := false
+			if plan != nil && plan.Jammed(slot) && plan.Disrupts(slot, msg.SenderAlice) {
+				noisy = true
+			} else if slot >= nextEvent {
+				for rc < len(rs) && rs[rc] < s32 {
+					rc++
+				}
+				for ac < len(as) && as[ac] < s32 {
+					ac++
+				}
+				noisy = (rc < len(rs) && rs[rc] == s32) ||
+					(ac < len(as) && as[ac] == s32)
+				for rc < len(rs) && rs[rc] == s32 {
+					rc++
+				}
+				for ac < len(as) && as[ac] == s32 {
+					ac++
+				}
+				nextEvent = math.MaxInt
+				if rc < len(rs) {
+					nextEvent = int(rs[rc])
+				}
+				if ac < len(as) && int(as[ac]) < nextEvent {
+					nextEvent = int(as[ac])
+				}
+			}
+			if prepaid {
+				listens++
+			} else if err := r.alice.meter.Charge(energy.Listen); err != nil {
+				r.alice.dead = true
+				break outer
+			}
+			heardL++
+			if noisy {
+				noisyL++
+			}
+		}
+	}
+	out.AliceListens += int64(heardL)
+	r.alice.listens += heardL
+	r.alice.noisy += noisyL
 	if prepaid {
 		_ = r.alice.meter.ChargeN(energy.Listen, listens)
 	}

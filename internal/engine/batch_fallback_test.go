@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rcbcast/internal/rng"
+)
+
+// TestBatchNoIndexMatchesScalar forces every sparse lane onto the
+// record-walk fallback (BatchScratch.noRecvIndex) and pins it against
+// the scalar engine over the full behavioural surface — the foil that
+// keeps the reception-index path honest: both sparse reception
+// implementations must agree byte for byte with the same oracle, so a
+// divergence isolates which of the two drifted.
+func TestBatchNoIndexMatchesScalar(t *testing.T) {
+	const width = 4
+	for name, mk := range equivalenceConfigs() {
+		for _, tp := range batchTopos {
+			if tp.spec.IsClique() {
+				continue // dense lanes never consult the reception index
+			}
+			t.Run(fmt.Sprintf("%s/%s", name, tp.name), func(t *testing.T) {
+				scalar := make([]*Result, width)
+				for lane := 0; lane < width; lane++ {
+					res, err := Run(batchLaneOptions(mk, tp.spec, lane))
+					if err != nil {
+						t.Fatal(err)
+					}
+					scalar[lane] = res
+				}
+				opts := make([]Options, width)
+				for lane := range opts {
+					opts[lane] = batchLaneOptions(mk, tp.spec, lane)
+				}
+				bs := NewBatchScratch()
+				bs.noRecvIndex = true
+				batch, err := RunBatch(opts, bs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for lane := range batch {
+					if !reflect.DeepEqual(scalar[lane], batch[lane]) {
+						t.Fatalf("lane %d diverged on the no-index fallback:\nscalar: %+v\nbatch:  %+v",
+							lane, scalar[lane], batch[lane])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchNoGeoBlock8MatchesScalar re-runs a slice of the batch
+// differential with the assembly draw kernel force-disabled in process,
+// pinning the pure-Go block-draw path against the scalar engine even on
+// hosts that have the kernel. CI additionally runs the full batch
+// byte-identity suite under RCBCAST_NO_GEOBLOCK8=1; this in-process
+// variant keeps the coupling visible to a plain `go test`.
+func TestBatchNoGeoBlock8MatchesScalar(t *testing.T) {
+	was := rng.SetGeoBlock8(false)
+	defer rng.SetGeoBlock8(was)
+	const width = 4
+	for _, name := range []string{"benign", "full-jam", "reactive-decoy", "budgets"} {
+		mk, ok := equivalenceConfigs()[name]
+		if !ok {
+			t.Fatalf("missing equivalence config %q", name)
+		}
+		for _, tp := range batchTopos {
+			t.Run(fmt.Sprintf("%s/%s", name, tp.name), func(t *testing.T) {
+				scalar := make([]*Result, width)
+				for lane := 0; lane < width; lane++ {
+					res, err := Run(batchLaneOptions(mk, tp.spec, lane))
+					if err != nil {
+						t.Fatal(err)
+					}
+					scalar[lane] = res
+				}
+				opts := make([]Options, width)
+				for lane := range opts {
+					opts[lane] = batchLaneOptions(mk, tp.spec, lane)
+				}
+				batch, err := RunBatch(opts, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for lane := range batch {
+					if !reflect.DeepEqual(scalar[lane], batch[lane]) {
+						t.Fatalf("lane %d diverged with the draw kernel disabled:\nscalar: %+v\nbatch:  %+v",
+							lane, scalar[lane], batch[lane])
+					}
+				}
+			})
+		}
+	}
+}

@@ -102,6 +102,37 @@ func TestGeometricBlockNeverSentinel(t *testing.T) {
 	}
 }
 
+// TestSetGeoBlock8Differential pins the in-process kernel switch: with
+// the assembly kernel force-disabled, block draws must still match the
+// scalar sequence bit for bit (the pure-Go fallback path), and the
+// switch must restore cleanly. On hosts without the kernel both states
+// are the Go path and the test degenerates to a plain differential.
+func TestSetGeoBlock8Differential(t *testing.T) {
+	was := SetGeoBlock8(false)
+	defer SetGeoBlock8(was)
+	if GeoBlock8Enabled() {
+		t.Fatal("kernel reported enabled while force-disabled")
+	}
+	for _, p := range []float64{0.9, 0.3, 0.01, 1e-9} {
+		lnQ := math.Log1p(-p)
+		blk := New(99)
+		ref := New(99)
+		var buf [24]int
+		blk.GeometricBlockLnQ(lnQ, buf[:])
+		for i, got := range buf {
+			if want := ref.GeometricLnQ(lnQ); got != want {
+				t.Fatalf("p=%v draw %d: fallback block %d, scalar %d", p, i, got, want)
+			}
+		}
+	}
+	if SetGeoBlock8(was) != false {
+		t.Fatal("restore returned the wrong previous state")
+	}
+	if GeoBlock8Enabled() != was {
+		t.Fatal("switch did not restore the detected state")
+	}
+}
+
 func BenchmarkGeometricScalar(b *testing.B) {
 	st := New(1)
 	lnQ := math.Log1p(-0.05)

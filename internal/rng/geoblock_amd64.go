@@ -1,6 +1,9 @@
 package rng
 
-import "math"
+import (
+	"math"
+	"os"
+)
 
 // This file gates the assembly draw kernel (geoblock_amd64.s): eight
 // complete geometric draws per call — the xoshiro steps, the 53-bit
@@ -30,9 +33,35 @@ func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 // xgetbv0 reads XCR0 (requires OSXSAVE).
 func xgetbv0() (eax, edx uint32)
 
-// useGeoBlock8 is true when the CPU and OS support AVX2 and the
+// geoBlock8Supported is true when the CPU and OS support AVX2 and the
 // assembly kernel reproduces the scalar draw bit-for-bit.
-var useGeoBlock8 = func() bool {
+var geoBlock8Supported = detectGeoBlock8()
+
+// useGeoBlock8 routes GeometricBlockLnQ through the assembly kernel. It
+// starts from the hardware detection, minus the environment kill
+// switch: RCBCAST_NO_GEOBLOCK8 (any non-empty value) forces the
+// pure-Go four-lane path even where AVX2 works, so CI can exercise the
+// fallback's byte-identity on AVX2 hosts instead of only on machines
+// that happen to lack the kernel. The fallback is bit-identical by
+// construction, so the switch is always safe.
+var useGeoBlock8 = os.Getenv("RCBCAST_NO_GEOBLOCK8") == "" && geoBlock8Supported
+
+// GeoBlock8Enabled reports whether block draws currently route through
+// the assembly kernel.
+func GeoBlock8Enabled() bool { return useGeoBlock8 }
+
+// SetGeoBlock8 enables or disables the assembly kernel in-process,
+// returning the previous state. Enabling is clamped to hardware
+// support. Draws are bit-identical either way — the switch exists so
+// differential tests can cover the pure-Go path on one host — but it is
+// not synchronized: flip it only while no other goroutine draws.
+func SetGeoBlock8(enabled bool) (prev bool) {
+	prev = useGeoBlock8
+	useGeoBlock8 = enabled && geoBlock8Supported
+	return prev
+}
+
+func detectGeoBlock8() bool {
 	maxLeaf, _, _, _ := cpuid(0, 0)
 	if maxLeaf < 7 {
 		return false
@@ -52,7 +81,7 @@ var useGeoBlock8 = func() bool {
 		return false
 	}
 	return geoBlock8SelfCheck()
-}()
+}
 
 // geoBlock8SelfCheck runs the assembly kernel against the scalar draw
 // over a spread of stream states and skip distributions — dense and

@@ -4,7 +4,15 @@ package rng
 
 // Architectures without the assembly draw kernel take the four-lane Go
 // path in GeometricBlockLnQ unconditionally.
-const useGeoBlock8 = false
+var useGeoBlock8 = false
+
+// GeoBlock8Enabled reports whether block draws route through the
+// assembly kernel — never, on this architecture.
+func GeoBlock8Enabled() bool { return false }
+
+// SetGeoBlock8 is the in-process kernel switch; without an assembly
+// kernel it is inert and reports the kernel permanently disabled.
+func SetGeoBlock8(bool) (prev bool) { return false }
 
 func geoBlock8Asm(s *[4]uint64, dst *[8]int, lnQ, invLnQ float64) {
 	panic("rng: geoBlock8Asm without assembly kernel")

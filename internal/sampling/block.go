@@ -7,11 +7,14 @@ import (
 )
 
 // blockDraws is the prefetch depth of a BlockSchedule refill: enough to
-// keep the eight-draw assembly kernel fed with two full blocks on dense
+// keep the eight-draw assembly kernel fed with four full blocks on dense
 // schedules without drawing absurdly past the phase end on sparse ones
 // (the adaptive refill still draws as little as 2 there, and measured
 // stream over-draw stays within a few percent of the scalar engine's).
-const blockDraws = 16
+// Depth 32 halves the refill-bookkeeping rate of dense listen walks
+// against depth 16 at the cost of at most one extra wasted kernel block
+// per walk, a trade the steady-state benchmarks favor.
+const blockDraws = 32
 
 // BlockSchedule enumerates exactly the slot sequence of a SlotSchedule
 // over the same stream, probability, and length — but draws its

@@ -72,6 +72,30 @@ func (c *CSR) Adjacent(src, listener int) bool {
 // AliceHears mirrors Topology.AliceHears.
 func (c *CSR) AliceHears(node int) bool { return c.Alice[node] }
 
+// Row returns listener's neighborhood row — the ascending node ids it
+// hears — as a direct view of the CSR arrays. Every current topology
+// kind is symmetric (clique, Chebyshev grid, Euclidean Gilbert), so the
+// row doubles as the set of listeners that hear transmissions *from*
+// the node; the batched engine's reception index scatters transmissions
+// through rows under exactly that reading (pinned per kind by
+// TestCSRSymmetric). An asymmetric future kind must grow a reverse-row
+// view before it can ride the index path.
+func (c *CSR) Row(listener int) []int32 {
+	return c.Nbr[c.Off[listener]:c.Off[listener+1]]
+}
+
+// AppendAliceAudible appends, ascending, every node mutually audible
+// with Alice — the scatter targets of Alice's own transmissions — and
+// returns the extended slice.
+func (c *CSR) AppendAliceAudible(dst []int32) []int32 {
+	for v, ok := range c.Alice {
+		if ok {
+			dst = append(dst, int32(v))
+		}
+	}
+	return dst
+}
+
 // neighborAppender is the fast-fill hook: topology kinds that can
 // enumerate a listener's neighborhood directly (in ascending id order)
 // skip the generic O(n) Adjacent probe per row.

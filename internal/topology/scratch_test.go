@@ -112,3 +112,37 @@ func TestBuildIntoSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state BuildInto+CSR allocated %.1f objects/op, want ≤ 2", n)
 	}
 }
+
+// TestCSRSymmetric pins the symmetry assumption CSR.Row documents:
+// for every current topology kind, u hears v exactly when v hears u
+// (and Alice audibility is mutual by construction). The batched
+// engine's reception index reads Row(src) as "the listeners that hear
+// src", which is only the neighborhood row under this symmetry; a kind
+// that breaks it must not ship without a reverse-row view.
+func TestCSRSymmetric(t *testing.T) {
+	sc := NewScratch()
+	for _, tc := range []struct {
+		name string
+		spec Spec
+		n    int
+	}{
+		{"clique", Spec{}, 48},
+		{"grid", Spec{Kind: "grid", Reach: 2}, 90},
+		{"grid-reach1", Spec{Kind: "grid", Reach: 1}, 64},
+		{"gilbert", Spec{Kind: "gilbert", Radius: 0.3}, 128},
+		{"gilbert-sparse", Spec{Kind: "gilbert", Radius: 0.12}, 160},
+	} {
+		topo, err := tc.spec.Build(tc.n, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csr := BuildCSR(topo, sc)
+		for v := 0; v < tc.n; v++ {
+			for u := 0; u < tc.n; u++ {
+				if csr.Adjacent(u, v) != csr.Adjacent(v, u) {
+					t.Fatalf("%s: edge (%d,%d) not symmetric", tc.name, u, v)
+				}
+			}
+		}
+	}
+}
