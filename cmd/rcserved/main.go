@@ -21,8 +21,9 @@
 // interrupted jobs resume from their journaled prefix and their final
 // NDJSON output is byte-identical to an uninterrupted run (and to
 // `rcexp -scenario ... -trials N` with the same spec). SIGINT/SIGTERM
-// shut down gracefully: running jobs drain to their checkpoints within
-// -drain.
+// shut down gracefully: readiness is withdrawn first (GET /readyz turns
+// 503 while GET /healthz stays 200), then running jobs drain to their
+// checkpoints within -drain.
 package main
 
 import (
@@ -107,10 +108,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	logger.Printf("rcserved: shutting down (draining up to %s)", *drain)
 	deadline, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	srv.Shutdown(deadline)
+	// Withdraw readiness first — /readyz answers 503 while the server
+	// still serves, so probing coordinators stop routing new shards and
+	// park this worker instead of declaring it dead. Only then drain the
+	// jobs and close the listener: in-flight result streams flush their
+	// final bytes before Shutdown severs connections.
+	m.BeginDrain()
 	if err := m.Close(deadline); err != nil {
+		srv.Shutdown(deadline)
 		return err
 	}
+	srv.Shutdown(deadline)
 	logger.Printf("rcserved: drained")
 	return nil
 }

@@ -1,0 +1,248 @@
+// Package chaos is a deterministic fault-injection harness for the
+// distributed sweep stack (internal/dist, DESIGN.md §15).
+//
+// Real infrastructure faults — a worker SIGKILLed mid-stream, a flaky
+// network cutting a result feed, a draining pod, a coordinator crash —
+// arrive at wall-clock times, which makes tests either racy or slow.
+// This package replaces wall-clock triggers with *progress* triggers:
+// a Script fires each fault when the sweep's merged-trial counter
+// crosses a threshold, so the same scenario and the same script inject
+// the same fault at the same logical point every run, whatever the
+// host's speed.
+//
+// Two pieces compose:
+//
+//   - Proxy fronts one worker service and injects transport faults on
+//     command: cut a result stream after N lines (the flaky-network
+//     case), refuse readiness (a draining pod), or go fully down (the
+//     SIGKILL case — every request, probes included, fails).
+//   - Drive polls a merged-trial counter and runs a Script of Events
+//     in threshold order — kill this worker at 300 merged trials, join
+//     another at 500, crash the coordinator at 700.
+//
+// The in-process dist tests use both against httptest workers; the
+// child-process e2e and the CI smoke use Drive against a live
+// coordinator's /metrics endpoint with real SIGKILLs as the events.
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Proxy is a deterministic flaky reverse proxy for one worker backend.
+// The zero fault set is a transparent streaming proxy; faults are armed
+// by the test script and examined by the worker's client exactly as a
+// real network fault would be.
+type Proxy struct {
+	backend string
+	client  *http.Client
+
+	mu       sync.Mutex
+	down     bool
+	notReady bool
+	results  int         // result-stream attaches seen so far
+	cuts     map[int]int // attach ordinal → lines to pass before cutting
+}
+
+// NewProxy fronts the worker at backend (base URL, no trailing slash).
+func NewProxy(backend string) *Proxy {
+	return &Proxy{
+		backend: strings.TrimRight(backend, "/"),
+		client:  &http.Client{},
+		cuts:    make(map[int]int),
+	}
+}
+
+// CutResults arms a mid-stream cut: the attach-th result stream (0 is
+// the first attach the proxy ever sees) is dropped after lines complete
+// lines — the flaky-network signature the coordinator must recover
+// from by reattaching and skipping the replayed prefix.
+func (p *Proxy) CutResults(attach, lines int) {
+	p.mu.Lock()
+	p.cuts[attach] = lines
+	p.mu.Unlock()
+}
+
+// SetDown simulates worker death: while down, every request — submits,
+// streams, and probes alike — fails, and any in-flight proxied stream
+// is severed by its next write. Turning the proxy back up models the
+// worker process being replaced.
+func (p *Proxy) SetDown(down bool) {
+	p.mu.Lock()
+	p.down = down
+	p.mu.Unlock()
+}
+
+// SetNotReady simulates a draining worker: GET /readyz answers 503
+// while everything else keeps working, so a prober stops routing new
+// shards without abandoning in-flight ones.
+func (p *Proxy) SetNotReady(notReady bool) {
+	p.mu.Lock()
+	p.notReady = notReady
+	p.mu.Unlock()
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	down, notReady := p.down, p.notReady
+	cut, cutArmed := 0, false
+	if strings.HasSuffix(r.URL.Path, "/results") {
+		if n, ok := p.cuts[p.results]; ok {
+			cut, cutArmed = n, true
+		}
+		p.results++
+	}
+	p.mu.Unlock()
+
+	if down {
+		// A dead worker's TCP peer vanishes; the closest HTTP-level
+		// stand-in is an immediate 502 with no backend contact.
+		http.Error(w, `{"error":"chaos: worker is down"}`, http.StatusBadGateway)
+		return
+	}
+	if notReady && r.Method == http.MethodGet && r.URL.Path == "/readyz" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"status":"draining","chaos":"injected"}`)
+		return
+	}
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.backend+r.URL.Path, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, v := range resp.Header {
+		w.Header()[k] = v
+	}
+	w.WriteHeader(resp.StatusCode)
+	if cutArmed {
+		p.copyLines(w, resp.Body, cut)
+		return // connection closes mid-stream: the armed cut fires
+	}
+	p.copyStream(w, resp.Body)
+}
+
+// copyLines relays at most lines complete NDJSON lines, then returns —
+// severing the stream exactly at a line boundary so the cut is
+// deterministic in lines delivered, not bytes.
+func (p *Proxy) copyLines(w http.ResponseWriter, body io.Reader, lines int) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 1)
+	for lines > 0 {
+		if _, err := body.Read(buf); err != nil {
+			return
+		}
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
+		if buf[0] == '\n' {
+			lines--
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// copyStream is the transparent path: relay and flush until EOF, or
+// sever immediately if the proxy goes down mid-stream.
+func (p *Proxy) copyStream(w http.ResponseWriter, body io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := body.Read(buf)
+		if n > 0 {
+			p.mu.Lock()
+			down := p.down
+			p.mu.Unlock()
+			if down {
+				return // sever the in-flight stream: the worker "died"
+			}
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Event is one scripted fault: when the observed merged-trial count
+// reaches AtMerged, Do runs. Events fire in slice order, so thresholds
+// should be non-decreasing.
+type Event struct {
+	Name     string
+	AtMerged int64
+	Do       func() error
+}
+
+// Drive executes a script against a live sweep: poll merged() at the
+// given interval and fire each event once its threshold is crossed.
+// Progress thresholds — not wall-clock delays — are what make a chaos
+// run deterministic in *what state the sweep was in* when each fault
+// hit. Drive returns the first event error, or ctx's error if the
+// sweep ends (or hangs) before the script completes.
+func Drive(ctx context.Context, merged func() int64, poll time.Duration, events ...Event) error {
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for _, ev := range events {
+		for merged() < ev.AtMerged {
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return fmt.Errorf("chaos: sweep ended before event %q (merged %d < %d): %w",
+					ev.Name, merged(), ev.AtMerged, ctx.Err())
+			}
+		}
+		if err := ev.Do(); err != nil {
+			return fmt.Errorf("chaos: event %q: %w", ev.Name, err)
+		}
+	}
+	return nil
+}
+
+// HTTPMerged adapts a coordinator /metrics endpoint into a Drive
+// counter: it fetches metricsURL and reads merged_trials, returning 0
+// on any error (the coordinator may not be listening yet — the script
+// just keeps polling).
+func HTTPMerged(client *http.Client, metricsURL string) func() int64 {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return func() int64 {
+		resp, err := client.Get(metricsURL)
+		if err != nil {
+			return 0
+		}
+		defer resp.Body.Close()
+		var m struct {
+			MergedTrials int64 `json:"merged_trials"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&m) != nil {
+			return 0
+		}
+		return m.MergedTrials
+	}
+}

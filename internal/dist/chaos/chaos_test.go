@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestProxyCutResults: the armed attach is severed after exactly N
+// complete lines; unarmed attaches stream through untouched.
+func TestProxyCutResults(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for i := 0; i < 5; i++ {
+			io.WriteString(w, `{"n":`+string(rune('0'+i))+"}\n")
+		}
+	}))
+	defer backend.Close()
+	p := NewProxy(backend.URL)
+	p.CutResults(0, 2)
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	read := func() (int, error) {
+		resp, err := http.Get(front.URL + "/v1/jobs/x/results")
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		return strings.Count(string(data), "\n"), err
+	}
+	if n, _ := read(); n != 2 {
+		t.Fatalf("first attach relayed %d lines, want the cut at 2", n)
+	}
+	if n, err := read(); n != 5 || err != nil {
+		t.Fatalf("second attach relayed %d lines (err %v), want all 5", n, err)
+	}
+}
+
+// TestProxyDownAndNotReady: down fails everything; not-ready fails only
+// the readiness probe.
+func TestProxyDownAndNotReady(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"status":"ok"}`)
+	}))
+	defer backend.Close()
+	p := NewProxy(backend.URL)
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(front.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if c := get("/readyz"); c != http.StatusOK {
+		t.Fatalf("healthy /readyz = %d", c)
+	}
+	p.SetNotReady(true)
+	if c := get("/readyz"); c != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz = %d, want 503", c)
+	}
+	if c := get("/metrics"); c != http.StatusOK {
+		t.Fatalf("draining /metrics = %d, want 200 (only readiness fails)", c)
+	}
+	p.SetNotReady(false)
+	p.SetDown(true)
+	if c := get("/readyz"); c != http.StatusBadGateway {
+		t.Fatalf("down /readyz = %d, want 502", c)
+	}
+	if c := get("/metrics"); c != http.StatusBadGateway {
+		t.Fatalf("down /metrics = %d, want 502", c)
+	}
+}
+
+// TestDriveFiresInThresholdOrder: events fire exactly once each, in
+// order, as the counter crosses their thresholds.
+func TestDriveFiresInThresholdOrder(t *testing.T) {
+	var merged atomic.Int64
+	var fired []string
+	go func() {
+		for i := 0; i < 100; i++ {
+			merged.Add(10)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := Drive(ctx, merged.Load, time.Millisecond,
+		Event{Name: "a", AtMerged: 50, Do: func() error { fired = append(fired, "a"); return nil }},
+		Event{Name: "b", AtMerged: 200, Do: func() error { fired = append(fired, "b"); return nil }},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(fired, ",") != "a,b" {
+		t.Fatalf("events fired as %v, want [a b]", fired)
+	}
+}
+
+// TestDriveReportsEventError and the sweep-ended-too-early path.
+func TestDriveReportsEventError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Drive(context.Background(), func() int64 { return 100 }, time.Millisecond,
+		Event{Name: "x", AtMerged: 1, Do: func() error { return boom }})
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), `"x"`) {
+		t.Fatalf("Drive error = %v, want wrapped event error naming x", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = Drive(ctx, func() int64 { return 0 }, time.Millisecond,
+		Event{Name: "never", AtMerged: 10, Do: func() error { return nil }})
+	if err == nil || !strings.Contains(err.Error(), "before event") {
+		t.Fatalf("Drive on dead ctx = %v, want before-event error", err)
+	}
+}

@@ -3,6 +3,7 @@ package dist
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -48,44 +49,67 @@ func (st *shardState) setPhase(p string) {
 	st.mu.Unlock()
 }
 
-// Coordinator distributes one sweep over a worker pool and merges the
-// results. Create with New, run with Run (one sweep per Coordinator),
-// observe with Metrics from any goroutine.
+// runState is one sweep's execution context, created by Run and shared
+// with every member loop spawned before or during it. Members joining
+// mid-sweep attach to the same scheduler and wait group.
+type runState struct {
+	ctx      context.Context
+	cancel   context.CancelFunc
+	cfg      Config
+	enc      json.RawMessage
+	trials   int
+	baseSeed uint64
+	sched    *sched
+	shards   []*shardState
+	wg       sync.WaitGroup
+}
+
+// Coordinator distributes one sweep over an elastic worker pool and
+// merges the results. Create with New, grow or shrink the pool with
+// Join (workers also leave on their own by failing liveness probes),
+// run with Run (one sweep per Coordinator), observe with Metrics and
+// Members from any goroutine.
 type Coordinator struct {
-	cfg     Config
-	workers []string
-	logf    func(string, ...any)
+	cfg  Config
+	logf func(string, ...any)
 
 	mu       sync.Mutex
-	shards   []*shardState
-	sched    *sched
+	members  map[string]*member
+	run      *runState
 	inflight map[string]int
 	failErr  error
 
 	totalTrials atomic.Int64
 	merged      atomic.Int64
 	retries     atomic.Int64
+	joins       atomic.Int64
+	leaves      atomic.Int64
+	resumed     atomic.Int64 // shards restored from the frontier journal
 }
 
-// New validates the worker pool and returns a Coordinator. Remaining
-// Config defaults resolve at Run time (the shard-size heuristic needs
-// the trial count).
+// New validates the initial worker pool and returns a Coordinator. An
+// empty pool is legal when workers will register later (Join); the
+// sweep simply makes no progress until one does. Remaining Config
+// defaults resolve at Run time (the shard-size heuristic needs the
+// trial count).
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Workers) == 0 {
-		return nil, errors.New("dist: at least one worker is required")
+	c := &Coordinator{
+		cfg:      cfg,
+		members:  make(map[string]*member),
+		inflight: make(map[string]int),
 	}
-	workers := make([]string, len(cfg.Workers))
-	for i, raw := range cfg.Workers {
-		w, err := normalizeWorker(raw)
-		if err != nil {
-			return nil, err
-		}
-		workers[i] = w
-	}
-	c := &Coordinator{cfg: cfg, workers: workers, inflight: make(map[string]int)}
 	c.logf = func(format string, args ...any) {
 		if cfg.Logf != nil {
 			cfg.Logf(format, args...)
+		}
+	}
+	for _, raw := range cfg.Workers {
+		base, err := normalizeWorker(raw)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := c.members[base]; !dup {
+			c.members[base] = newMember(base)
 		}
 	}
 	return c, nil
@@ -106,6 +130,13 @@ func (c *Coordinator) fail(cancel context.CancelFunc, err error) {
 // single-machine scenario.Stream run — to out, returning the
 // deterministically merged summary. Run blocks until the sweep
 // completes or fails; ctx cancellation aborts it.
+//
+// With Config.Journal set, out must implement DurableOutput (an
+// *os.File does): the merge frontier journals as it advances, and a
+// Run over the same journal and output file after a crash — SIGKILL
+// included — replays nothing that already merged, truncates any torn
+// tail, and finishes the sweep with final bytes identical to an
+// uninterrupted run.
 func (c *Coordinator) Run(ctx context.Context, sc scenario.Scenario, trials int, baseSeed uint64, out io.Writer) (*Summary, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("dist: trials must be positive (got %d)", trials)
@@ -117,7 +148,32 @@ func (c *Coordinator) Run(ctx context.Context, sc scenario.Scenario, trials int,
 	if err != nil {
 		return nil, fmt.Errorf("dist: encode scenario: %w", err)
 	}
-	cfg := c.cfg.withDefaults(trials)
+	c.mu.Lock()
+	if c.run != nil {
+		c.mu.Unlock()
+		return nil, errors.New("dist: Run may only be called once per Coordinator")
+	}
+	pool := c.liveMembersLocked()
+	c.mu.Unlock()
+	cfg := c.cfg.withDefaults(trials, pool)
+
+	// Open the frontier journal first: its header pins the shard size a
+	// previous (possibly differently-sized) pool planned with.
+	var fj *frontierJournal
+	var dout DurableOutput
+	if cfg.Journal != "" {
+		var ok bool
+		dout, ok = out.(DurableOutput)
+		if !ok {
+			return nil, errors.New("dist: Config.Journal requires the output to support ReadAt/Seek/Truncate (write to a file, not a pipe)")
+		}
+		fj, err = openFrontier(cfg.Journal, frontierFingerprint(enc, baseSeed), trials, baseSeed, cfg.ShardSize)
+		if err != nil {
+			return nil, err
+		}
+		defer fj.Close()
+		cfg.ShardSize = fj.shardSize
+	}
 
 	plan := Plan(trials, cfg.ShardSize)
 	shards := make([]*shardState, len(plan))
@@ -128,41 +184,68 @@ func (c *Coordinator) Run(ctx context.Context, sc scenario.Scenario, trials int,
 			phase: phasePending,
 		}
 	}
-	sch := newSched(len(plan), cfg.WindowShards)
-	c.mu.Lock()
-	c.shards = shards
-	c.sched = sch
-	c.mu.Unlock()
-	c.totalTrials.Store(int64(trials))
-	c.logf("dist: %d trials in %d shards of ≤%d across %d workers (window %d shards)",
-		trials, len(plan), cfg.ShardSize, len(c.workers), cfg.WindowShards)
 
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var wg sync.WaitGroup
-	for _, base := range c.workers {
-		for i := 0; i < cfg.PerWorker; i++ {
-			w := &workerClient{
-				base:     base,
-				http:     cfg.Client,
-				scenario: enc,
-				trials:   trials,
-				baseSeed: baseSeed,
-				stall:    cfg.StallTimeout,
-			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				c.workerLoop(runCtx, cancel, cfg, w)
-			}()
+	// Restore the merged prefix recorded by a previous coordinator
+	// process: truncate the output back to the last durable shard
+	// boundary and re-fold the retained lines into per-shard summaries.
+	frontier := 0
+	if fj != nil {
+		frontier = fj.merged
+		if frontier > len(plan) {
+			return nil, fmt.Errorf("dist: frontier journal records %d merged shards but the plan has %d — delete the journal to restart", frontier, len(plan))
+		}
+		if err := refoldPrefix(dout, fj.bytes, plan, frontier, shards); err != nil {
+			return nil, err
+		}
+		for i := 0; i < frontier; i++ {
+			shards[i].phase = phaseDone
+		}
+		if err := dout.Truncate(fj.bytes); err != nil {
+			return nil, fmt.Errorf("dist: truncate merged output to the journaled frontier: %w", err)
+		}
+		if _, err := dout.Seek(fj.bytes, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("dist: seek merged output: %w", err)
+		}
+		if frontier > 0 {
+			c.resumed.Store(int64(frontier))
+			c.merged.Store(int64(plan[frontier-1].Hi))
+			c.logf("dist: resuming from frontier journal %s: %d/%d shards (%d trials, %d bytes) already merged",
+				cfg.Journal, frontier, len(plan), plan[frontier-1].Hi, fj.bytes)
 		}
 	}
 
-	bw := bufio.NewWriterSize(out, 64<<10)
+	run := &runState{
+		cfg:      cfg,
+		enc:      enc,
+		trials:   trials,
+		baseSeed: baseSeed,
+		sched:    newSched(len(plan), cfg.WindowShards, frontier),
+		shards:   shards,
+	}
+	run.ctx, run.cancel = context.WithCancel(ctx)
+	defer run.cancel()
+
+	c.mu.Lock()
+	c.run = run
+	for _, m := range c.members {
+		if m.getState() != StateDead {
+			c.startMemberLocked(run, m)
+		}
+	}
+	c.mu.Unlock()
+	c.totalTrials.Store(int64(trials))
+	c.logf("dist: %d trials in %d shards of ≤%d across %d workers (window %d shards)",
+		trials, len(plan), cfg.ShardSize, pool, cfg.WindowShards)
+
+	cw := &countingWriter{w: out}
+	if fj != nil {
+		cw.n = fj.bytes
+	}
+	bw := bufio.NewWriterSize(cw, 64<<10)
 	sum := &Summary{}
-	mergeErr := c.merge(runCtx, cancel, bw, sum)
-	cancel()
-	wg.Wait()
+	mergeErr := c.merge(run, bw, cw, fj, sum, frontier)
+	run.cancel()
+	run.wg.Wait()
 
 	c.mu.Lock()
 	failErr := c.failErr
@@ -185,8 +268,16 @@ func (c *Coordinator) Run(ctx context.Context, sc scenario.Scenario, trials int,
 // buffered, and advancing the frontier widens the scheduler's claim
 // window. Because trial indices are sweep-global and shards tile the
 // sweep, the concatenation is exactly the single-machine byte stream.
-func (c *Coordinator) merge(ctx context.Context, cancel context.CancelFunc, out *bufio.Writer, sum *Summary) error {
-	for _, st := range c.shards {
+// Shards below the restored frontier were already merged by a previous
+// process: only their (re-folded) summaries are consumed. With a
+// journal, each freshly merged shard is flushed to the output and then
+// recorded, so the journal never claims bytes the output lacks.
+func (c *Coordinator) merge(run *runState, out *bufio.Writer, cw *countingWriter, fj *frontierJournal, sum *Summary, frontier int) error {
+	for i, st := range run.shards {
+		if i < frontier {
+			sum.merge(&st.sum)
+			continue
+		}
 	drain:
 		for {
 			select {
@@ -196,44 +287,68 @@ func (c *Coordinator) merge(ctx context.Context, cancel context.CancelFunc, out 
 				}
 				if _, err := out.Write(line); err != nil {
 					err = fmt.Errorf("dist: write merged output: %w", err)
-					c.fail(cancel, err)
+					c.fail(run.cancel, err)
 					return err
 				}
 				c.merged.Add(1)
-			case <-ctx.Done():
-				return ctx.Err()
+			case <-run.ctx.Done():
+				return run.ctx.Err()
 			}
 		}
 		sum.merge(&st.sum)
-		c.sched.advance()
+		if fj != nil {
+			if err := out.Flush(); err != nil {
+				err = fmt.Errorf("dist: write merged output: %w", err)
+				c.fail(run.cancel, err)
+				return err
+			}
+			if err := fj.record(i, cw.n); err != nil {
+				c.fail(run.cancel, err)
+				return err
+			}
+		}
+		run.sched.advance()
 	}
 	return nil
 }
 
 // workerLoop is one worker slot: claim the lowest runnable shard, run
-// it, repeat. Failed attempts requeue the shard immediately — any
-// worker may reclaim it — while this slot backs off exponentially, so
-// a dead worker throttles itself without delaying reassignment.
-func (c *Coordinator) workerLoop(ctx context.Context, cancel context.CancelFunc, cfg Config, w *workerClient) {
+// it, repeat. The loop parks while its member drains and exits when
+// the member dies or the sweep ends. Failed attempts requeue the shard
+// immediately — any worker may reclaim it — while this slot backs off
+// exponentially with deterministic jitter, so a mass failure neither
+// delays reassignment nor resubmits in lockstep.
+func (c *Coordinator) workerLoop(ctx context.Context, run *runState, m *member, w *workerClient) {
 	consecutive := 0
 	for {
-		idx, ok, err := c.sched.claim(ctx)
+		if !m.waitReady(ctx) {
+			return
+		}
+		idx, ok, err := run.sched.claim(ctx)
 		if err != nil || !ok {
 			return
 		}
-		st := c.shards[idx]
+		st := run.shards[idx]
 		st.setPhase(phaseAssigned)
-		c.addInflight(w.base, 1)
+		c.addInflight(m.base, 1)
 		runErr := w.runShard(ctx, st)
-		c.addInflight(w.base, -1)
+		c.addInflight(m.base, -1)
 
 		if runErr == nil {
 			st.setPhase(phaseDone)
-			c.sched.markDone()
+			run.sched.markDone()
 			consecutive = 0
 			continue
 		}
+		if run.ctx.Err() != nil {
+			return // the whole sweep is stopping
+		}
 		if ctx.Err() != nil {
+			// Only this member was canceled (probe death): rebalance the
+			// claimed shard onto the live pool without charging an
+			// attempt — the shard did nothing wrong.
+			st.setPhase(phasePending)
+			run.sched.requeue(idx)
 			return
 		}
 		st.mu.Lock()
@@ -243,24 +358,24 @@ func (c *Coordinator) workerLoop(ctx context.Context, cancel context.CancelFunc,
 		st.mu.Unlock()
 		var perm *permanentError
 		if errors.As(runErr, &perm) {
-			c.fail(cancel, runErr)
+			c.fail(run.cancel, runErr)
 			return
 		}
-		if attempts >= cfg.MaxAttempts {
-			c.fail(cancel, fmt.Errorf("dist: shard %s failed %d attempts: %w", st.shard, attempts, runErr))
+		if attempts >= run.cfg.MaxAttempts {
+			c.fail(run.cancel, fmt.Errorf("dist: shard %s failed %d attempts: %w", st.shard, attempts, runErr))
 			return
 		}
 		c.retries.Add(1)
 		c.logf("dist: shard %s attempt %d failed on %s: %v — requeued", st.shard, attempts, w.base, runErr)
-		c.sched.requeue(idx)
+		run.sched.requeue(idx)
 
 		consecutive++
-		backoff := cfg.Backoff << (consecutive - 1)
-		if backoff > cfg.BackoffCap || backoff <= 0 {
-			backoff = cfg.BackoffCap
+		backoff := run.cfg.Backoff << (consecutive - 1)
+		if backoff > run.cfg.BackoffCap || backoff <= 0 {
+			backoff = run.cfg.BackoffCap
 		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(w.jit.scale(backoff)):
 		case <-ctx.Done():
 			return
 		}

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"rcbcast/internal/dist/chaos"
 	"rcbcast/internal/scenario"
 	"rcbcast/internal/service"
 	"rcbcast/internal/sim/sink"
@@ -135,82 +136,18 @@ func TestSummaryMatchesSequentialFold(t *testing.T) {
 	}
 }
 
-// flakyProxy fronts a worker and kills the first result stream after a
-// couple of lines — the coordinator must retry, skip the replayed
-// prefix, and still merge byte-identical output.
-type flakyProxy struct {
-	backend *httptest.Server
-	tripped atomic.Bool
-}
-
-func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if strings.HasSuffix(r.URL.Path, "/results") && p.tripped.CompareAndSwap(false, true) {
-		// Proxy the stream but cut it off after two lines.
-		resp, err := http.Get(p.backend.URL + r.URL.Path)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadGateway)
-			return
-		}
-		defer resp.Body.Close()
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.WriteHeader(http.StatusOK)
-		buf := make([]byte, 1)
-		lines := 0
-		for lines < 2 {
-			if _, err := resp.Body.Read(buf); err != nil {
-				return
-			}
-			w.Write(buf)
-			if buf[0] == '\n' {
-				lines++
-			}
-		}
-		return // connection closes mid-stream
-	}
-	proxyReq, err := http.NewRequestWithContext(r.Context(), r.Method, p.backend.URL+r.URL.Path, r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadGateway)
-		return
-	}
-	proxyReq.Header = r.Header
-	resp, err := http.DefaultClient.Do(proxyReq)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadGateway)
-		return
-	}
-	defer resp.Body.Close()
-	for k, v := range resp.Header {
-		w.Header()[k] = v
-	}
-	w.WriteHeader(resp.StatusCode)
-	flusher, _ := w.(http.Flusher)
-	buf := make([]byte, 4096)
-	for {
-		n, err := resp.Body.Read(buf)
-		if n > 0 {
-			if _, werr := w.Write(buf[:n]); werr != nil {
-				return
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
-		if err != nil {
-			return
-		}
-	}
-}
-
 // TestRetrySkipsReplayedPrefix drops a shard's first result stream
-// mid-shard; the retry reattaches, the replayed lines are skipped, and
-// the merged bytes still match the single-machine run exactly.
+// mid-shard (via the chaos proxy); the retry reattaches, the replayed
+// lines are skipped, and the merged bytes still match the
+// single-machine run exactly.
 func TestRetrySkipsReplayedPrefix(t *testing.T) {
 	sc := testScenario("dist-retry")
 	const trials, baseSeed = 12, uint64(1)
 	want := referenceNDJSON(t, sc, trials, baseSeed)
 
 	backend := startWorker(t)
-	proxy := &flakyProxy{backend: backend}
+	proxy := chaos.NewProxy(backend.URL)
+	proxy.CutResults(0, 2) // first result stream dies after two lines
 	front := httptest.NewServer(proxy)
 	defer front.Close()
 
@@ -297,7 +234,7 @@ func TestUnreachableWorkerExhaustsAttempts(t *testing.T) {
 // always is, and requeued shards are claimed lowest-first.
 func TestSchedulerWindowGate(t *testing.T) {
 	ctx := context.Background()
-	s := newSched(10, 2)
+	s := newSched(10, 2, 0)
 
 	a, ok, err := s.claim(ctx)
 	if err != nil || !ok || a != 0 {
@@ -338,7 +275,7 @@ func TestSchedulerWindowGate(t *testing.T) {
 	cctx, cancel := context.WithCancel(ctx)
 	errc := make(chan error, 1)
 	go func() {
-		s2 := newSched(1, 1)
+		s2 := newSched(1, 1, 0)
 		s2.claim(cctx) // takes shard 0
 		_, _, err := s2.claim(cctx)
 		errc <- err

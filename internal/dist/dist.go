@@ -30,6 +30,16 @@
 // shard contributes each trial exactly once. A reassigned shard resumes
 // from the dead worker's journal when the workers share a store, and
 // recomputes identically (same seeds) when they do not.
+//
+// The worker pool is elastic (membership.go): workers Join before or
+// during a sweep, periodic readiness probes with a liveness deadline
+// detect death without waiting for a stream to stall, a draining worker
+// keeps its in-flight shards but claims no new ones, and a dead
+// member's shards rebalance onto the live pool at once. The coordinator
+// itself is durable when Config.Journal is set (frontier.go): the merge
+// frontier is journaled shard by shard, so a SIGKILLed coordinator
+// restarts, replays only unmerged shards, and still emits byte-identical
+// merged output.
 package dist
 
 import (
@@ -57,16 +67,28 @@ const (
 	// requeued.
 	DefaultStallTimeout = 30 * time.Second
 	// DefaultBackoff is the first retry delay; it doubles per
-	// consecutive failure up to DefaultBackoffCap.
+	// consecutive failure up to DefaultBackoffCap. Each delay is then
+	// scaled by deterministic per-slot jitter in [0.5, 1.0).
 	DefaultBackoff    = 250 * time.Millisecond
 	DefaultBackoffCap = 5 * time.Second
+	// DefaultProbeInterval / DefaultProbeTimeout pace the membership
+	// readiness probes; DefaultLivenessDeadline is how long a worker may
+	// go without a successful probe before it is declared dead and its
+	// shards rebalance onto the live pool.
+	DefaultProbeInterval    = 2 * time.Second
+	DefaultProbeTimeout     = 1 * time.Second
+	DefaultLivenessDeadline = 10 * time.Second
 )
 
-// Config parameterizes a Coordinator. The zero value of every field but
-// Workers is usable; withDefaults resolves them.
+// Config parameterizes a Coordinator. Every field's zero value is
+// usable; withDefaults resolves them. Even Workers may be empty: the
+// pool is elastic, and workers registered later via Coordinator.Join
+// pick up the sweep mid-flight.
 type Config struct {
-	// Workers lists the worker service base URLs (e.g.
-	// "http://10.0.0.7:8080"). Required, order-insignificant.
+	// Workers seeds the worker pool with service base URLs (e.g.
+	// "http://10.0.0.7:8080"), order-insignificant. More may Join (and
+	// members may die) at any time; an empty initial pool simply makes
+	// no progress until someone registers.
 	Workers []string
 	// ShardSize is the trial count per shard (the last shard may be
 	// smaller). Zero picks ceil(trials / (4·workers·PerWorker)) — four
@@ -95,19 +117,42 @@ type Config struct {
 	// shard, so a healthy worker reassigns it without waiting.
 	Backoff    time.Duration
 	BackoffCap time.Duration
+	// ProbeInterval paces each member's readiness probes (GET /readyz;
+	// default DefaultProbeInterval), each bounded by ProbeTimeout
+	// (default DefaultProbeTimeout). A worker with no successful probe
+	// for LivenessDeadline (default DefaultLivenessDeadline) is declared
+	// dead: its in-flight shards requeue immediately instead of waiting
+	// out StallTimeout.
+	ProbeInterval    time.Duration
+	ProbeTimeout     time.Duration
+	LivenessDeadline time.Duration
+	// JitterSeed seeds the deterministic backoff jitter (zero is a valid
+	// seed; set it explicitly in tests to pin delays).
+	JitterSeed uint64
+	// Journal, when non-empty, is the coordinator's frontier-journal
+	// path: the merged-shard boundary is journaled as the merge
+	// advances, and a restarted Run over the same journal and output
+	// file resumes the sweep instead of starting over. Requires the
+	// output passed to Run to implement DurableOutput (an *os.File
+	// does).
+	Journal string
 	// Client issues the HTTP requests (default http.DefaultClient).
 	Client *http.Client
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
 }
 
-// withDefaults resolves zero fields. trials is needed for the shard
-// size heuristic.
-func (c Config) withDefaults(trials int) Config {
+// withDefaults resolves zero fields. trials feeds the shard-size
+// heuristic; workers is the live pool size at Run time (clamped to ≥1
+// so an initially-empty elastic pool still yields a sane plan).
+func (c Config) withDefaults(trials, workers int) Config {
 	if c.PerWorker <= 0 {
 		c.PerWorker = DefaultPerWorker
 	}
-	slots := len(c.Workers) * c.PerWorker
+	if workers < 1 {
+		workers = 1
+	}
+	slots := workers * c.PerWorker
 	if c.ShardSize <= 0 {
 		c.ShardSize = (trials + 4*slots - 1) / (4 * slots)
 		if c.ShardSize < 1 {
@@ -131,6 +176,15 @@ func (c Config) withDefaults(trials int) Config {
 		if c.BackoffCap < c.Backoff {
 			c.BackoffCap = c.Backoff
 		}
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = DefaultProbeInterval
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = DefaultProbeTimeout
+	}
+	if c.LivenessDeadline <= 0 {
+		c.LivenessDeadline = DefaultLivenessDeadline
 	}
 	if c.Client == nil {
 		c.Client = http.DefaultClient

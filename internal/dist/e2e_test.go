@@ -4,25 +4,34 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"rcbcast/internal/dist/chaos"
 	"rcbcast/internal/service"
 )
 
-// TestMain doubles as the e2e worker child: with DIST_E2E_WORKER set,
-// the test binary *is* a worker service process — a real Manager behind
-// a real listener, killable with a real SIGKILL.
+// TestMain doubles as the e2e children: with DIST_E2E_WORKER set, the
+// test binary *is* a worker service process; with DIST_E2E_COORD set it
+// is a journaling coordinator — both behind real listeners, killable
+// with a real SIGKILL.
 func TestMain(m *testing.M) {
 	if os.Getenv("DIST_E2E_WORKER") == "1" {
 		runWorkerChild()
+		return
+	}
+	if os.Getenv("DIST_E2E_COORD") == "1" {
+		runCoordChild()
 		return
 	}
 	os.Exit(m.Run())
@@ -44,6 +53,80 @@ func runWorkerChild() {
 		fmt.Fprintln(os.Stderr, "worker:", err)
 		os.Exit(1)
 	}
+}
+
+// runCoordChild is the coordinator process of the crash-resume e2e: a
+// journaling Coordinator over the COORD_* env sweep, with /metrics and
+// the registration endpoint on a real listener. It is the in-test
+// stand-in for cmd/rccoordd, close enough that SIGKILLing it exercises
+// the same journal discipline.
+func runCoordChild() {
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "coord:", err)
+		os.Exit(1)
+	}
+	trials, err := strconv.Atoi(os.Getenv("COORD_TRIALS"))
+	if err != nil {
+		die(err)
+	}
+	shard, err := strconv.Atoi(os.Getenv("COORD_SHARD"))
+	if err != nil {
+		die(err)
+	}
+	c, err := New(Config{
+		Workers:          strings.Split(os.Getenv("COORD_WORKERS"), ","),
+		ShardSize:        shard,
+		MaxAttempts:      20,
+		StallTimeout:     10 * time.Second,
+		Backoff:          50 * time.Millisecond,
+		BackoffCap:       500 * time.Millisecond,
+		ProbeInterval:    50 * time.Millisecond,
+		LivenessDeadline: 2 * time.Second,
+		Journal:          os.Getenv("COORD_JOURNAL"),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		die(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		die(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(c.Metrics())
+	})
+	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			URL string `json:"url"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if _, err := c.Join(req.URL); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"status": "joined"})
+	})
+	go http.Serve(ln, mux)
+	fmt.Printf("coord: listening on %s\n", ln.Addr())
+
+	out, err := os.OpenFile(os.Getenv("COORD_OUT"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		die(err)
+	}
+	sum, err := c.Run(context.Background(), testScenario("dist-e2e-coord"), trials, 1, out)
+	if err != nil {
+		die(err)
+	}
+	if err := out.Close(); err != nil {
+		die(err)
+	}
+	fmt.Printf("coord: done %s\n", sum)
 }
 
 // workerProc is one child worker process.
@@ -165,5 +248,166 @@ func TestWorkerSIGKILLReassignment(t *testing.T) {
 	}
 	if c.Metrics().Retries < 1 {
 		t.Fatal("expected at least one retry after killing a worker")
+	}
+}
+
+// coordProc is one child coordinator process.
+type coordProc struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port of its metrics/registration server
+	stderr *lockedBuffer
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func startCoordProc(t *testing.T, workers []string, journal, out string, trials, shard int) *coordProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"DIST_E2E_COORD=1",
+		"COORD_WORKERS="+strings.Join(workers, ","),
+		"COORD_JOURNAL="+journal,
+		"COORD_OUT="+out,
+		"COORD_TRIALS="+strconv.Itoa(trials),
+		"COORD_SHARD="+strconv.Itoa(shard),
+	)
+	errBuf := &lockedBuffer{}
+	cmd.Stderr = io.MultiWriter(os.Stderr, errBuf)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("no startup line from coordinator (err=%v)\nstderr:\n%s", sc.Err(), errBuf.String())
+	}
+	addr, ok := strings.CutPrefix(sc.Text(), "coord: listening on ")
+	if !ok {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("unexpected coordinator startup line %q", sc.Text())
+	}
+	go io.Copy(io.Discard, stdout)
+	return &coordProc{cmd: cmd, base: "http://" + addr, stderr: errBuf}
+}
+
+// TestCoordinatorSIGKILLResumeAndJoin is the crash-resume contract with
+// real processes: SIGKILL the journaling coordinator mid-sweep, restart
+// it over the same journal and output file, register a third worker
+// mid-sweep through the live registration endpoint, and the final
+// merged bytes still match the single-machine run exactly.
+func TestCoordinatorSIGKILLResumeAndJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes and runs a multi-second sweep")
+	}
+	sc := testScenario("dist-e2e-coord")
+	const trials, baseSeed = 3000, uint64(1)
+	const shardSize = 50
+	want := referenceNDJSON(t, sc, trials, baseSeed)
+
+	w1 := startWorkerProc(t, t.TempDir())
+	w2 := startWorkerProc(t, t.TempDir())
+	w3 := startWorkerProc(t, t.TempDir())
+	for _, w := range []*workerProc{w1, w2, w3} {
+		w := w
+		defer func() {
+			w.cmd.Process.Kill()
+			w.cmd.Wait()
+		}()
+	}
+
+	dir := t.TempDir()
+	journal := dir + "/sweep.frontier"
+	outPath := dir + "/merged.jsonl"
+	pool := []string{w1.base, w2.base}
+
+	// First coordinator: SIGKILL it once ≥300 trials have merged.
+	c1 := startCoordProc(t, pool, journal, outPath, trials, shardSize)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	err := chaos.Drive(ctx, chaos.HTTPMerged(nil, c1.base+"/metrics"), 2*time.Millisecond,
+		chaos.Event{Name: "SIGKILL coordinator", AtMerged: 300, Do: func() error {
+			return c1.cmd.Process.Kill()
+		}},
+	)
+	if err != nil {
+		t.Fatalf("chaos script: %v\ncoordinator stderr:\n%s", err, c1.stderr.String())
+	}
+	c1.cmd.Wait()
+	t.Logf("killed coordinator %s", c1.base)
+
+	// Second coordinator over the same journal + output; register the
+	// third worker once it has resumed and merged further progress.
+	c2 := startCoordProc(t, pool, journal, outPath, trials, shardSize)
+	done := make(chan error, 1)
+	go func() { done <- c2.cmd.Wait() }()
+	jctx, jcancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer jcancel()
+	err = chaos.Drive(jctx, chaos.HTTPMerged(nil, c2.base+"/metrics"), 2*time.Millisecond,
+		chaos.Event{Name: "join third worker", AtMerged: 400, Do: func() error {
+			resp, perr := http.Post(c2.base+"/v1/workers", "application/json",
+				strings.NewReader(`{"url":"`+w3.base+`"}`))
+			if perr != nil {
+				return perr
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("registration status %d", resp.StatusCode)
+			}
+			return nil
+		}},
+	)
+	if err != nil {
+		// The restarted sweep may legitimately finish before 400 merged
+		// trials only if resume failed — surface the stderr either way.
+		select {
+		case werr := <-done:
+			t.Fatalf("restarted coordinator exited early (err=%v):\n%s", werr, c2.stderr.String())
+		default:
+			t.Fatalf("chaos script: %v\n%s", err, c2.stderr.String())
+		}
+	}
+
+	select {
+	case werr := <-done:
+		if werr != nil {
+			t.Fatalf("restarted coordinator failed: %v\n%s", werr, c2.stderr.String())
+		}
+	case <-time.After(180 * time.Second):
+		c2.cmd.Process.Kill()
+		t.Fatalf("restarted coordinator never finished\n%s", c2.stderr.String())
+	}
+
+	if !strings.Contains(c2.stderr.String(), "resuming from frontier journal") {
+		t.Fatalf("restarted coordinator did not resume from the journal:\n%s", c2.stderr.String())
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged output differs from single-machine run after coordinator SIGKILL + restart + join (%d vs %d bytes)",
+			len(got), len(want))
 	}
 }

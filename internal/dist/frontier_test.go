@@ -1,0 +1,150 @@
+package dist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFrontierJournalRoundTrip pins the journal's basic lifecycle:
+// record shard boundaries, reopen, and recover exactly them.
+func TestFrontierJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frontier")
+	fj, err := openFrontier(path, "abcd", 100, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fj.merged != 0 || fj.bytes != 0 {
+		t.Fatalf("fresh journal at %d/%d", fj.merged, fj.bytes)
+	}
+	for i, b := range []int64{120, 260, 390} {
+		if err := fj.record(i, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fj.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := openFrontier(path, "abcd", 100, 7, 999) // caller's shard size is overridden
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.merged != 3 || re.bytes != 390 {
+		t.Fatalf("reopened journal at %d/%d, want 3/390", re.merged, re.bytes)
+	}
+	if re.shardSize != 10 {
+		t.Fatalf("reopened shard size %d, want the header's 10", re.shardSize)
+	}
+}
+
+// TestFrontierJournalTornTail: a partial final line (the SIGKILL
+// signature) is truncated away, and recording continues cleanly from
+// the surviving prefix.
+func TestFrontierJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frontier")
+	fj, err := openFrontier(path, "abcd", 100, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj.record(0, 120)
+	fj.record(1, 260)
+	fj.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"shard":2,"by`)
+	f.Close()
+
+	re, err := openFrontier(path, "abcd", 100, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.merged != 2 || re.bytes != 260 {
+		t.Fatalf("after torn tail: %d/%d, want 2/260", re.merged, re.bytes)
+	}
+	if err := re.record(2, 400); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"by`+"\n") || strings.Count(string(data), "\n") != 4 {
+		t.Fatalf("journal after recovery:\n%s", data)
+	}
+}
+
+// TestFrontierJournalRejectsDifferentSweep: a journal written by one
+// sweep must refuse a resume under different parameters instead of
+// silently merging mismatched outputs.
+func TestFrontierJournalRejectsDifferentSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frontier")
+	fj, err := openFrontier(path, "abcd", 100, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj.Close()
+
+	for _, tc := range []struct {
+		fp     string
+		trials int
+		seed   uint64
+	}{
+		{"beef", 100, 7}, // different scenario
+		{"abcd", 200, 7}, // different trial count
+		{"abcd", 100, 8}, // different seed
+	} {
+		if _, err := openFrontier(path, tc.fp, tc.trials, tc.seed, 10); err == nil ||
+			!strings.Contains(err.Error(), "different sweep") {
+			t.Fatalf("openFrontier(%+v) = %v, want different-sweep rejection", tc, err)
+		}
+	}
+
+	// Garbage where the header should be is an error, not a silent
+	// restart over a file we don't understand.
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openFrontier(bad, "abcd", 100, 7, 10); err == nil ||
+		!strings.Contains(err.Error(), "unreadable header") {
+		t.Fatalf("openFrontier on garbage = %v, want unreadable-header error", err)
+	}
+}
+
+// TestFrontierJournalNonMonotonicTail: shard lines that skip an index
+// or regress in bytes mark the corruption point — everything after is
+// dropped.
+func TestFrontierJournalNonMonotonicTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frontier")
+	fj, err := openFrontier(path, "abcd", 100, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj.record(0, 120)
+	fj.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 5 out of order: must not extend the frontier past 1.
+	f.WriteString(`{"shard":5,"bytes":900}` + "\n")
+	f.Close()
+
+	re, err := openFrontier(path, "abcd", 100, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.merged != 1 || re.bytes != 120 {
+		t.Fatalf("after out-of-order tail: %d/%d, want 1/120", re.merged, re.bytes)
+	}
+}

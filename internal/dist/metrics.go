@@ -4,8 +4,15 @@ package dist
 // /metrics body cmd/rccoordd serves, in the same style as the worker
 // service's.
 type Metrics struct {
-	Workers     int `json:"workers"`
-	TotalShards int `json:"total_shards"`
+	// Workers counts live (non-dead) pool members; Members maps each
+	// known worker's base URL to its membership state (ready, draining,
+	// dead). Joins and Leaves count pool transitions over the
+	// coordinator's lifetime.
+	Workers     int               `json:"workers"`
+	Members     map[string]string `json:"members"`
+	Joins       int64             `json:"joins"`
+	Leaves      int64             `json:"leaves"`
+	TotalShards int               `json:"total_shards"`
 	// Shards counts shards per lifecycle phase: pending (waiting for a
 	// first attempt), assigned (an attempt in flight), done (all lines
 	// buffered or merged), retrying (requeued after ≥1 failed attempt).
@@ -14,6 +21,9 @@ type Metrics struct {
 	Retries           int64          `json:"retries"`
 	MergedTrials      int64          `json:"merged_trials"`
 	TotalTrials       int64          `json:"total_trials"`
+	// ResumedShards counts shards restored from the frontier journal at
+	// startup rather than recomputed — nonzero only after a crash-resume.
+	ResumedShards int64 `json:"resumed_shards"`
 	// MergeFrontierShard is the next shard index the merge loop will
 	// emit; WindowBufferedLines is the reorder window's occupancy —
 	// result lines buffered ahead of the frontier, bounded by
@@ -24,31 +34,40 @@ type Metrics struct {
 }
 
 // Metrics snapshots the run. Safe from any goroutine, including before
-// Run starts (all-zero) and after it returns.
+// Run starts (all-zero shard counts) and after it returns.
 func (c *Coordinator) Metrics() Metrics {
 	m := Metrics{
-		Workers:           len(c.workers),
+		Members:           map[string]string{},
 		Shards:            map[string]int{},
 		PerWorkerInFlight: map[string]int{},
 		Retries:           c.retries.Load(),
 		MergedTrials:      c.merged.Load(),
 		TotalTrials:       c.totalTrials.Load(),
+		Joins:             c.joins.Load(),
+		Leaves:            c.leaves.Load(),
+		ResumedShards:     c.resumed.Load(),
 	}
 	c.mu.Lock()
-	shards := c.shards
-	sch := c.sched
+	for base, mem := range c.members {
+		s := mem.getState()
+		m.Members[base] = s
+		if s != StateDead {
+			m.Workers++
+		}
+	}
+	run := c.run
 	for w, n := range c.inflight {
 		m.PerWorkerInFlight[w] = n
 	}
 	c.mu.Unlock()
-	if shards == nil {
+	if run == nil {
 		return m
 	}
-	m.TotalShards = len(shards)
-	frontier, _, _ := sch.snapshot()
+	m.TotalShards = len(run.shards)
+	frontier, _, _ := run.sched.snapshot()
 	m.MergeFrontierShard = frontier
-	m.WindowShards = sch.window
-	for i, st := range shards {
+	m.WindowShards = run.sched.window
+	for i, st := range run.shards {
 		st.mu.Lock()
 		phase, attempts := st.phase, st.attempts
 		st.mu.Unlock()

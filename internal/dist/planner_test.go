@@ -42,7 +42,7 @@ func TestPlanTilesSweep(t *testing.T) {
 // TestConfigDefaults pins the shard-size heuristic and the window
 // default against drift.
 func TestConfigDefaults(t *testing.T) {
-	cfg := Config{Workers: []string{"http://a", "http://b"}}.withDefaults(1000)
+	cfg := Config{Workers: []string{"http://a", "http://b"}}.withDefaults(1000, 2)
 	if cfg.PerWorker != 1 {
 		t.Fatalf("PerWorker = %d, want 1", cfg.PerWorker)
 	}
@@ -53,8 +53,13 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatalf("WindowShards = %d, want 8", cfg.WindowShards)
 	}
 	// Tiny sweeps still get at least one trial per shard.
-	if got := (Config{Workers: []string{"http://a"}}.withDefaults(2)).ShardSize; got != 1 {
+	if got := (Config{Workers: []string{"http://a"}}.withDefaults(2, 1)).ShardSize; got != 1 {
 		t.Fatalf("ShardSize for 2 trials = %d, want 1", got)
+	}
+	// An (initially) empty elastic pool plans as one worker slot instead
+	// of dividing by zero.
+	if got := (Config{}.withDefaults(1000, 0)).ShardSize; got != 250 {
+		t.Fatalf("ShardSize for an empty pool = %d, want 250", got)
 	}
 }
 
@@ -72,7 +77,12 @@ func TestNormalizeWorker(t *testing.T) {
 	if got != "http://10.0.0.7:8080" {
 		t.Fatalf("normalized to %q", got)
 	}
-	if _, err := New(Config{}); err == nil {
-		t.Fatal("New with no workers accepted")
+	// An empty initial pool is legal now (elastic membership): workers
+	// Join later. A malformed seed URL still fails construction.
+	if _, err := New(Config{}); err != nil {
+		t.Fatalf("New with no workers: %v", err)
+	}
+	if _, err := New(Config{Workers: []string{"ftp://x"}}); err == nil {
+		t.Fatal("New with a bad worker URL accepted")
 	}
 }

@@ -25,15 +25,21 @@ type sched struct {
 	watch    chan struct{} // closed and replaced on every state change
 }
 
-func newSched(total, window int) *sched {
+// newSched plans shards [0, total); start > 0 marks a restored prefix
+// (shards a previous coordinator process already merged, per the
+// frontier journal) as done-and-merged, so only [start, total) is ever
+// claimable.
+func newSched(total, window, start int) *sched {
 	s := &sched{
-		pending: make([]int, total),
-		total:   total,
-		window:  window,
-		watch:   make(chan struct{}),
+		pending:  make([]int, 0, total-start),
+		frontier: start,
+		done:     start,
+		total:    total,
+		window:   window,
+		watch:    make(chan struct{}),
 	}
-	for i := range s.pending {
-		s.pending[i] = i
+	for i := start; i < total; i++ {
+		s.pending = append(s.pending, i)
 	}
 	return s
 }

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"time"
@@ -35,6 +36,39 @@ type workerClient struct {
 	trials   int
 	baseSeed uint64
 	stall    time.Duration
+	jit      *jitterSource // per-slot deterministic backoff jitter
+}
+
+// jitterSource decorrelates retry backoff across worker slots. When a
+// shared dependency fails, every slot's attempt fails in the same
+// instant; pure exponential backoff then resubmits them in lockstep,
+// hammering whatever just recovered. Scaling each delay by a per-slot
+// pseudo-random factor in [0.5, 1.0) breaks the convoy. The source is
+// a seeded xorshift64 — deterministic per (JitterSeed, worker, slot) so
+// tests can pin exact delays — and needs no locking: each slot owns its
+// own source.
+type jitterSource struct{ state uint64 }
+
+// newJitter derives a slot's jitter stream from the configured seed,
+// the worker's base URL, and the slot ordinal, so no two slots (even on
+// one worker) share a sequence.
+func newJitter(seed uint64, base string, slot int) *jitterSource {
+	h := fnv.New64a()
+	io.WriteString(h, base)
+	st := h.Sum64() ^ (seed + uint64(slot)*0x9e3779b97f4a7c15)
+	if st == 0 {
+		st = 1 // xorshift64 has a fixed point at zero
+	}
+	return &jitterSource{state: st}
+}
+
+// scale returns d scaled by the next jitter factor in [0.5, 1.0).
+func (j *jitterSource) scale(d time.Duration) time.Duration {
+	j.state ^= j.state << 13
+	j.state ^= j.state >> 7
+	j.state ^= j.state << 17
+	f := 0.5 + float64(j.state>>11)/float64(1<<54) // 53 random bits → [0.5, 1.0)
+	return time.Duration(float64(d) * f)
 }
 
 // submitBody mirrors service.SubmitRequest.

@@ -62,6 +62,7 @@ type Manager struct {
 	submitted atomic.Int64
 	rejected  atomic.Int64
 	streams   atomic.Int64
+	draining  atomic.Bool
 }
 
 // NewManager opens (or creates) the store directory, re-admits every
@@ -473,12 +474,27 @@ func (m *Manager) runSweep(ctx context.Context, j *Job) error {
 	return sink.StreamCheckpointedShard(ctx, m.cfg.Procs, j.Scenario.Batch, lo, specs, cp, sinks...)
 }
 
-// Close drains the service: cancel every running job (each stops at its
-// next engine phase boundary with its journal intact and its state
-// re-queued for the next start) and wait for the runners, bounded by
-// ctx. A deadline overrun is reported, not fatal — the journals are
-// consistent at every instant anyway.
+// BeginDrain flips the service to not-ready: GET /readyz answers 503
+// from here on, so probing coordinators stop routing new shards while
+// in-flight work finishes. Draining is one-way — a server that started
+// shutting down never re-advertises readiness.
+func (m *Manager) BeginDrain() {
+	if !m.draining.Swap(true) {
+		m.logf("service: draining — readiness withdrawn")
+	}
+}
+
+// Ready reports whether the service accepts new work (false once
+// draining began).
+func (m *Manager) Ready() bool { return !m.draining.Load() }
+
+// Close drains the service: withdraw readiness, cancel every running
+// job (each stops at its next engine phase boundary with its journal
+// intact and its state re-queued for the next start) and wait for the
+// runners, bounded by ctx. A deadline overrun is reported, not fatal —
+// the journals are consistent at every instant anyway.
 func (m *Manager) Close(ctx context.Context) error {
+	m.BeginDrain()
 	m.cancel()
 	done := make(chan struct{})
 	go func() {
@@ -500,6 +516,7 @@ func (m *Manager) StreamEnd()   { m.streams.Add(-1) }
 // Metrics is the hand-rolled counter snapshot behind GET /metrics.
 type Metrics struct {
 	Version         string         `json:"version"`
+	Ready           bool           `json:"ready"`
 	QueueLen        int            `json:"queue_len"`
 	QueueCap        int            `json:"queue_cap"`
 	Jobs            map[State]int  `json:"jobs"`
@@ -532,6 +549,7 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Unlock()
 	return Metrics{
 		Version:         m.version,
+		Ready:           m.Ready(),
 		QueueLen:        len(m.queue),
 		QueueCap:        cap(m.queue),
 		Jobs:            perState,

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestReadinessSplitFromLiveness pins the liveness/readiness split: a
+// draining server still answers /healthz 200 (the process is alive and
+// streams are flushing) but /readyz flips to 503 so membership probes
+// stop routing new shards to it.
+func TestReadinessSplitFromLiveness(t *testing.T) {
+	m := newTestManager(t, Config{Procs: 2})
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+
+	code, body := getBody(t, ts, "/readyz")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"ready"`)) {
+		t.Fatalf("fresh /readyz: %d %s", code, body)
+	}
+	if !m.Ready() {
+		t.Fatal("fresh manager reports not ready")
+	}
+
+	m.BeginDrain()
+
+	code, body = getBody(t, ts, "/readyz")
+	if code != http.StatusServiceUnavailable || !bytes.Contains(body, []byte(`"draining"`)) {
+		t.Fatalf("draining /readyz: %d %s", code, body)
+	}
+	code, body = getBody(t, ts, "/healthz")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Fatalf("draining /healthz: %d %s (liveness must survive a drain)", code, body)
+	}
+
+	// BeginDrain is idempotent and one-way, and surfaces in /metrics.
+	m.BeginDrain()
+	if m.Ready() {
+		t.Fatal("drained manager reports ready")
+	}
+	code, data := getBody(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	var met Metrics
+	if err := json.Unmarshal(data, &met); err != nil {
+		t.Fatal(err)
+	}
+	if met.Ready {
+		t.Fatalf("draining metrics still advertise ready: %+v", met)
+	}
+}

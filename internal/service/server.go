@@ -25,7 +25,11 @@ import (
 //	                           follow live appends until the job is
 //	                           terminal
 //	POST /v1/jobs/{id}/cancel  request cancellation
-//	GET  /healthz              liveness + version
+//	GET  /healthz              liveness + version (200 as long as the
+//	                           process serves HTTP, draining or not)
+//	GET  /readyz               readiness: 200 while accepting new work,
+//	                           503 once draining — the signal membership
+//	                           probes use to stop routing shards here
 //	GET  /metrics              counter snapshot (JSON)
 //
 // Error responses are always {"error": "..."} JSON.
@@ -43,6 +47,7 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.results)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
 	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("GET /readyz", s.ready)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
 }
@@ -226,9 +231,27 @@ func closeQuietly(f *os.File) {
 	}
 }
 
+// health is pure liveness: 200 whenever the process answers at all,
+// draining included. Readiness is the separate /readyz signal.
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{
 		"status":  "ok",
+		"version": s.m.Version(),
+	})
+}
+
+// ready distinguishes accepting-work from merely-alive: a draining
+// server answers 503 so coordinators park it without declaring it dead.
+func (s *Server) ready(w http.ResponseWriter, r *http.Request) {
+	if !s.m.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status":  "draining",
+			"version": s.m.Version(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  "ready",
 		"version": s.m.Version(),
 	})
 }
